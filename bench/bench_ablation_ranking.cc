@@ -1,0 +1,136 @@
+// Ablation over the ranking-function design choices of Section 2.3.2
+// (A1 in DESIGN.md): the decay parameter, the proximity mode, and the
+// occurrence-aggregation function f (max vs sum). Measured on the Figure 1
+// document where the paper's own examples give interpretable expectations.
+
+#include "bench_util.h"
+
+namespace xrank::bench {
+namespace {
+
+constexpr const char* kFigure1Xml = R"(
+<workshop date="28 July 2000">
+  <title> XML and IR: A SIGIR 2000 Workshop </title>
+  <editors> David Carmel, Yoelle Maarek, Aya Soffer </editors>
+  <proceedings>
+    <paper id="1">
+      <title> XQL and Proximal Nodes </title>
+      <author> Ricardo Baeza-Yates </author>
+      <author> Gonzalo Navarro </author>
+      <abstract> We consider the recently proposed language </abstract>
+      <body>
+        <section name="Introduction">
+          Searching on structured text is more important
+        </section>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">
+            At first sight, the XQL query language looks
+          </subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+        <cite xlink="paper/xmlql">A Query Language for XML</cite>
+      </body>
+    </paper>
+    <paper id="2">
+      <title> Querying XML in Xyleme </title>
+      <body> xyleme supports XQL fragments </body>
+    </paper>
+  </proceedings>
+</workshop>
+)";
+
+std::unique_ptr<core::XRankEngine> EngineWithScoring(
+    const query::ScoringOptions& scoring) {
+  auto doc = xml::ParseDocument(kFigure1Xml, "figure1.xml");
+  std::vector<xml::Document> docs;
+  docs.push_back(std::move(doc).value());
+  core::EngineOptions options;
+  options.scoring = scoring;
+  options.indexes = {index::IndexKind::kDil};
+  auto engine = core::XRankEngine::Build(std::move(docs), options);
+  return std::move(engine).value();
+}
+
+// Returns (rank of tag1, rank of tag2) for a query, 0 if absent.
+std::pair<double, double> RanksOf(core::XRankEngine* engine,
+                                  const char* query, const char* tag1,
+                                  const char* tag2) {
+  auto response = engine->Query(query, 20, index::IndexKind::kDil);
+  double r1 = 0, r2 = 0;
+  for (const auto& result : response->results) {
+    if (result.element_tag == tag1 && r1 == 0) r1 = result.rank;
+    if (result.element_tag == tag2 && r2 == 0) r2 = result.rank;
+  }
+  return {r1, r2};
+}
+
+}  // namespace
+}  // namespace xrank::bench
+
+int main() {
+  using namespace xrank;
+  using namespace xrank::bench;
+
+  std::printf("=== Ablation: ranking-function design choices (Figure 1 "
+              "document, query 'XQL language') ===\n\n");
+
+  // 1. Decay sweep: the specificity premium of the <subsection> (direct
+  // containment) over the <paper> (2 levels above its occurrences).
+  std::printf("decay sweep  (subsection rank / paper rank — higher means\n"
+              "specific results are favored more):\n");
+  for (double decay : {0.25, 0.50, 0.80, 1.00}) {
+    query::ScoringOptions scoring;
+    scoring.decay = decay;
+    auto engine = EngineWithScoring(scoring);
+    auto [sub, paper] =
+        RanksOf(engine.get(), "XQL language", "subsection", "paper");
+    std::printf("  decay=%.2f  subsection=%.6f  paper=%.6f  ratio=%.2f\n",
+                decay, sub, paper, paper > 0 ? sub / paper : 0.0);
+  }
+
+  // 2. Proximity mode: 'Soffer XQL' (keywords far apart, meet only at the
+  // workshop root) vs 'XQL language' (adjacent in the subsection).
+  std::printf("\nproximity mode (rank of the top result):\n");
+  for (auto mode : {query::ProximityMode::kReciprocalWindow,
+                    query::ProximityMode::kAlwaysOne}) {
+    query::ScoringOptions scoring;
+    scoring.proximity = mode;
+    auto engine = EngineWithScoring(scoring);
+    auto near = engine->Query("query language", 5, index::IndexKind::kDil);
+    auto far = engine->Query("Ricardo searching", 5, index::IndexKind::kDil);
+    double near_rank = near->results.empty() ? 0 : near->results[0].rank;
+    double far_rank = far->results.empty() ? 0 : far->results[0].rank;
+    std::printf("  %-18s adjacent-keywords=%.6f  distant-keywords=%.6f  "
+                "(ratio %.1fx)\n",
+                mode == query::ProximityMode::kReciprocalWindow
+                    ? "1/window"
+                    : "always-1",
+                near_rank, far_rank,
+                far_rank > 0 ? near_rank / far_rank : 0.0);
+  }
+
+  // 3. Aggregation f: 'xql' occurs in two sub-elements of paper 1 (its
+  // title and the deep subsection); f=sum adds the decayed occurrences,
+  // f=max keeps only the strongest.
+  std::printf("\naggregation f (query 'xql navarro' — paper 1 aggregates "
+              "two xql occurrences):\n");
+  for (auto aggregation :
+       {query::RankAggregation::kMax, query::RankAggregation::kSum}) {
+    query::ScoringOptions scoring;
+    scoring.aggregation = aggregation;
+    auto engine = EngineWithScoring(scoring);
+    auto response = engine->Query("xql navarro", 10, index::IndexKind::kDil);
+    std::printf("  f=%-4s ",
+                aggregation == query::RankAggregation::kMax ? "max" : "sum");
+    for (const auto& result : response->results) {
+      std::printf(" <%s>=%.6f", result.element_tag.c_str(), result.rank);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nReading: decay<1 creates the specificity premium of\n"
+              "Section 2.3.1; the 1/window proximity separates 'XQL\n"
+              "language' from 'Soffer XQL' exactly as the paper's\n"
+              "two-dimensional metric prescribes; f=sum inflates elements\n"
+              "with many partial occurrences relative to f=max.\n");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath
+// the paper's algorithms: Dewey codecs and comparisons, B+-tree probes,
+// posting-list scans, tokenization, minimal-window computation, and the
+// Dewey-stack merge.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dewey/codec.h"
+#include "index/analyzer.h"
+#include "index/posting.h"
+#include "query/dewey_stack.h"
+#include "query/proximity.h"
+#include "storage/btree.h"
+
+namespace xrank {
+namespace {
+
+std::vector<dewey::DeweyId> MakeIds(size_t count, uint64_t seed) {
+  Random rng(seed);
+  std::vector<dewey::DeweyId> ids;
+  ids.reserve(count);
+  uint32_t doc = 0, a = 0, b = 0, c = 0;
+  for (size_t i = 0; i < count; ++i) {
+    c += 1 + static_cast<uint32_t>(rng.Uniform(3));
+    if (c > 12) {
+      c = 0;
+      ++b;
+    }
+    if (b > 12) {
+      b = 0;
+      ++a;
+    }
+    if (a > 12) {
+      a = 0;
+      ++doc;
+    }
+    ids.push_back(dewey::DeweyId({doc, a, b, c}));
+  }
+  return ids;
+}
+
+void BM_DeweyEncode(benchmark::State& state) {
+  auto ids = MakeIds(1024, 1);
+  size_t i = 0;
+  std::string buffer;
+  for (auto _ : state) {
+    buffer.clear();
+    dewey::EncodeDeweyId(ids[i++ & 1023], &buffer);
+    benchmark::DoNotOptimize(buffer);
+  }
+}
+BENCHMARK(BM_DeweyEncode);
+
+void BM_DeweyDecode(benchmark::State& state) {
+  auto ids = MakeIds(1024, 2);
+  std::vector<std::string> encoded;
+  for (const auto& id : ids) {
+    std::string buffer;
+    dewey::EncodeDeweyId(id, &buffer);
+    encoded.push_back(std::move(buffer));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t offset = 0;
+    auto id = dewey::DecodeDeweyId(encoded[i++ & 1023], &offset);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_DeweyDecode);
+
+void BM_DeweyCompare(benchmark::State& state) {
+  auto ids = MakeIds(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    bool less = ids[i & 1023] < ids[(i + 7) & 1023];
+    benchmark::DoNotOptimize(less);
+    ++i;
+  }
+}
+BENCHMARK(BM_DeweyCompare);
+
+void BM_CommonPrefixLength(benchmark::State& state) {
+  auto ids = MakeIds(1024, 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t cpl = ids[i & 1023].CommonPrefixLength(ids[(i + 1) & 1023]);
+    benchmark::DoNotOptimize(cpl);
+    ++i;
+  }
+}
+BENCHMARK(BM_CommonPrefixLength);
+
+void BM_BtreeSeekCeil(benchmark::State& state) {
+  auto file = storage::PageFile::CreateInMemory();
+  storage::BtreeBuilder builder(file.get(), nullptr);
+  auto ids = MakeIds(static_cast<size_t>(state.range(0)), 5);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    (void)builder.Add(ids[i], i);
+  }
+  auto stats = builder.Finish();
+  storage::BufferPool pool(file.get(), 4096, nullptr);
+  storage::BtreeReader reader(&pool, stats->root);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto seek = reader.SeekCeil(ids[(i += 17) % ids.size()]);
+    benchmark::DoNotOptimize(seek);
+  }
+}
+BENCHMARK(BM_BtreeSeekCeil)->Arg(1000)->Arg(100000);
+
+void BM_PostingListScan(benchmark::State& state) {
+  auto file = storage::PageFile::CreateInMemory();
+  index::PostingListWriter writer(file.get(), true);
+  auto ids = MakeIds(10000, 6);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (const auto& id : ids) {
+    index::Posting posting;
+    posting.id = id;
+    posting.elem_rank = 0.5f;
+    posting.positions = {1, 5, 9};
+    (void)writer.Add(posting);
+  }
+  auto extent = writer.Finish();
+  storage::BufferPool pool(file.get(), 4096, nullptr);
+  for (auto _ : state) {
+    index::PostingListCursor cursor(&pool, *extent, true);
+    index::Posting posting;
+    size_t count = 0;
+    while (*cursor.Next(&posting)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_PostingListScan);
+
+void BM_Tokenize(benchmark::State& state) {
+  index::Analyzer analyzer;
+  std::string text;
+  Random rng(7);
+  for (int i = 0; i < 200; ++i) {
+    text += "word" + std::to_string(rng.Uniform(1000)) + " ";
+  }
+  for (auto _ : state) {
+    uint32_t position = 0;
+    auto tokens = analyzer.Tokenize(text, &position);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_MinimalWindow(benchmark::State& state) {
+  Random rng(8);
+  std::vector<std::vector<uint32_t>> lists(3);
+  for (auto& list : lists) {
+    for (int i = 0; i < 64; ++i) {
+      list.push_back(static_cast<uint32_t>(rng.Uniform(10000)));
+    }
+  }
+  for (auto _ : state) {
+    uint32_t window = query::MinimalWindowSize(lists);
+    benchmark::DoNotOptimize(window);
+  }
+}
+BENCHMARK(BM_MinimalWindow);
+
+void BM_DeweyStackMerge(benchmark::State& state) {
+  auto ids = MakeIds(10000, 9);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  query::ScoringOptions scoring;
+  for (auto _ : state) {
+    size_t emitted = 0;
+    query::DeweyStackMerger merger(
+        2, scoring, 1,
+        [&](const query::CandidateResult&) { ++emitted; });
+    for (size_t i = 0; i < ids.size(); ++i) {
+      index::Posting posting;
+      posting.id = ids[i];
+      posting.elem_rank = 0.25f;
+      posting.positions = {static_cast<uint32_t>(i)};
+      merger.Add(i & 1, posting);
+    }
+    merger.Flush();
+    benchmark::DoNotOptimize(emitted);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_DeweyStackMerge);
+
+}  // namespace
+}  // namespace xrank
+
+BENCHMARK_MAIN();

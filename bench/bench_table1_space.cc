@@ -1,0 +1,97 @@
+// Reproduces Table 1: "Space Requirements for the Different Approaches" —
+// inverted-list and auxiliary-index sizes of Naive-ID, Naive-Rank, DIL,
+// RDIL and HDIL on the DBLP-shaped and XMark-shaped corpora.
+//
+// Paper's numbers (143 MB DBLP / 113 MB XMark):
+//              DBLP  Inv.List/Index      XMARK Inv.List/Index
+//   Naive-ID   258MB / N/A               872MB / N/A
+//   Naive-Rank 258MB / 217MB             872MB / 527MB
+//   DIL        144MB / N/A               254MB / N/A
+//   RDIL       144MB / 156MB             254MB / 209MB
+//   HDIL       186MB / 7MB               307MB / 3.2MB
+//
+// The absolute sizes scale with corpus size; the *shape* to verify is:
+// naive lists >> DIL lists (worse for deep XMark), RDIL index comparable to
+// its list, HDIL index tiny, HDIL list slightly larger than DIL's.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+namespace xrank::bench {
+namespace {
+
+void Report(const char* dataset, core::XRankEngine* engine,
+            size_t input_bytes) {
+  std::printf("\n%s (input: %s, %zu elements, %zu hyperlinks)\n", dataset,
+              BytesToHuman(input_bytes).c_str(),
+              engine->graph().element_count(),
+              engine->graph().total_hyperlink_count());
+  PrintRule(100);
+  std::printf("%-12s %14s %14s %14s %14s %12s\n", "Approach", "Inv. List",
+              "Index", "List file", "Entries", "List/input");
+  PrintRule(100);
+  const index::IndexKind kinds[] = {
+      index::IndexKind::kNaiveId, index::IndexKind::kNaiveRank,
+      index::IndexKind::kDil, index::IndexKind::kRdil,
+      index::IndexKind::kHdil};
+  for (index::IndexKind kind : kinds) {
+    const index::IndexStats& stats = engine->index_stats(kind);
+    bool has_index = kind == index::IndexKind::kNaiveRank ||
+                     kind == index::IndexKind::kRdil ||
+                     kind == index::IndexKind::kHdil;
+    std::printf("%-12s %14s %14s %14s %14llu %11.2f%%\n",
+                std::string(index::IndexKindName(kind)).c_str(),
+                BytesToHuman(stats.list_bytes()).c_str(),
+                has_index ? BytesToHuman(stats.index_bytes()).c_str() : "N/A",
+                BytesToHuman(stats.list_file_bytes()).c_str(),
+                static_cast<unsigned long long>(stats.entry_count),
+                100.0 * static_cast<double>(stats.list_bytes()) /
+                    static_cast<double>(input_bytes));
+  }
+  PrintRule(100);
+}
+
+size_t TotalBytes(const std::vector<xml::Document>& docs) {
+  size_t total = 0;
+  for (const xml::Document& doc : docs) {
+    total += xml::Serialize(doc).size();
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace xrank::bench
+
+int main() {
+  using namespace xrank;
+  using namespace xrank::bench;
+
+  std::printf("=== Table 1: Space Requirements for the Different Approaches "
+              "===\n");
+  std::vector<index::IndexKind> all_kinds = {
+      index::IndexKind::kNaiveId, index::IndexKind::kNaiveRank,
+      index::IndexKind::kDil, index::IndexKind::kRdil,
+      index::IndexKind::kHdil};
+
+  {
+    datagen::Corpus corpus = datagen::GenerateDblp(BenchDblpOptions());
+    std::vector<xml::Document> docs = Reparse(&corpus);
+    size_t input_bytes = TotalBytes(docs);
+    auto engine = BuildEngine(std::move(docs), all_kinds);
+    Report("DBLP-like", engine.get(), input_bytes);
+  }
+  {
+    datagen::Corpus corpus = datagen::GenerateXMark(BenchXMarkOptions());
+    std::vector<xml::Document> docs = Reparse(&corpus);
+    size_t input_bytes = TotalBytes(docs);
+    auto engine = BuildEngine(std::move(docs), all_kinds);
+    Report("XMark-like", engine.get(), input_bytes);
+  }
+
+  std::printf(
+      "\nShape checks vs. paper Table 1: naive lists exceed DIL lists (gap\n"
+      "wider on the deeper XMark data); RDIL adds an index comparable to\n"
+      "its list; HDIL's stored index is orders of magnitude smaller because\n"
+      "the Dewey-ordered list serves as the B+-tree leaf level.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#ifndef XRANK_COMMON_CHECK_H_
+#define XRANK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking. XRANK_CHECK is always on; XRANK_DCHECK compiles away in
+// NDEBUG builds. These guard programmer errors (broken invariants), not
+// recoverable conditions — recoverable failures use Status.
+
+#define XRANK_CHECK(cond, ...)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "XRANK_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::fprintf(stderr, "  " __VA_ARGS__);                             \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define XRANK_DCHECK(cond, ...) \
+  do {                          \
+  } while (false)
+#else
+#define XRANK_DCHECK(cond, ...) XRANK_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // XRANK_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#include "common/random.h"
+
+#include "common/check.h"
+
+namespace xrank {
+
+uint64_t Random::Next64() {
+  // splitmix64 (Steele, Lea, Flood 2014): fast, passes BigCrush, and a single
+  // 64-bit word of state makes Fork() trivial.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  XRANK_DCHECK(n > 0, "Uniform(0)");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  XRANK_DCHECK(lo <= hi, "UniformRange lo > hi");
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Random Random::Fork(uint64_t tag) {
+  Random child(state_ ^ (tag * 0xD6E8FEB86659FD93ULL));
+  child.Next64();
+  return child;
+}
+
+}  // namespace xrank

@@ -1,0 +1,39 @@
+#ifndef XRANK_COMMON_RANDOM_H_
+#define XRANK_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace xrank {
+
+// Deterministic, seedable PRNG (splitmix64 core). Every generator in the
+// repository takes an explicit seed so datasets, workloads and experiments
+// are exactly reproducible across runs and machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  // Uniform over [0, 2^64).
+  uint64_t Next64();
+
+  // Uniform over [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Fork an independent stream; forks with different tags are decorrelated.
+  Random Fork(uint64_t tag);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef XRANK_COMMON_RESULT_H_
+#define XRANK_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace xrank {
+
+// Result<T> holds either a value of type T or a non-OK Status. This is the
+// value-returning counterpart of Status (Arrow's Result / absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return value;` / `return Status::ParseError(...);`.
+  Result(T value) : repr_(std::move(value)) {}             // NOLINT
+  Result(Status status) : repr_(std::move(status)) {       // NOLINT
+    XRANK_CHECK(!this->status().ok(),
+                "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    XRANK_CHECK(ok(), "Result::value() on error: %s",
+                status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    XRANK_CHECK(ok(), "Result::value() on error: %s",
+                status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    XRANK_CHECK(ok(), "Result::value() on error: %s",
+                status().ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+// XRANK_ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a Result<T>), returns the
+// error Status on failure, otherwise assigns the value to lhs.
+#define XRANK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define XRANK_ASSIGN_OR_RETURN(lhs, expr) \
+  XRANK_ASSIGN_OR_RETURN_IMPL(            \
+      XRANK_CONCAT_(_xrank_result_, __LINE__), lhs, expr)
+
+#define XRANK_CONCAT_INNER_(a, b) a##b
+#define XRANK_CONCAT_(a, b) XRANK_CONCAT_INNER_(a, b)
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#ifndef XRANK_COMMON_STATUS_H_
+#define XRANK_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xrank {
+
+// Error categories used across the library. Mirrors the Arrow/RocksDB Status
+// idiom: library functions that can fail return Status (or Result<T>), never
+// throw.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "ParseError".
+std::string_view StatusCodeName(StatusCode code);
+
+// Status holds either success (cheap, no allocation) or an error code plus a
+// message describing what failed.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "ParseError: unexpected '<' at line 3".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates errors to the caller, Arrow-style.
+#define XRANK_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::xrank::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef XRANK_COMMON_STRING_UTIL_H_
+#define XRANK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrank {
+
+// ASCII lower-casing (the analyzer and data generators only emit ASCII).
+std::string AsciiToLower(std::string_view s);
+
+// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s,
+                                          std::string_view delims);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// "1.5 MB", "312 KB", "97 B" — used by the Table 1 space report.
+std::string BytesToHuman(uint64_t bytes);
+
+// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,59 @@
+#include "common/varint.h"
+
+namespace xrank {
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutVarint32(std::string* out, uint32_t v) {
+  PutVarint64(out, static_cast<uint64_t>(v));
+}
+
+int VarintLength64(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+int VarintLength32(uint32_t v) {
+  return VarintLength64(static_cast<uint64_t>(v));
+}
+
+Result<uint64_t> GetVarint64(std::string_view data, size_t* offset) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (pos < data.size()) {
+    uint8_t byte = static_cast<uint8_t>(data[pos]);
+    ++pos;
+    if (shift >= 63 && byte > 1) {
+      return Status::Corruption("varint64 overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *offset = pos;
+      return value;
+    }
+    shift += 7;
+    if (shift > 63) return Status::Corruption("varint64 too long");
+  }
+  return Status::Corruption("truncated varint64");
+}
+
+Result<uint32_t> GetVarint32(std::string_view data, size_t* offset) {
+  size_t pos = *offset;
+  XRANK_ASSIGN_OR_RETURN(uint64_t v, GetVarint64(data, &pos));
+  if (v > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *offset = pos;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace xrank

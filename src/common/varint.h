@@ -1,0 +1,32 @@
+#ifndef XRANK_COMMON_VARINT_H_
+#define XRANK_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace xrank {
+
+// LEB128-style variable-length integer codec. Used by the Dewey ID codec and
+// the on-disk posting formats: Dewey components are small sibling positions,
+// so most encode in a single byte (the property Section 4.2.1 of the paper
+// relies on for the "modest space overhead of Dewey IDs").
+
+// Appends the encoding of v to *out.
+void PutVarint32(std::string* out, uint32_t v);
+void PutVarint64(std::string* out, uint64_t v);
+
+// Number of bytes PutVarint32/64 would append.
+int VarintLength32(uint32_t v);
+int VarintLength64(uint64_t v);
+
+// Decodes one varint from data starting at *offset, advancing *offset.
+// Fails with Corruption if the input is truncated or overlong.
+Result<uint32_t> GetVarint32(std::string_view data, size_t* offset);
+Result<uint64_t> GetVarint64(std::string_view data, size_t* offset);
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_VARINT_H_

@@ -1,0 +1,355 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "index/dil_index.h"
+#include "index/naive_index.h"
+#include "index/rdil_index.h"
+#include "query/dil_query.h"
+#include "query/naive_query.h"
+#include "query/rdil_query.h"
+
+namespace xrank::core {
+
+namespace {
+
+Result<std::unique_ptr<storage::PageFile>> MakePageFile(
+    const EngineOptions& options, index::IndexKind kind) {
+  if (options.disk_dir.empty()) {
+    return storage::PageFile::CreateInMemory();
+  }
+  std::string path = options.disk_dir + "/" +
+                     std::string(index::IndexKindName(kind)) + ".xrank";
+  return storage::PageFile::CreateOnDisk(path);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
+    std::vector<xml::Document> documents, const EngineOptions& options) {
+  return Build(std::move(documents), {}, options);
+}
+
+Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
+    std::vector<xml::Document> documents,
+    std::vector<xml::Document> html_documents, const EngineOptions& options) {
+  auto engine = std::unique_ptr<XRankEngine>(new XRankEngine());
+  engine->options_ = options;
+  engine->analyzer_ = index::Analyzer(options.extraction.analyzer);
+
+  // 1. Graph construction (Section 2.1 data model).
+  graph::GraphBuilder builder(options.graph);
+  for (const xml::Document& doc : documents) {
+    XRANK_RETURN_NOT_OK(builder.AddDocument(doc));
+  }
+  for (const xml::Document& doc : html_documents) {
+    XRANK_RETURN_NOT_OK(builder.AddHtmlDocument(doc));
+  }
+  XRANK_ASSIGN_OR_RETURN(engine->graph_, std::move(builder).Finalize());
+
+  // 2. ElemRank computation (Section 3).
+  XRANK_ASSIGN_OR_RETURN(
+      engine->elem_rank_result_,
+      rank::ComputeElemRank(engine->graph_, options.elem_rank));
+  engine->elem_ranks_ = engine->elem_rank_result_.ranks;
+
+  // 3. Posting extraction (shared by every physical index).
+  bool need_naive = false;
+  for (index::IndexKind kind : options.indexes) {
+    need_naive = need_naive || kind == index::IndexKind::kNaiveId ||
+                 kind == index::IndexKind::kNaiveRank;
+  }
+  index::ExtractionOptions extraction = options.extraction;
+  extraction.build_naive = need_naive;
+  XRANK_ASSIGN_OR_RETURN(
+      index::ExtractionResult extracted,
+      index::ExtractPostings(engine->graph_, engine->elem_ranks_, extraction));
+  engine->ordinal_to_dewey_ = std::move(extracted.ordinal_to_dewey);
+
+  // 4. Physical index construction (Section 4).
+  for (index::IndexKind kind : options.indexes) {
+    XRANK_ASSIGN_OR_RETURN(IndexInstance instance,
+                           engine->BuildInstance(kind, extracted));
+    engine->indexes_.emplace(kind, std::move(instance));
+  }
+  return engine;
+}
+
+Result<XRankEngine::IndexInstance> XRankEngine::BuildInstance(
+    index::IndexKind kind, const index::ExtractionResult& extracted) {
+  XRANK_ASSIGN_OR_RETURN(std::unique_ptr<storage::PageFile> file,
+                         MakePageFile(options_, kind));
+  index::BuiltIndex built;
+  switch (kind) {
+    case index::IndexKind::kDil: {
+      XRANK_ASSIGN_OR_RETURN(
+          built, index::BuildDilIndex(extracted.dewey_postings,
+                                      std::move(file)));
+      break;
+    }
+    case index::IndexKind::kRdil: {
+      XRANK_ASSIGN_OR_RETURN(
+          built, index::BuildRdilIndex(extracted.dewey_postings,
+                                       std::move(file)));
+      break;
+    }
+    case index::IndexKind::kHdil: {
+      XRANK_ASSIGN_OR_RETURN(
+          built, index::BuildHdilIndex(extracted.dewey_postings,
+                                       std::move(file), options_.hdil));
+      break;
+    }
+    case index::IndexKind::kNaiveId: {
+      XRANK_ASSIGN_OR_RETURN(
+          built, index::BuildNaiveIdIndex(extracted.naive_postings,
+                                          std::move(file)));
+      break;
+    }
+    case index::IndexKind::kNaiveRank: {
+      XRANK_ASSIGN_OR_RETURN(
+          built, index::BuildNaiveRankIndex(extracted.naive_postings,
+                                            std::move(file)));
+      break;
+    }
+  }
+  IndexInstance instance;
+  instance.built = std::move(built);
+  instance.cost_model = std::make_unique<storage::CostModel>(options_.cost);
+  instance.pool = std::make_unique<storage::BufferPool>(
+      instance.built.file.get(), options_.buffer_pool_pages,
+      instance.cost_model.get());
+  return instance;
+}
+
+Status XRankEngine::DeleteDocument(std::string_view uri) {
+  for (uint32_t doc = 0; doc < graph_.documents().size(); ++doc) {
+    if (graph_.documents()[doc].uri == uri) {
+      deleted_documents_.insert(doc);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no document with uri '" + std::string(uri) + "'");
+}
+
+Status XRankEngine::CompactDeletions() {
+  if (deleted_documents_.empty()) return Status::OK();
+  bool need_naive = false;
+  for (const auto& [kind, instance] : indexes_) {
+    need_naive = need_naive || kind == index::IndexKind::kNaiveId ||
+                 kind == index::IndexKind::kNaiveRank;
+  }
+  index::ExtractionOptions extraction = options_.extraction;
+  extraction.build_naive = need_naive;
+  extraction.exclude_documents.assign(deleted_documents_.begin(),
+                                      deleted_documents_.end());
+  XRANK_ASSIGN_OR_RETURN(
+      index::ExtractionResult extracted,
+      index::ExtractPostings(graph_, elem_ranks_, extraction));
+
+  std::map<index::IndexKind, IndexInstance> rebuilt;
+  for (const auto& [kind, instance] : indexes_) {
+    XRANK_ASSIGN_OR_RETURN(IndexInstance fresh,
+                           BuildInstance(kind, extracted));
+    rebuilt.emplace(kind, std::move(fresh));
+  }
+  indexes_ = std::move(rebuilt);
+  // Compaction renumbers naive element ordinals.
+  ordinal_to_dewey_ = std::move(extracted.ordinal_to_dewey);
+  return Status::OK();
+}
+
+bool XRankEngine::has_index(index::IndexKind kind) const {
+  return indexes_.find(kind) != indexes_.end();
+}
+
+const index::IndexStats& XRankEngine::index_stats(
+    index::IndexKind kind) const {
+  static const index::IndexStats kEmpty;
+  auto it = indexes_.find(kind);
+  if (it == indexes_.end()) return kEmpty;
+  return it->second.built.stats;
+}
+
+Result<double> XRankEngine::ElemRankOf(const dewey::DeweyId& id) const {
+  XRANK_ASSIGN_OR_RETURN(graph::NodeId node, graph_.FindByDewey(id));
+  return elem_ranks_[node];
+}
+
+Result<dewey::DeweyId> XRankEngine::MapToAnswerNode(
+    const dewey::DeweyId& id) const {
+  if (options_.answer_node_tags.empty()) return id;
+  dewey::DeweyId current = id;
+  while (!current.empty()) {
+    XRANK_ASSIGN_OR_RETURN(graph::NodeId node, graph_.FindByDewey(current));
+    std::string_view tag = graph_.name(node);
+    for (const std::string& answer_tag : options_.answer_node_tags) {
+      if (tag == answer_tag) return current;
+    }
+    current = current.Parent();
+  }
+  return Status::NotFound("no answer node above " + id.ToString());
+}
+
+Result<EngineResponse> XRankEngine::Decorate(query::QueryResponse response,
+                                             index::IndexKind kind,
+                                             size_t m) {
+  EngineResponse out;
+  out.stats = response.stats;
+  bool naive = kind == index::IndexKind::kNaiveId ||
+               kind == index::IndexKind::kNaiveRank;
+  // Answer-node mapping can send several raw results to one ancestor; keep
+  // the best-ranked representative.
+  std::set<dewey::DeweyId> emitted;
+  for (query::RankedResult& raw : response.results) {
+    if (out.results.size() >= m) break;
+    dewey::DeweyId id = raw.id;
+    if (naive) {
+      uint32_t ordinal = id.component(0);
+      if (ordinal >= ordinal_to_dewey_.size()) {
+        return Status::Internal("naive ordinal out of range");
+      }
+      id = ordinal_to_dewey_[ordinal];
+    }
+    // Tombstoned documents: the first Dewey component is the document id
+    // (Section 4.5), so deleted documents filter in O(1).
+    if (!deleted_documents_.empty() &&
+        deleted_documents_.count(id.document_id()) > 0) {
+      continue;
+    }
+    Result<dewey::DeweyId> mapped = MapToAnswerNode(id);
+    if (!mapped.ok()) continue;  // no answer node covers this result
+    id = mapped.value();
+    if (!emitted.insert(id).second) continue;  // ancestor already emitted
+
+    XRANK_ASSIGN_OR_RETURN(graph::NodeId node, graph_.FindByDewey(id));
+    EngineResult result;
+    result.id = id;
+    result.rank = raw.rank;
+    result.element_tag = std::string(graph_.name(node));
+    result.document_uri = graph_.documents()[graph_.node(node).document].uri;
+    std::string text = graph_.DeepText(node);
+    if (text.size() > 120) {
+      text.resize(117);
+      text += "...";
+    }
+    result.snippet = std::move(text);
+    out.results.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<EngineResponse> XRankEngine::QueryKeywords(
+    const std::vector<std::string>& keywords, size_t m,
+    index::IndexKind kind) {
+  auto it = indexes_.find(kind);
+  if (it == indexes_.end()) {
+    return Status::InvalidArgument(
+        std::string(index::IndexKindName(kind)) + " index was not built");
+  }
+  IndexInstance& instance = it->second;
+  if (options_.cold_cache_per_query) {
+    instance.pool->DropCache();
+    instance.cost_model->Reset();
+  }
+
+  std::vector<std::string> normalized;
+  normalized.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    std::string term = analyzer_.NormalizeKeyword(keyword);
+    if (term.empty()) {
+      return Status::InvalidArgument("keyword '" + keyword +
+                                     "' normalizes to nothing");
+    }
+    normalized.push_back(std::move(term));
+  }
+
+  // With pending deletions, over-fetch so post-filtering can still fill m
+  // results (bounded approximation until CompactDeletions runs).
+  size_t fetch_m = deleted_documents_.empty() ? m : m * 2 + 64;
+
+  query::QueryResponse response;
+  const index::Lexicon* lexicon = &instance.built.lexicon;
+  storage::BufferPool* pool = instance.pool.get();
+  switch (kind) {
+    case index::IndexKind::kDil: {
+      query::DilQueryProcessor processor(pool, lexicon, options_.scoring);
+      XRANK_ASSIGN_OR_RETURN(response,
+                             processor.Execute(normalized, fetch_m));
+      break;
+    }
+    case index::IndexKind::kRdil: {
+      query::RdilQueryProcessor processor(pool, lexicon, options_.scoring);
+      XRANK_ASSIGN_OR_RETURN(response,
+                             processor.Execute(normalized, fetch_m));
+      break;
+    }
+    case index::IndexKind::kHdil: {
+      query::HdilQueryProcessor processor(pool, lexicon, options_.scoring,
+                                          options_.hdil_strategy);
+      XRANK_ASSIGN_OR_RETURN(response,
+                             processor.Execute(normalized, fetch_m));
+      break;
+    }
+    case index::IndexKind::kNaiveId: {
+      query::NaiveIdQueryProcessor processor(pool, lexicon, options_.scoring);
+      XRANK_ASSIGN_OR_RETURN(response,
+                             processor.Execute(normalized, fetch_m));
+      break;
+    }
+    case index::IndexKind::kNaiveRank: {
+      query::NaiveRankQueryProcessor processor(pool, lexicon,
+                                               options_.scoring);
+      XRANK_ASSIGN_OR_RETURN(response,
+                             processor.Execute(normalized, fetch_m));
+      break;
+    }
+  }
+  return Decorate(std::move(response), kind, m);
+}
+
+Result<EngineResponse> XRankEngine::QueryWithPath(
+    std::string_view query_text, size_t m, index::IndexKind kind,
+    const std::vector<std::string>& path) {
+  if (path.empty()) return Query(query_text, m, kind);
+  // Over-fetch, then keep results whose tag chain ends with `path`.
+  XRANK_ASSIGN_OR_RETURN(EngineResponse raw,
+                         Query(query_text, m * 4 + 64, kind));
+  EngineResponse out;
+  out.stats = raw.stats;
+  for (core::EngineResult& result : raw.results) {
+    if (out.results.size() >= m) break;
+    dewey::DeweyId current = result.id;
+    bool matches = true;
+    for (size_t i = path.size(); i-- > 0;) {
+      if (current.empty()) {
+        matches = false;
+        break;
+      }
+      XRANK_ASSIGN_OR_RETURN(graph::NodeId node, graph_.FindByDewey(current));
+      if (graph_.name(node) != path[i]) {
+        matches = false;
+        break;
+      }
+      current = current.Parent();
+    }
+    if (matches) out.results.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<EngineResponse> XRankEngine::Query(std::string_view query_text,
+                                          size_t m, index::IndexKind kind) {
+  std::vector<std::string> keywords;
+  uint32_t position = 0;
+  for (index::Analyzer::Token& token :
+       analyzer_.Tokenize(query_text, &position)) {
+    keywords.push_back(std::move(token.term));
+  }
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query contains no keywords");
+  }
+  return QueryKeywords(keywords, m, kind);
+}
+
+}  // namespace xrank::core

@@ -1,0 +1,160 @@
+#ifndef XRANK_CORE_ENGINE_H_
+#define XRANK_CORE_ENGINE_H_
+
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "index/hdil_index.h"
+#include "index/index_builder.h"
+#include "query/hdil_query.h"
+#include "query/query.h"
+#include "rank/elem_rank.h"
+#include "storage/buffer_pool.h"
+#include "storage/cost_model.h"
+#include "xml/node.h"
+
+namespace xrank::core {
+
+// End-to-end configuration of an XRANK instance, mirroring Figure 2 of the
+// paper: ElemRank computation -> index construction -> query evaluation.
+struct EngineOptions {
+  graph::BuilderOptions graph;
+  rank::ElemRankOptions elem_rank;
+  index::ExtractionOptions extraction;
+  index::HdilOptions hdil;
+  query::ScoringOptions scoring;
+  query::HdilStrategyOptions hdil_strategy;
+
+  // Which physical indexes to build. HDIL is the paper's recommended
+  // structure and the engine default.
+  std::vector<index::IndexKind> indexes = {index::IndexKind::kHdil};
+
+  // Non-empty: back index files with real files under this directory;
+  // empty: in-memory page files.
+  std::string disk_dir;
+
+  // Buffer pool capacity per query, in pages.
+  size_t buffer_pool_pages = 4096;
+  // Start each query with a cold cache (the paper's experimental setup).
+  bool cold_cache_per_query = true;
+  storage::CostModelOptions cost;
+
+  // Non-empty: only elements with these tags may be returned (the
+  // "answer node" mechanism of Section 2.2); a result is mapped to its
+  // nearest ancestor-or-self answer node. Empty: all elements qualify.
+  std::vector<std::string> answer_node_tags;
+};
+
+// A query result decoded back to the document structure.
+struct EngineResult {
+  dewey::DeweyId id;
+  double rank = 0.0;
+  std::string element_tag;   // tag of the result element
+  std::string document_uri;
+  std::string snippet;       // leading text of the element's subtree
+};
+
+struct EngineResponse {
+  std::vector<EngineResult> results;
+  query::QueryStats stats;
+};
+
+// The XRANK system facade.
+class XRankEngine {
+ public:
+  // Ingests XML documents (consumed), computes ElemRanks and builds the
+  // configured indexes. `html_documents` are ingested in the paper's HTML
+  // mode (whole document = one element).
+  static Result<std::unique_ptr<XRankEngine>> Build(
+      std::vector<xml::Document> documents, const EngineOptions& options);
+  static Result<std::unique_ptr<XRankEngine>> Build(
+      std::vector<xml::Document> documents,
+      std::vector<xml::Document> html_documents, const EngineOptions& options);
+
+  // Evaluates a free-text conjunctive keyword query, returning the top m
+  // results via the given index. The index kind must have been built.
+  Result<EngineResponse> Query(std::string_view query_text, size_t m,
+                               index::IndexKind kind);
+
+  // Pre-tokenized variant.
+  Result<EngineResponse> QueryKeywords(
+      const std::vector<std::string>& keywords, size_t m,
+      index::IndexKind kind);
+
+  // Keyword query restricted to elements whose ancestor tag chain ends
+  // with `path` — e.g. path {"paper", "title"} keeps only <title> elements
+  // whose parent is a <paper>. A minimal form of the paper's Section 7
+  // future-work item "integration with structured queries".
+  Result<EngineResponse> QueryWithPath(std::string_view query_text, size_t m,
+                                       index::IndexKind kind,
+                                       const std::vector<std::string>& path);
+
+  const graph::XmlGraph& graph() const { return graph_; }
+  const std::vector<double>& elem_ranks() const { return elem_ranks_; }
+  const rank::ElemRankResult& elem_rank_result() const {
+    return elem_rank_result_;
+  }
+
+  // Table 1 inputs.
+  const index::IndexStats& index_stats(index::IndexKind kind) const;
+  bool has_index(index::IndexKind kind) const;
+
+  // ElemRank of the element with the given Dewey ID (display helper).
+  Result<double> ElemRankOf(const dewey::DeweyId& id) const;
+
+  // --- document-granularity updates (paper Section 4.5) ---
+
+  // Marks a document deleted. Its elements disappear from query results
+  // immediately (results are post-filtered on the document id, which is the
+  // first Dewey component — the property Section 4.5 relies on); the
+  // physical postings remain until CompactDeletions. NotFound for an
+  // unknown URI.
+  Status DeleteDocument(std::string_view uri);
+
+  // Rebuilds every physical index without the deleted documents' postings —
+  // the offline merge step of traditional inverted-list maintenance that
+  // the paper defers to (Brown et al. / Tomasic et al.).
+  Status CompactDeletions();
+
+  size_t deleted_document_count() const { return deleted_documents_.size(); }
+
+ private:
+  XRankEngine() = default;
+
+  Result<EngineResponse> Decorate(query::QueryResponse response,
+                                  index::IndexKind kind, size_t m);
+  // Maps a raw result onto the answer-node set (nearest qualifying
+  // ancestor-or-self), if configured.
+  Result<dewey::DeweyId> MapToAnswerNode(const dewey::DeweyId& id) const;
+
+  EngineOptions options_;
+  graph::XmlGraph graph_;
+  std::vector<double> elem_ranks_;
+  rank::ElemRankResult elem_rank_result_;
+  index::Analyzer analyzer_{index::AnalyzerOptions{}};
+  // Maps naive element ordinals back to Dewey IDs.
+  std::vector<dewey::DeweyId> ordinal_to_dewey_;
+
+  struct IndexInstance {
+    index::BuiltIndex built;
+    std::unique_ptr<storage::CostModel> cost_model;
+    std::unique_ptr<storage::BufferPool> pool;
+  };
+  // Builds one physical index of the given kind over extracted postings.
+  Result<IndexInstance> BuildInstance(index::IndexKind kind,
+                                      const index::ExtractionResult& extracted);
+
+  std::map<index::IndexKind, IndexInstance> indexes_;
+  std::set<uint32_t> deleted_documents_;
+};
+
+}  // namespace xrank::core
+
+#endif  // XRANK_CORE_ENGINE_H_

@@ -1,0 +1,192 @@
+#include "datagen/dblp_gen.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "datagen/vocabulary.h"
+#include "datagen/zipf.h"
+
+namespace xrank::datagen {
+
+namespace {
+
+std::string PaperUri(size_t i) {
+  return "dblp/paper" + std::to_string(i) + ".xml";
+}
+
+std::string RandomText(Random* rng, const ZipfSampler& zipf,
+                       const Vocabulary& vocab, size_t words) {
+  std::string text;
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) text.push_back(' ');
+    text += vocab.Word(zipf.Sample(rng));
+  }
+  return text;
+}
+
+}  // namespace
+
+Corpus GenerateDblp(const DblpOptions& options) {
+  Corpus corpus;
+  RegisterPlantedSets(options.planted_sets, &corpus.planted);
+  Vocabulary vocab(options.vocabulary_size);
+  ZipfSampler zipf(options.vocabulary_size, options.zipf_s);
+  Random rng(options.seed);
+
+  // Preferential-attachment pool: every received citation re-enters the
+  // pool, yielding the power-law in-degrees of real citation graphs.
+  std::vector<uint32_t> attachment_pool;
+
+  // Selectivity ladder: term "sel<b>" occurs in every (4^b)-th paper.
+  std::vector<size_t> selectivity_strides;
+  for (size_t stride = 1; stride <= options.num_papers; stride *= 4) {
+    selectivity_strides.push_back(stride);
+  }
+  for (size_t b = 0; b < selectivity_strides.size(); ++b) {
+    corpus.planted.selectivity_terms.emplace_back(
+        SelectivityTerm(b),
+        (options.num_papers + selectivity_strides[b] - 1) /
+            selectivity_strides[b]);
+  }
+
+  static constexpr const char* kVenues[] = {
+      "sigmod", "vldb", "icde", "edbt", "pods", "cikm", "www", "sigir"};
+
+  // Joint low-correlation papers: low_corr_joint_papers per planted set,
+  // spread evenly over the corpus and cycling through the sets.
+  size_t joint_counter = 0;
+  size_t joint_stride = std::max<size_t>(
+      2, options.num_papers /
+             std::max<size_t>(
+                 1, options.low_corr_joint_papers * options.planted_sets));
+
+  for (size_t i = 0; i < options.num_papers; ++i) {
+    auto root = xml::Node::MakeElement("inproceedings");
+    root->AddAttribute("key", "paper" + std::to_string(i));
+
+    // Dense planting (performance-bench mode): sprays planted terms over
+    // many elements so their inverted lists span many pages, modelling the
+    // paper's common-keyword queries.
+    auto dense_plant = [&](std::string* text) {
+      if (options.dense_plant_rate <= 0.0 || options.planted_sets == 0) {
+        return;
+      }
+      if (rng.Bernoulli(options.dense_plant_rate)) {
+        size_t set = rng.Uniform(options.planted_sets);
+        for (size_t p = 0; p < 4; ++p) {
+          text->push_back(' ');
+          *text += HighCorrTerm(set, p);
+        }
+      }
+      if (rng.Bernoulli(options.dense_plant_rate)) {
+        size_t set = rng.Uniform(options.planted_sets);
+        text->push_back(' ');
+        *text += LowCorrTerm(set, i % 4);
+      }
+    };
+
+    size_t num_authors = 1 + rng.Uniform(options.max_authors);
+    for (size_t a = 0; a < num_authors; ++a) {
+      auto author = xml::Node::MakeElement("author");
+      std::string author_text = vocab.Word(zipf.Sample(&rng)) + " " +
+                                vocab.Word(zipf.Sample(&rng));
+      dense_plant(&author_text);
+      author->AddChild(xml::Node::MakeText(std::move(author_text)));
+      root->AddChild(std::move(author));
+    }
+
+    std::string title_text =
+        RandomText(&rng, zipf, vocab, options.title_words);
+    dense_plant(&title_text);
+    // Plant a high-correlation quadruple adjacently in a fraction of titles;
+    // the first `planted_sets` papers each carry their own set, so every
+    // quadruple occurs at least once in corpora of any size.
+    bool plant_high = options.planted_sets > 0 &&
+                      (i < options.planted_sets ||
+                       rng.Bernoulli(options.high_corr_frequency));
+    if (plant_high) {
+      size_t set =
+          i < options.planted_sets ? i : rng.Uniform(options.planted_sets);
+      for (size_t p = 0; p < 4; ++p) {
+        title_text.push_back(' ');
+        title_text += HighCorrTerm(set, p);
+      }
+    }
+    auto title = xml::Node::MakeElement("title");
+    title->AddChild(xml::Node::MakeText(title_text));
+    root->AddChild(std::move(title));
+
+    auto year = xml::Node::MakeElement("year");
+    year->AddChild(
+        xml::Node::MakeText(std::to_string(1990 + rng.Uniform(14))));
+    root->AddChild(std::move(year));
+
+    auto venue = xml::Node::MakeElement("booktitle");
+    venue->AddChild(xml::Node::MakeText(
+        kVenues[rng.Uniform(sizeof(kVenues) / sizeof(kVenues[0]))]));
+    root->AddChild(std::move(venue));
+
+    std::string abstract_text =
+        RandomText(&rng, zipf, vocab, options.abstract_words);
+    dense_plant(&abstract_text);
+    // Low-correlation terms: individually frequent, partitioned by paper
+    // index so quadruple members almost never meet.
+    if (options.planted_sets > 0 &&
+        rng.Bernoulli(options.low_corr_frequency * 4.0)) {
+      size_t set = rng.Uniform(options.planted_sets);
+      size_t position = i % 4;
+      abstract_text.push_back(' ');
+      abstract_text += LowCorrTerm(set, position);
+    }
+    // ... except in a handful of joint papers, so conjunctions are
+    // non-empty (the paper's low-correlation queries still return results).
+    // Joint papers cycle through the sets so every quadruple gets one.
+    if (options.planted_sets > 0 && options.low_corr_joint_papers > 0 &&
+        i % joint_stride == 1) {
+      size_t set = joint_counter++ % options.planted_sets;
+      for (size_t p = 0; p < 4; ++p) {
+        abstract_text.push_back(' ');
+        abstract_text += LowCorrTerm(set, p);
+      }
+    }
+    // Selectivity ladder terms.
+    for (size_t b = 0; b < selectivity_strides.size(); ++b) {
+      if (i % selectivity_strides[b] == 0) {
+        abstract_text.push_back(' ');
+        abstract_text += SelectivityTerm(b);
+      }
+    }
+    auto abstract = xml::Node::MakeElement("abstract");
+    abstract->AddChild(xml::Node::MakeText(abstract_text));
+    root->AddChild(std::move(abstract));
+
+    // Citations to earlier papers (inter-document XLinks).
+    if (i > 0) {
+      size_t citations = rng.Uniform(
+          static_cast<uint64_t>(2.0 * options.mean_citations) + 1);
+      for (size_t c = 0; c < citations; ++c) {
+        uint32_t target;
+        if (!attachment_pool.empty() && rng.Bernoulli(0.7)) {
+          target = attachment_pool[rng.Uniform(attachment_pool.size())];
+        } else {
+          target = static_cast<uint32_t>(rng.Uniform(i));
+        }
+        attachment_pool.push_back(target);
+        auto cite = xml::Node::MakeElement("cite");
+        cite->AddAttribute("xlink", PaperUri(target));
+        std::string cite_text = RandomText(&rng, zipf, vocab, 3);
+        dense_plant(&cite_text);
+        cite->AddChild(xml::Node::MakeText(std::move(cite_text)));
+        root->AddChild(std::move(cite));
+      }
+    }
+
+    xml::Document doc;
+    doc.uri = PaperUri(i);
+    doc.root = std::move(root);
+    corpus.documents.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace xrank::datagen

@@ -1,0 +1,45 @@
+#ifndef XRANK_DATAGEN_DBLP_GEN_H_
+#define XRANK_DATAGEN_DBLP_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/workload.h"
+
+namespace xrank::datagen {
+
+// Synthetic stand-in for the DBLP dataset (paper Section 5.1): shallow
+// publication records (depth ~4) with many *inter-document* hyperlinks in
+// the form of bibliographic citations. Each publication is its own
+// document; citations are XLink attributes targeting other documents, with
+// power-law in-degrees from preferential attachment.
+struct DblpOptions {
+  size_t num_papers = 2000;
+  uint64_t seed = 42;
+
+  size_t vocabulary_size = 20000;
+  double zipf_s = 1.1;
+  size_t title_words = 8;
+  size_t abstract_words = 40;
+  size_t max_authors = 4;
+  double mean_citations = 4.0;
+
+  // Planted-term controls (see workload.h).
+  size_t planted_sets = 8;
+  double high_corr_frequency = 0.02;  // papers carrying a hc quadruple
+  double low_corr_frequency = 0.05;   // per-term frequency of lc terms
+  // The handful of papers where a low-correlation quadruple does co-occur.
+  size_t low_corr_joint_papers = 2;
+
+  // Dense planting for the performance benches (paper Section 5.4 uses
+  // common keywords, whose inverted lists span many pages): when > 0, each
+  // text element additionally carries a high-correlation quadruple with
+  // this probability, and a low-correlation term (partitioned by paper
+  // index) with the same probability. 0 disables (unit-test default).
+  double dense_plant_rate = 0.0;
+};
+
+Corpus GenerateDblp(const DblpOptions& options);
+
+}  // namespace xrank::datagen
+
+#endif  // XRANK_DATAGEN_DBLP_GEN_H_

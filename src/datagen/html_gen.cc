@@ -1,0 +1,78 @@
+#include "datagen/html_gen.h"
+
+#include "datagen/vocabulary.h"
+#include "datagen/zipf.h"
+
+namespace xrank::datagen {
+
+namespace {
+
+std::string PageUri(size_t i) {
+  return "web/page" + std::to_string(i) + ".html";
+}
+
+}  // namespace
+
+Corpus GenerateHtml(const HtmlOptions& options) {
+  Corpus corpus;
+  RegisterPlantedSets(options.planted_sets, &corpus.planted);
+  Vocabulary vocab(options.vocabulary_size);
+  ZipfSampler zipf(options.vocabulary_size, options.zipf_s);
+  Random rng(options.seed);
+  std::vector<uint32_t> attachment_pool;
+
+  for (size_t i = 0; i < options.num_pages; ++i) {
+    auto html = xml::Node::MakeElement("html");
+    auto head = xml::Node::MakeElement("head");
+    auto title = xml::Node::MakeElement("title");
+    title->AddChild(xml::Node::MakeText(vocab.Word(zipf.Sample(&rng)) + " " +
+                                        vocab.Word(zipf.Sample(&rng))));
+    head->AddChild(std::move(title));
+    html->AddChild(std::move(head));
+
+    auto body = xml::Node::MakeElement("body");
+    std::string text;
+    for (size_t w = 0; w < options.words_per_page; ++w) {
+      if (w > 0) text.push_back(' ');
+      text += vocab.Word(zipf.Sample(&rng));
+    }
+    if (options.planted_sets > 0 &&
+        rng.Bernoulli(options.high_corr_frequency)) {
+      size_t set = rng.Uniform(options.planted_sets);
+      for (size_t p = 0; p < 4; ++p) {
+        text.push_back(' ');
+        text += HighCorrTerm(set, p);
+      }
+    }
+    auto paragraph = xml::Node::MakeElement("p");
+    paragraph->AddChild(xml::Node::MakeText(std::move(text)));
+    body->AddChild(std::move(paragraph));
+
+    if (i > 0) {
+      size_t links =
+          rng.Uniform(static_cast<uint64_t>(2.0 * options.mean_links) + 1);
+      for (size_t l = 0; l < links; ++l) {
+        uint32_t target;
+        if (!attachment_pool.empty() && rng.Bernoulli(0.7)) {
+          target = attachment_pool[rng.Uniform(attachment_pool.size())];
+        } else {
+          target = static_cast<uint32_t>(rng.Uniform(i));
+        }
+        attachment_pool.push_back(target);
+        auto anchor = xml::Node::MakeElement("a");
+        anchor->AddAttribute("href", PageUri(target));
+        anchor->AddChild(xml::Node::MakeText(vocab.Word(zipf.Sample(&rng))));
+        body->AddChild(std::move(anchor));
+      }
+    }
+    html->AddChild(std::move(body));
+
+    xml::Document doc;
+    doc.uri = PageUri(i);
+    doc.root = std::move(html);
+    corpus.documents.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace xrank::datagen

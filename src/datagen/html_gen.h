@@ -1,0 +1,29 @@
+#ifndef XRANK_DATAGEN_HTML_GEN_H_
+#define XRANK_DATAGEN_HTML_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/workload.h"
+
+namespace xrank::datagen {
+
+// Small hyperlinked HTML collection used to exercise the paper's design
+// goal of generalizing an HTML search engine (Sections 1, 2.2, 2.4): HTML
+// documents are ingested as single elements, so XRANK's ElemRank reduces to
+// PageRank and keyword results are whole documents.
+struct HtmlOptions {
+  size_t num_pages = 60;
+  uint64_t seed = 99;
+  size_t vocabulary_size = 5000;
+  double zipf_s = 1.1;
+  size_t words_per_page = 80;
+  double mean_links = 4.0;
+  size_t planted_sets = 4;
+  double high_corr_frequency = 0.15;
+};
+
+Corpus GenerateHtml(const HtmlOptions& options);
+
+}  // namespace xrank::datagen
+
+#endif  // XRANK_DATAGEN_HTML_GEN_H_

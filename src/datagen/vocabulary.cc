@@ -1,0 +1,33 @@
+#include "datagen/vocabulary.h"
+
+#include "common/check.h"
+
+namespace xrank::datagen {
+
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu",
+    "na", "pe", "qi", "ro", "su", "ta", "ve", "wi", "xo", "zu",
+    "bral", "cren", "drim", "fost", "gund", "harn", "jelt", "kirp",
+    "lomb", "mard", "nelf", "pronk", "quist", "rold", "sarn", "tazz",
+};
+constexpr size_t kSyllableCount = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+}  // namespace
+
+std::string Vocabulary::Word(size_t i) const {
+  XRANK_DCHECK(i < size_, "vocabulary index out of range");
+  // Mixed-radix expansion over the syllable set, at least two syllables so
+  // words never collide with planted marker terms.
+  std::string word;
+  size_t value = i;
+  do {
+    word += kSyllables[value % kSyllableCount];
+    value /= kSyllableCount;
+  } while (value > 0);
+  if (word.size() < 4) word += "an";
+  return word;
+}
+
+}  // namespace xrank::datagen

@@ -1,0 +1,28 @@
+#ifndef XRANK_DATAGEN_VOCABULARY_H_
+#define XRANK_DATAGEN_VOCABULARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace xrank::datagen {
+
+// Deterministic pseudo-word vocabulary: word(i) is a stable, pronounceable
+// token unique per index, so every experiment regenerates the exact same
+// corpus text without shipping word lists.
+class Vocabulary {
+ public:
+  explicit Vocabulary(size_t size) : size_(size) {}
+
+  size_t size() const { return size_; }
+
+  // The i-th word, e.g. "tazomi" (i < size()).
+  std::string Word(size_t i) const;
+
+ private:
+  size_t size_;
+};
+
+}  // namespace xrank::datagen
+
+#endif  // XRANK_DATAGEN_VOCABULARY_H_

@@ -1,0 +1,65 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xrank::datagen {
+
+std::string HighCorrTerm(size_t set, size_t position) {
+  XRANK_DCHECK(position < 4, "quadruple position out of range");
+  static constexpr char kPositions[] = {'a', 'b', 'c', 'd'};
+  return "hc" + std::string(1, kPositions[position]) + std::to_string(set);
+}
+
+std::string LowCorrTerm(size_t set, size_t position) {
+  XRANK_DCHECK(position < 4, "quadruple position out of range");
+  static constexpr char kPositions[] = {'a', 'b', 'c', 'd'};
+  return "lc" + std::string(1, kPositions[position]) + std::to_string(set);
+}
+
+std::string SelectivityTerm(size_t bucket) {
+  return "sel" + std::to_string(bucket);
+}
+
+void RegisterPlantedSets(size_t sets, PlantedTerms* planted) {
+  for (size_t s = 0; s < sets; ++s) {
+    std::array<std::string, 4> high;
+    std::array<std::string, 4> low;
+    for (size_t p = 0; p < 4; ++p) {
+      high[p] = HighCorrTerm(s, p);
+      low[p] = LowCorrTerm(s, p);
+    }
+    planted->high_correlation.push_back(std::move(high));
+    planted->low_correlation.push_back(std::move(low));
+  }
+}
+
+std::vector<std::vector<std::string>> MakeQueries(
+    const PlantedTerms& planted, const WorkloadOptions& options) {
+  XRANK_CHECK(options.num_keywords >= 1 && options.num_keywords <= 4,
+              "planted quadruples support 1-4 keywords");
+  const auto& quads = options.mode == CorrelationMode::kHigh
+                          ? planted.high_correlation
+                          : planted.low_correlation;
+  XRANK_CHECK(!quads.empty(), "corpus has no planted terms");
+
+  std::vector<size_t> order(quads.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Random rng(options.seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+
+  std::vector<std::vector<std::string>> queries;
+  queries.reserve(options.num_queries);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    const auto& quad = quads[order[q % order.size()]];
+    std::vector<std::string> keywords(quad.begin(),
+                                      quad.begin() + options.num_keywords);
+    queries.push_back(std::move(keywords));
+  }
+  return queries;
+}
+
+}  // namespace xrank::datagen

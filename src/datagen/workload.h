@@ -1,0 +1,60 @@
+#ifndef XRANK_DATAGEN_WORKLOAD_H_
+#define XRANK_DATAGEN_WORKLOAD_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "xml/node.h"
+
+namespace xrank::datagen {
+
+// Terms deliberately planted by the corpus generators so query workloads can
+// control the two factors the paper's performance study varies (Section
+// 5.4): keyword correlation and keyword selectivity.
+struct PlantedTerms {
+  // Quadruples whose terms always co-occur adjacently in one element; a
+  // high-correlation query of n keywords takes the first n of a quadruple
+  // (Figure 10's regime: B+-tree probes almost always succeed).
+  std::vector<std::array<std::string, 4>> high_correlation;
+  // Quadruples of individually frequent terms that co-occur in only a
+  // handful of elements (Figure 11's regime: most probes fail).
+  std::vector<std::array<std::string, 4>> low_correlation;
+  // (term, approximate document frequency) pairs spanning selectivities.
+  std::vector<std::pair<std::string, size_t>> selectivity_terms;
+};
+
+// A generated document collection plus its planted-term manifest.
+struct Corpus {
+  std::vector<xml::Document> documents;
+  PlantedTerms planted;
+};
+
+enum class CorrelationMode { kHigh, kLow };
+
+struct WorkloadOptions {
+  size_t num_queries = 8;
+  size_t num_keywords = 2;  // 1..4 (quadruples bound this)
+  CorrelationMode mode = CorrelationMode::kHigh;
+  uint64_t seed = 1;
+};
+
+// Builds keyword queries from the planted quadruples. Queries cycle through
+// the quadruples in a seed-shuffled order.
+std::vector<std::vector<std::string>> MakeQueries(
+    const PlantedTerms& planted, const WorkloadOptions& options);
+
+// --- helpers shared by the corpus generators ---
+
+// Marker-term names: hc = high correlation, lc = low correlation.
+std::string HighCorrTerm(size_t set, size_t position);
+std::string LowCorrTerm(size_t set, size_t position);
+std::string SelectivityTerm(size_t bucket);
+
+// Fills `planted` with `sets` quadruples of each class.
+void RegisterPlantedSets(size_t sets, PlantedTerms* planted);
+
+}  // namespace xrank::datagen
+
+#endif  // XRANK_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,242 @@
+#include "datagen/xmark_gen.h"
+
+#include <algorithm>
+
+#include "datagen/vocabulary.h"
+#include "datagen/zipf.h"
+
+namespace xrank::datagen {
+
+namespace {
+
+struct GenContext {
+  const XMarkOptions* options;
+  Random* rng;
+  const ZipfSampler* zipf;
+  const Vocabulary* vocab;
+  Corpus* corpus;
+};
+
+std::string RandomText(GenContext* ctx, size_t words) {
+  std::string text;
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) text.push_back(' ');
+    text += ctx->vocab->Word(ctx->zipf->Sample(ctx->rng));
+  }
+  return text;
+}
+
+std::unique_ptr<xml::Node> TextElement(const std::string& tag,
+                                       std::string text) {
+  auto element = xml::Node::MakeElement(tag);
+  element->AddChild(xml::Node::MakeText(std::move(text)));
+  return element;
+}
+
+// Nested parlist/listitem recursion: this is what gives XMark its depth.
+std::unique_ptr<xml::Node> MakeParlist(GenContext* ctx, size_t depth,
+                                       const std::string& extra_text) {
+  auto parlist = xml::Node::MakeElement("parlist");
+  size_t items = 1 + ctx->rng->Uniform(2);
+  for (size_t i = 0; i < items; ++i) {
+    auto listitem = xml::Node::MakeElement("listitem");
+    if (depth > 1) {
+      listitem->AddChild(MakeParlist(ctx, depth - 1, i == 0 ? extra_text : ""));
+    } else {
+      std::string text = RandomText(ctx, ctx->options->text_words);
+      if (i == 0 && !extra_text.empty()) {
+        text.push_back(' ');
+        text += extra_text;
+      }
+      listitem->AddChild(TextElement("text", std::move(text)));
+    }
+    parlist->AddChild(std::move(listitem));
+  }
+  return parlist;
+}
+
+std::unique_ptr<xml::Node> MakeItem(GenContext* ctx, size_t index) {
+  const XMarkOptions& options = *ctx->options;
+  auto item = xml::Node::MakeElement("item");
+  item->AddAttribute("id", "item" + std::to_string(index));
+  item->AddChild(TextElement("location", RandomText(ctx, 2)));
+
+  std::string name_text = RandomText(ctx, 3);
+  std::string description_extra;
+  // High-correlation quadruples go into one deep description text leaf; the
+  // first `planted_sets` items each carry their own set so every quadruple
+  // occurs at least once in corpora of any size.
+  bool plant_high = options.planted_sets > 0 &&
+                    (index < options.planted_sets ||
+                     ctx->rng->Bernoulli(options.high_corr_frequency));
+  if (plant_high) {
+    size_t set = index < options.planted_sets
+                     ? index
+                     : ctx->rng->Uniform(options.planted_sets);
+    for (size_t p = 0; p < 4; ++p) {
+      description_extra.push_back(' ');
+      description_extra += HighCorrTerm(set, p);
+    }
+  }
+  // Low-correlation terms partitioned by item index.
+  if (options.planted_sets > 0 &&
+      ctx->rng->Bernoulli(options.low_corr_frequency * 4.0)) {
+    size_t set = ctx->rng->Uniform(options.planted_sets);
+    description_extra.push_back(' ');
+    description_extra += LowCorrTerm(set, index % 4);
+  }
+  size_t joint_stride = std::max<size_t>(
+      2, options.num_items /
+             std::max<size_t>(
+                 1, options.low_corr_joint_items * options.planted_sets));
+  if (options.planted_sets > 0 && options.low_corr_joint_items > 0 &&
+      index % joint_stride == 1) {
+    size_t set = (index / joint_stride) % options.planted_sets;
+    for (size_t p = 0; p < 4; ++p) {
+      description_extra.push_back(' ');
+      description_extra += LowCorrTerm(set, p);
+    }
+  }
+
+  item->AddChild(TextElement("name", std::move(name_text)));
+  item->AddChild(TextElement("payment", "creditcard money order"));
+  auto description = xml::Node::MakeElement("description");
+  description->AddChild(
+      MakeParlist(ctx, options.parlist_depth, description_extra));
+  item->AddChild(std::move(description));
+  item->AddChild(TextElement("quantity", "1"));
+
+  auto incategory = xml::Node::MakeElement("incategory");
+  incategory->AddAttribute(
+      "ref", "cat" + std::to_string(ctx->rng->Uniform(
+                         ctx->options->num_categories)));
+  item->AddChild(std::move(incategory));
+  return item;
+}
+
+std::unique_ptr<xml::Node> MakePerson(GenContext* ctx, size_t index) {
+  auto person = xml::Node::MakeElement("person");
+  person->AddAttribute("id", "person" + std::to_string(index));
+  person->AddChild(TextElement("name", RandomText(ctx, 2)));
+  person->AddChild(TextElement(
+      "emailaddress", "mailto " + ctx->vocab->Word(index % ctx->vocab->size())));
+  auto address = xml::Node::MakeElement("address");
+  address->AddChild(TextElement("street", RandomText(ctx, 2)));
+  address->AddChild(TextElement("city", RandomText(ctx, 1)));
+  address->AddChild(TextElement("country", RandomText(ctx, 1)));
+  person->AddChild(std::move(address));
+  return person;
+}
+
+}  // namespace
+
+Corpus GenerateXMark(const XMarkOptions& options) {
+  Corpus corpus;
+  RegisterPlantedSets(options.planted_sets, &corpus.planted);
+  Vocabulary vocab(options.vocabulary_size);
+  ZipfSampler zipf(options.vocabulary_size, options.zipf_s);
+  Random rng(options.seed);
+  GenContext ctx{&options, &rng, &zipf, &vocab, &corpus};
+
+  auto site = xml::Node::MakeElement("site");
+
+  // Categories (IDREF targets for incategory).
+  auto categories = xml::Node::MakeElement("categories");
+  for (size_t c = 0; c < options.num_categories; ++c) {
+    auto category = xml::Node::MakeElement("category");
+    category->AddAttribute("id", "cat" + std::to_string(c));
+    category->AddChild(TextElement("name", RandomText(&ctx, 2)));
+    categories->AddChild(std::move(category));
+  }
+  site->AddChild(std::move(categories));
+
+  // Items spread over continental regions.
+  static constexpr const char* kRegions[] = {"africa",  "asia",   "australia",
+                                             "europe",  "namerica", "samerica"};
+  constexpr size_t kRegionCount = sizeof(kRegions) / sizeof(kRegions[0]);
+  auto regions = xml::Node::MakeElement("regions");
+  std::vector<xml::Node*> region_nodes;
+  for (size_t r = 0; r < kRegionCount; ++r) {
+    region_nodes.push_back(
+        regions->AddChild(xml::Node::MakeElement(kRegions[r])));
+  }
+  for (size_t i = 0; i < options.num_items; ++i) {
+    region_nodes[i % kRegionCount]->AddChild(MakeItem(&ctx, i));
+  }
+  site->AddChild(std::move(regions));
+
+  auto people = xml::Node::MakeElement("people");
+  for (size_t p = 0; p < options.num_people; ++p) {
+    people->AddChild(MakePerson(&ctx, p));
+  }
+  site->AddChild(std::move(people));
+
+  auto open_auctions = xml::Node::MakeElement("open_auctions");
+  for (size_t a = 0; a < options.num_open_auctions; ++a) {
+    auto auction = xml::Node::MakeElement("open_auction");
+    auction->AddAttribute("id", "open" + std::to_string(a));
+    auction->AddChild(TextElement("initial", std::to_string(rng.Uniform(500))));
+    size_t bidders = 1 + rng.Uniform(4);
+    for (size_t b = 0; b < bidders; ++b) {
+      auto bidder = xml::Node::MakeElement("bidder");
+      bidder->AddChild(TextElement("date", "07/06/2001"));
+      auto personref = xml::Node::MakeElement("personref");
+      personref->AddAttribute(
+          "person", "person" + std::to_string(rng.Uniform(options.num_people)));
+      bidder->AddChild(std::move(personref));
+      bidder->AddChild(
+          TextElement("increase", std::to_string(1 + rng.Uniform(50))));
+      auction->AddChild(std::move(bidder));
+    }
+    auto itemref = xml::Node::MakeElement("itemref");
+    // Preferential skew: low-index items are referenced by many auctions,
+    // giving them high ElemRanks (the 'stained mirror' anecdote of §5.2).
+    size_t item = rng.Bernoulli(0.5)
+                      ? rng.Uniform(std::max<size_t>(options.num_items / 10, 1))
+                      : rng.Uniform(options.num_items);
+    itemref->AddAttribute("item", "item" + std::to_string(item));
+    auction->AddChild(std::move(itemref));
+    auto seller = xml::Node::MakeElement("seller");
+    seller->AddAttribute(
+        "person", "person" + std::to_string(rng.Uniform(options.num_people)));
+    auction->AddChild(std::move(seller));
+    auction->AddChild(
+        TextElement("current", std::to_string(100 + rng.Uniform(900))));
+    open_auctions->AddChild(std::move(auction));
+  }
+  site->AddChild(std::move(open_auctions));
+
+  auto closed_auctions = xml::Node::MakeElement("closed_auctions");
+  for (size_t a = 0; a < options.num_closed_auctions; ++a) {
+    auto auction = xml::Node::MakeElement("closed_auction");
+    auto seller = xml::Node::MakeElement("seller");
+    seller->AddAttribute(
+        "person", "person" + std::to_string(rng.Uniform(options.num_people)));
+    auction->AddChild(std::move(seller));
+    auto buyer = xml::Node::MakeElement("buyer");
+    buyer->AddAttribute(
+        "person", "person" + std::to_string(rng.Uniform(options.num_people)));
+    auction->AddChild(std::move(buyer));
+    auto itemref = xml::Node::MakeElement("itemref");
+    itemref->AddAttribute(
+        "item", "item" + std::to_string(rng.Uniform(options.num_items)));
+    auction->AddChild(std::move(itemref));
+    auction->AddChild(
+        TextElement("price", std::to_string(50 + rng.Uniform(950))));
+    auction->AddChild(TextElement("date", "08/15/2001"));
+    auto annotation = xml::Node::MakeElement("annotation");
+    annotation->AddChild(
+        TextElement("description", RandomText(&ctx, options.text_words)));
+    auction->AddChild(std::move(annotation));
+    closed_auctions->AddChild(std::move(auction));
+  }
+  site->AddChild(std::move(closed_auctions));
+
+  xml::Document doc;
+  doc.uri = "xmark.xml";
+  doc.root = std::move(site);
+  corpus.documents.push_back(std::move(doc));
+  return corpus;
+}
+
+}  // namespace xrank::datagen

@@ -1,0 +1,39 @@
+#ifndef XRANK_DATAGEN_XMARK_GEN_H_
+#define XRANK_DATAGEN_XMARK_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/workload.h"
+
+namespace xrank::datagen {
+
+// Re-implementation of the XMark auction-site benchmark schema (paper
+// Section 5.1's synthetic dataset): a single deep document (depth >= 10 via
+// nested parlist/listitem structures) with *intra-document* IDREF links
+// (itemref/personref/seller/buyer/incategory).
+struct XMarkOptions {
+  size_t num_items = 400;
+  size_t num_people = 200;
+  size_t num_open_auctions = 250;
+  size_t num_closed_auctions = 120;
+  size_t num_categories = 20;
+  uint64_t seed = 7;
+
+  size_t vocabulary_size = 20000;
+  double zipf_s = 1.1;
+  // Nested <parlist><listitem>... recursion inside item descriptions; the
+  // document depth is 6 + 2 * parlist_depth.
+  size_t parlist_depth = 2;
+  size_t text_words = 12;
+
+  size_t planted_sets = 8;
+  double high_corr_frequency = 0.05;
+  double low_corr_frequency = 0.10;
+  size_t low_corr_joint_items = 2;
+};
+
+Corpus GenerateXMark(const XMarkOptions& options);
+
+}  // namespace xrank::datagen
+
+#endif  // XRANK_DATAGEN_XMARK_GEN_H_

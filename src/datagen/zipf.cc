@@ -1,0 +1,28 @@
+#include "datagen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace xrank::datagen {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  XRANK_CHECK(n > 0, "ZipfSampler needs n > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+size_t ZipfSampler::Sample(Random* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace xrank::datagen

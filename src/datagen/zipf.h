@@ -1,0 +1,31 @@
+#ifndef XRANK_DATAGEN_ZIPF_H_
+#define XRANK_DATAGEN_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xrank::datagen {
+
+// Zipf-distributed sampling over ranks [0, n): P(rank i) ∝ 1/(i+1)^s.
+// Natural-language term frequencies are approximately Zipfian, which is
+// what gives inverted lists their characteristic long/short mix (and what
+// Table 1's space numbers depend on).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  // Draws one rank using the caller's PRNG.
+  size_t Sample(Random* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, normalized to 1
+};
+
+}  // namespace xrank::datagen
+
+#endif  // XRANK_DATAGEN_ZIPF_H_

@@ -1,0 +1,143 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xrank::graph {
+
+GraphBuilder::GraphBuilder(BuilderOptions options)
+    : options_(std::move(options)) {}
+
+bool GraphBuilder::IsIdAttribute(const std::string& name) const {
+  const auto& list = options_.links.id_attributes;
+  return std::find(list.begin(), list.end(), name) != list.end();
+}
+
+bool GraphBuilder::IsIdrefAttribute(const std::string& name) const {
+  const auto& list = options_.links.idref_attributes;
+  return std::find(list.begin(), list.end(), name) != list.end();
+}
+
+bool GraphBuilder::IsXlinkAttribute(const std::string& name) const {
+  const auto& list = options_.links.xlink_attributes;
+  return std::find(list.begin(), list.end(), name) != list.end();
+}
+
+NodeId GraphBuilder::ConvertElement(const xml::Node& node, NodeId parent,
+                                    uint32_t doc) {
+  uint32_t name_id = graph_.InternName(node.name());
+  NodeId element = graph_.AddElement(name_id, parent, doc);
+
+  for (const xml::Attribute& attr : node.attributes()) {
+    if (IsIdAttribute(attr.name)) {
+      ids_by_document_[doc].emplace(attr.value, element);
+    }
+    if (IsIdrefAttribute(attr.name)) {
+      pending_idrefs_.push_back(PendingIdref{element, doc, attr.value});
+    } else if (IsXlinkAttribute(attr.name)) {
+      pending_xlinks_.push_back(PendingXlink{element, attr.value});
+    }
+    if (options_.attributes_as_subelements) {
+      // Attribute -> sub-element with one value child (paper Section 2.1;
+      // element tag names and attribute names are themselves values, which
+      // the analyzer picks up from the graph names).
+      uint32_t attr_name_id = graph_.InternName(attr.name);
+      NodeId attr_element = graph_.AddElement(attr_name_id, element, doc);
+      graph_.AddValue(attr.value, attr_element, doc);
+    }
+  }
+  for (const auto& child : node.children()) {
+    if (child->is_text()) {
+      std::string_view text = StripWhitespace(child->text());
+      if (!text.empty()) graph_.AddValue(std::string(text), element, doc);
+    } else {
+      ConvertElement(*child, element, doc);
+    }
+  }
+  return element;
+}
+
+Status GraphBuilder::AddDocument(const xml::Document& doc) {
+  if (finalized_) return Status::Internal("builder already finalized");
+  if (doc.root == nullptr) {
+    return Status::InvalidArgument("document '" + doc.uri + "' has no root");
+  }
+  uint32_t doc_index = graph_.AddDocument(doc.uri);
+  if (!doc.uri.empty()) document_by_uri_.emplace(doc.uri, doc_index);
+  NodeId root = ConvertElement(*doc.root, kInvalidNode, doc_index);
+  graph_.SetDocumentRoot(doc_index, root);
+  return Status::OK();
+}
+
+void GraphBuilder::CollectHtmlText(const xml::Node& node, std::string* out,
+                                   NodeId root, uint32_t doc) {
+  if (node.is_text()) {
+    std::string_view text = StripWhitespace(node.text());
+    if (!text.empty()) {
+      if (!out->empty()) out->push_back(' ');
+      out->append(text);
+    }
+    return;
+  }
+  for (const xml::Attribute& attr : node.attributes()) {
+    // HTML hyperlinks: <a href=...>, <link href=...>, framework-agnostic.
+    if (attr.name == "href" || IsXlinkAttribute(attr.name)) {
+      pending_xlinks_.push_back(PendingXlink{root, attr.value});
+    }
+    (void)doc;
+  }
+  for (const auto& child : node.children()) {
+    CollectHtmlText(*child, out, root, doc);
+  }
+}
+
+Status GraphBuilder::AddHtmlDocument(const xml::Document& doc) {
+  if (finalized_) return Status::Internal("builder already finalized");
+  if (doc.root == nullptr) {
+    return Status::InvalidArgument("document '" + doc.uri + "' has no root");
+  }
+  uint32_t doc_index = graph_.AddDocument(doc.uri);
+  if (!doc.uri.empty()) document_by_uri_.emplace(doc.uri, doc_index);
+  uint32_t name_id = graph_.InternName("html");
+  NodeId root = graph_.AddElement(name_id, kInvalidNode, doc_index);
+  graph_.SetDocumentRoot(doc_index, root);
+  std::string text;
+  CollectHtmlText(*doc.root, &text, root, doc_index);
+  if (!text.empty()) graph_.AddValue(std::move(text), root, doc_index);
+  return Status::OK();
+}
+
+Result<XmlGraph> GraphBuilder::Finalize() && {
+  if (finalized_) return Status::Internal("builder already finalized");
+  finalized_ = true;
+  for (const PendingIdref& link : pending_idrefs_) {
+    auto doc_it = ids_by_document_.find(link.document);
+    if (doc_it != ids_by_document_.end()) {
+      auto it = doc_it->second.find(link.target_id);
+      if (it != doc_it->second.end()) {
+        graph_.AddHyperlink(link.source, it->second);
+        continue;
+      }
+    }
+    if (!options_.ignore_dangling_links) {
+      return Status::NotFound("unresolved IDREF '" + link.target_id + "'");
+    }
+    ++dangling_links_;
+  }
+  for (const PendingXlink& link : pending_xlinks_) {
+    auto it = document_by_uri_.find(link.target_uri);
+    if (it != document_by_uri_.end()) {
+      graph_.AddHyperlink(link.source, graph_.documents()[it->second].root);
+      continue;
+    }
+    if (!options_.ignore_dangling_links) {
+      return Status::NotFound("unresolved XLink '" + link.target_uri + "'");
+    }
+    ++dangling_links_;
+  }
+  graph_.FinalizeStructure();
+  return std::move(graph_);
+}
+
+}  // namespace xrank::graph

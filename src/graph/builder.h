@@ -1,0 +1,101 @@
+#ifndef XRANK_GRAPH_BUILDER_H_
+#define XRANK_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "xml/node.h"
+
+namespace xrank::graph {
+
+// Controls how the builder recognizes hyperlinks in the source XML
+// (paper Section 2.1: IDREFs are intra-document references, XLinks are
+// inter-document references; both become HE edges).
+struct LinkConfig {
+  // Attribute names whose value declares this element's intra-document id.
+  std::vector<std::string> id_attributes = {"id", "key"};
+  // Attribute names whose value references an id in the same document.
+  std::vector<std::string> idref_attributes = {"ref", "idref", "person",
+                                               "item", "open_auction"};
+  // Attribute names whose value references another document by URI.
+  std::vector<std::string> xlink_attributes = {"xlink", "xlink:href", "href"};
+};
+
+struct BuilderOptions {
+  LinkConfig links;
+  // Treat attributes as sub-elements (paper Section 2.1). When false,
+  // attribute text is ignored entirely.
+  bool attributes_as_subelements = true;
+  // When true, unresolvable IDREF/XLink targets are silently dropped
+  // (standard web-crawl behaviour); when false they produce an error.
+  bool ignore_dangling_links = true;
+};
+
+// Builds an XmlGraph from a sequence of parsed documents. Usage:
+//   GraphBuilder builder(options);
+//   builder.AddDocument(doc1);         // XML document
+//   builder.AddHtmlDocument(doc2);     // HTML: root-only element (§2.2/2.4)
+//   XRANK_ASSIGN_OR_RETURN(XmlGraph g, std::move(builder).Finalize());
+//
+// Link resolution is deferred to Finalize() so forward references and
+// cross-document references work regardless of insertion order.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(BuilderOptions options = {});
+
+  // Adds one XML document. The xml::Document is consumed structurally (no
+  // ownership taken; it may be destroyed after the call).
+  Status AddDocument(const xml::Document& doc);
+
+  // Adds an HTML document as a single element: the root is the only element
+  // node, its whole text becomes one value child, and href links become
+  // HE edges from the root. This is the paper's HTML mode: "an HTML document
+  // is treated as a single XML element, with the presentation tags removed"
+  // (Section 2.4), so XRANK degenerates to a PageRank-style HTML engine.
+  Status AddHtmlDocument(const xml::Document& doc);
+
+  // Resolves all staged links and returns the finished graph.
+  Result<XmlGraph> Finalize() &&;
+
+  // Number of link references that could not be resolved (informational;
+  // populated by Finalize when ignore_dangling_links is true).
+  size_t dangling_link_count() const { return dangling_links_; }
+
+ private:
+  struct PendingIdref {
+    NodeId source;
+    uint32_t document;
+    std::string target_id;
+  };
+  struct PendingXlink {
+    NodeId source;
+    std::string target_uri;
+  };
+
+  bool IsIdAttribute(const std::string& name) const;
+  bool IsIdrefAttribute(const std::string& name) const;
+  bool IsXlinkAttribute(const std::string& name) const;
+
+  NodeId ConvertElement(const xml::Node& node, NodeId parent, uint32_t doc);
+  void CollectHtmlText(const xml::Node& node, std::string* out,
+                       NodeId root, uint32_t doc);
+
+  BuilderOptions options_;
+  XmlGraph graph_;
+  // (document, id string) -> element; for IDREF resolution.
+  std::unordered_map<uint64_t, std::unordered_map<std::string, NodeId>>
+      ids_by_document_;
+  std::unordered_map<std::string, uint32_t> document_by_uri_;
+  std::vector<PendingIdref> pending_idrefs_;
+  std::vector<PendingXlink> pending_xlinks_;
+  size_t dangling_links_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace xrank::graph
+
+#endif  // XRANK_GRAPH_BUILDER_H_

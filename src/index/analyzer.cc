@@ -1,0 +1,53 @@
+#include "index/analyzer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xrank::index {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+Analyzer::Analyzer(AnalyzerOptions options) : options_(std::move(options)) {
+  std::sort(options_.stopwords.begin(), options_.stopwords.end());
+}
+
+bool Analyzer::IsStopword(const std::string& term) const {
+  return std::binary_search(options_.stopwords.begin(),
+                            options_.stopwords.end(), term);
+}
+
+std::vector<Analyzer::Token> Analyzer::Tokenize(
+    std::string_view text, uint32_t* next_position) const {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) ++i;
+    if (i == start) break;
+    std::string term = AsciiToLower(text.substr(start, i - start));
+    uint32_t position = (*next_position)++;
+    if (term.size() < options_.min_token_length || IsStopword(term)) {
+      continue;  // the position is still consumed, preserving distances
+    }
+    tokens.push_back(Token{std::move(term), position});
+  }
+  return tokens;
+}
+
+std::string Analyzer::NormalizeKeyword(std::string_view keyword) const {
+  uint32_t position = 0;
+  std::vector<Token> tokens = Tokenize(keyword, &position);
+  if (tokens.size() != 1) return "";
+  return tokens[0].term;
+}
+
+}  // namespace xrank::index

@@ -1,0 +1,48 @@
+#ifndef XRANK_INDEX_ANALYZER_H_
+#define XRANK_INDEX_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrank::index {
+
+// Tokenization used at both index and query time. Terms are maximal runs of
+// ASCII alphanumerics, lower-cased. Position numbering is supplied by the
+// caller (document-global word offsets, so the minimal-window proximity of
+// Section 2.3.2.2 is well defined across sibling elements).
+struct AnalyzerOptions {
+  // Tokens shorter than this are dropped (keeps single letters out).
+  size_t min_token_length = 1;
+  // Common-word filtering; empty by default because synthetic vocabularies
+  // control frequency explicitly.
+  std::vector<std::string> stopwords;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {});
+
+  struct Token {
+    std::string term;
+    uint32_t position;  // word offset assigned from *next_position
+  };
+
+  // Tokenizes `text`, assigning consecutive positions starting at
+  // *next_position and leaving *next_position one past the last token.
+  std::vector<Token> Tokenize(std::string_view text,
+                              uint32_t* next_position) const;
+
+  // Normalizes a single query keyword (lower-case); returns empty if the
+  // keyword normalizes away (stopword / too short / no alphanumerics).
+  std::string NormalizeKeyword(std::string_view keyword) const;
+
+ private:
+  bool IsStopword(const std::string& term) const;
+
+  AnalyzerOptions options_;
+};
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_ANALYZER_H_

@@ -1,0 +1,33 @@
+#include "index/dil_index.h"
+
+namespace xrank::index {
+
+Result<BuiltIndex> BuildDilIndex(const TermPostingsMap& dewey_postings,
+                                 std::unique_ptr<storage::PageFile> file) {
+  BuiltIndex index;
+  index.kind = IndexKind::kDil;
+  // Page 0 is the header, filled in by WriteIndexTrailer.
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  for (const auto& [term, postings] : dewey_postings) {
+    PostingListWriter writer(file.get(), /*delta_encode_ids=*/true);
+    for (const Posting& posting : postings) {
+      XRANK_RETURN_NOT_OK(writer.Add(posting).status());
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
+    index.stats.list_pages += extent.page_count;
+    index.stats.list_used_bytes += extent.byte_count;
+    index.stats.entry_count += extent.entry_count;
+    TermInfo info;
+    info.list = extent;
+    index.lexicon.Add(term, info);
+  }
+
+  XRANK_RETURN_NOT_OK(WriteIndexTrailer(file.get(), IndexKind::kDil,
+                                        index.lexicon, &index.stats));
+  index.file = std::move(file);
+  return index;
+}
+
+}  // namespace xrank::index

@@ -1,0 +1,18 @@
+#ifndef XRANK_INDEX_DIL_INDEX_H_
+#define XRANK_INDEX_DIL_INDEX_H_
+
+#include <memory>
+
+#include "index/index_builder.h"
+
+namespace xrank::index {
+
+// Builds the Dewey Inverted List (paper Section 4.2): per term, the postings
+// of elements that directly contain the term, sorted by Dewey ID,
+// prefix-delta compressed within pages. No auxiliary index.
+Result<BuiltIndex> BuildDilIndex(const TermPostingsMap& dewey_postings,
+                                 std::unique_ptr<storage::PageFile> file);
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_DIL_INDEX_H_

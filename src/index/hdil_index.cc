@@ -1,0 +1,103 @@
+#include "index/hdil_index.h"
+
+#include <algorithm>
+
+#include "storage/btree.h"
+
+namespace xrank::index {
+
+Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
+                                  std::unique_ptr<storage::PageFile> file,
+                                  const HdilOptions& options) {
+  BuiltIndex index;
+  index.kind = IndexKind::kHdil;
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  struct StagedTerm {
+    std::string term;
+    // One separator per full-list page: (first Dewey ID on page, page index).
+    std::vector<std::pair<dewey::DeweyId, uint64_t>> page_separators;
+    // Rank-ordered prefix postings.
+    std::vector<Posting> rank_prefix;
+  };
+  std::vector<StagedTerm> staged;
+
+  // Phase 1: the full Dewey-ordered lists (same physical format as DIL).
+  for (const auto& [term, postings] : dewey_postings) {
+    PostingListWriter writer(file.get(), /*delta_encode_ids=*/true);
+    StagedTerm stage;
+    stage.term = term;
+    for (const Posting& posting : postings) {
+      XRANK_ASSIGN_OR_RETURN(PostingLocation loc, writer.Add(posting));
+      if (loc.slot == 0) {
+        stage.page_separators.emplace_back(posting.id, loc.page_index);
+      }
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
+    index.stats.list_pages += extent.page_count;
+    index.stats.list_used_bytes += extent.byte_count;
+    index.stats.entry_count += extent.entry_count;
+    TermInfo info;
+    info.list = extent;
+    index.lexicon.Add(term, info);
+
+    // Select the rank-ordered prefix: top max(min_rank_entries,
+    // fraction * n) postings by ElemRank.
+    size_t keep = std::max<size_t>(
+        options.min_rank_entries,
+        static_cast<size_t>(options.rank_fraction *
+                            static_cast<double>(postings.size())));
+    keep = std::min(keep, postings.size());
+    stage.rank_prefix = postings;
+    std::sort(stage.rank_prefix.begin(), stage.rank_prefix.end(),
+              [](const Posting& a, const Posting& b) {
+                if (a.elem_rank != b.elem_rank) {
+                  return a.elem_rank > b.elem_rank;
+                }
+                return a.id < b.id;
+              });
+    stage.rank_prefix.resize(keep);
+    staged.push_back(std::move(stage));
+  }
+
+  // Phase 2: rank-ordered prefix lists (counted as list space: they are
+  // inverted-list data, mirroring Table 1 where HDIL's "Inv. List" column
+  // is slightly larger than DIL's).
+  for (StagedTerm& stage : staged) {
+    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
+    for (const Posting& posting : stage.rank_prefix) {
+      XRANK_RETURN_NOT_OK(writer.Add(posting).status());
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
+    index.stats.list_pages += extent.page_count;
+    index.stats.list_used_bytes += extent.byte_count;
+    TermInfo info = *index.lexicon.Find(stage.term);
+    info.rank_list = extent;
+    index.lexicon.Add(stage.term, info);
+  }
+
+  // Phase 3: sparse B+-trees — only the levels above the list pages are
+  // stored (the full list acts as the leaf level, Section 4.4.1).
+  uint32_t index_pages_before = file->page_count();
+  storage::SharedPagePacker packer(file.get());
+  for (StagedTerm& stage : staged) {
+    storage::BtreeBuilder builder(file.get(), &packer);
+    for (const auto& [id, page_index] : stage.page_separators) {
+      XRANK_RETURN_NOT_OK(builder.Add(id, page_index));
+    }
+    XRANK_ASSIGN_OR_RETURN(storage::BtreeBuilder::BuildStats tree_stats,
+                           builder.Finish());
+    TermInfo info = *index.lexicon.Find(stage.term);
+    info.btree_root = tree_stats.root;
+    index.lexicon.Add(stage.term, info);
+  }
+  index.stats.index_pages = file->page_count() - index_pages_before;
+
+  XRANK_RETURN_NOT_OK(WriteIndexTrailer(file.get(), IndexKind::kHdil,
+                                        index.lexicon, &index.stats));
+  index.file = std::move(file);
+  return index;
+}
+
+}  // namespace xrank::index

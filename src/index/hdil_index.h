@@ -1,0 +1,29 @@
+#ifndef XRANK_INDEX_HDIL_INDEX_H_
+#define XRANK_INDEX_HDIL_INDEX_H_
+
+#include <memory>
+
+#include "index/index_builder.h"
+
+namespace xrank::index {
+
+struct HdilOptions {
+  // Fraction of each list duplicated in rank order (paper Section 4.4.1
+  // stores "only a small fraction of the inverted list sorted by rank").
+  double rank_fraction = 0.10;
+  // Short lists keep at least this many rank-ordered entries (never more
+  // than the whole list).
+  uint32_t min_rank_entries = 64;
+};
+
+// Builds the Hybrid Dewey Inverted List (paper Section 4.4): the full list
+// in Dewey order (serving both DIL scans and the leaf level of the B+-tree),
+// a sparse B+-tree holding one separator per list page (the explicitly
+// stored non-leaf levels), and a small rank-ordered prefix per term.
+Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
+                                  std::unique_ptr<storage::PageFile> file,
+                                  const HdilOptions& options = {});
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_HDIL_INDEX_H_

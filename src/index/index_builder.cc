@@ -1,0 +1,280 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace xrank::index {
+
+std::string_view IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kNaiveId:
+      return "Naive-ID";
+    case IndexKind::kNaiveRank:
+      return "Naive-Rank";
+    case IndexKind::kDil:
+      return "DIL";
+    case IndexKind::kRdil:
+      return "RDIL";
+    case IndexKind::kHdil:
+      return "HDIL";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+using graph::NodeId;
+using graph::XmlGraph;
+
+// Accumulates naive (element-granularity) postings: term -> ordinal ->
+// posting under construction. Ordinals are assigned in global preorder, so
+// iterating the inner map yields ID order.
+using NaiveAccumulator =
+    std::map<std::string, std::map<uint32_t, Posting>>;
+
+struct ExtractionState {
+  const XmlGraph* graph;
+  const std::vector<double>* ranks;
+  const Analyzer* analyzer;
+  bool build_naive;
+
+  ExtractionResult out;
+  NaiveAccumulator naive;
+  // Ancestor chain of the current DFS path: (ordinal, rank) pairs.
+  std::vector<std::pair<uint32_t, float>> ancestor_stack;
+  uint32_t position_counter = 0;  // reset per document
+};
+
+void VisitElement(ExtractionState* state, NodeId element) {
+  const XmlGraph& graph = *state->graph;
+  const auto& data = graph.node(element);
+
+  uint32_t ordinal = static_cast<uint32_t>(state->out.ordinal_to_dewey.size());
+  state->out.ordinal_to_dewey.push_back(data.dewey_id);
+  float rank = static_cast<float>((*state->ranks)[element]);
+  state->ancestor_stack.emplace_back(ordinal, rank);
+
+  // Tokenize the element's direct text (its value children, in order).
+  std::map<std::string, std::vector<uint32_t>> term_positions;
+  for (NodeId value : data.value_children) {
+    std::vector<Analyzer::Token> tokens = state->analyzer->Tokenize(
+        graph.node(value).text, &state->position_counter);
+    for (Analyzer::Token& token : tokens) {
+      term_positions[std::move(token.term)].push_back(token.position);
+    }
+  }
+
+  for (auto& [term, positions] : term_positions) {
+    ++state->out.direct_occurrence_count;
+    Posting posting;
+    posting.id = data.dewey_id;
+    posting.elem_rank = rank;
+    posting.positions = positions;
+    state->out.dewey_postings[term].push_back(std::move(posting));
+
+    if (state->build_naive) {
+      // The naive adaptation replicates the occurrence into every ancestor
+      // (paper Section 4.1, space-overhead discussion).
+      for (const auto& [anc_ordinal, anc_rank] : state->ancestor_stack) {
+        Posting& naive_posting = state->naive[term][anc_ordinal];
+        naive_posting.id = dewey::DeweyId({anc_ordinal});
+        naive_posting.elem_rank = anc_rank;
+        naive_posting.positions.insert(naive_posting.positions.end(),
+                                       positions.begin(), positions.end());
+      }
+    }
+  }
+
+  for (NodeId child : data.element_children) {
+    VisitElement(state, child);
+  }
+  state->ancestor_stack.pop_back();
+}
+
+}  // namespace
+
+Result<ExtractionResult> ExtractPostings(const XmlGraph& graph,
+                                         const std::vector<double>& elem_ranks,
+                                         const ExtractionOptions& options) {
+  if (elem_ranks.size() != graph.node_count()) {
+    return Status::InvalidArgument(
+        "elem_ranks size does not match graph node count");
+  }
+  Analyzer analyzer(options.analyzer);
+  ExtractionState state;
+  state.graph = &graph;
+  state.ranks = &elem_ranks;
+  state.analyzer = &analyzer;
+  state.build_naive = options.build_naive;
+
+  std::unordered_set<uint32_t> excluded(options.exclude_documents.begin(),
+                                        options.exclude_documents.end());
+  for (uint32_t doc = 0; doc < graph.documents().size(); ++doc) {
+    if (excluded.count(doc) > 0) continue;
+    state.position_counter = 0;
+    VisitElement(&state, graph.documents()[doc].root);
+  }
+  state.out.element_count = state.out.ordinal_to_dewey.size();
+
+  // Flatten the naive accumulator into ordinal-ordered vectors.
+  for (auto& [term, by_ordinal] : state.naive) {
+    std::vector<Posting>& list = state.out.naive_postings[term];
+    list.reserve(by_ordinal.size());
+    for (auto& [ordinal, posting] : by_ordinal) {
+      list.push_back(std::move(posting));
+    }
+  }
+
+  if (options.rank_source == RankSource::kTfIdf) {
+    // Replace the ElemRank field with (1 + ln tf) · ln(1 + N/df), where tf
+    // is the occurrence count inside the posting's element and df the
+    // number of elements with a direct occurrence of the term. Normalized
+    // by the corpus-wide maximum so ranks stay in (0, 1], preserving the
+    // threshold-algorithm overestimate (Section 4.3.2).
+    double n = static_cast<double>(state.out.element_count);
+    double max_weight = 0.0;
+    auto weight = [&](const Posting& posting, double df) {
+      double tf = static_cast<double>(posting.positions.size());
+      return (1.0 + std::log(std::max(tf, 1.0))) * std::log(1.0 + n / df);
+    };
+    for (auto& [term, postings] : state.out.dewey_postings) {
+      double df = static_cast<double>(postings.size());
+      for (Posting& posting : postings) {
+        max_weight = std::max(max_weight, weight(posting, df));
+      }
+    }
+    if (max_weight <= 0.0) max_weight = 1.0;
+    for (auto& [term, postings] : state.out.dewey_postings) {
+      double df = static_cast<double>(postings.size());
+      for (Posting& posting : postings) {
+        posting.elem_rank =
+            static_cast<float>(weight(posting, df) / max_weight);
+      }
+    }
+    for (auto& [term, postings] : state.out.naive_postings) {
+      // df at element granularity: direct-occurrence count of the term.
+      auto it = state.out.dewey_postings.find(term);
+      double df = it != state.out.dewey_postings.end()
+                      ? static_cast<double>(it->second.size())
+                      : 1.0;
+      for (Posting& posting : postings) {
+        posting.elem_rank =
+            static_cast<float>(weight(posting, df) / max_weight);
+      }
+    }
+  }
+  return std::move(state.out);
+}
+
+// ------------------------------------------------------------ persistence --
+
+namespace {
+
+constexpr uint32_t kIndexMagic = 0x584E524Bu;  // "XNRK"
+// Header page layout (page 0).
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kKindOffset = 4;
+constexpr size_t kListPagesOffset = 8;
+constexpr size_t kIndexPagesOffset = 16;
+constexpr size_t kLexiconPagesOffset = 24;
+constexpr size_t kEntryCountOffset = 32;
+constexpr size_t kLexFirstPageOffset = 40;
+constexpr size_t kLexPageCountOffset = 44;
+constexpr size_t kLexByteLenOffset = 48;
+constexpr size_t kListUsedBytesOffset = 56;
+
+}  // namespace
+
+Result<ListExtent> WriteBlobToPages(storage::PageFile* file,
+                                    std::string_view blob) {
+  ListExtent extent;
+  extent.entry_count = blob.size();
+  size_t offset = 0;
+  storage::PageId previous = storage::kInvalidPage;
+  while (offset < blob.size() || extent.page_count == 0) {
+    XRANK_ASSIGN_OR_RETURN(storage::PageId page, file->Allocate());
+    if (previous != storage::kInvalidPage && page != previous + 1) {
+      return Status::Internal("blob pages not consecutive");
+    }
+    if (extent.page_count == 0) extent.first_page = page;
+    storage::Page page_data{};
+    size_t chunk = std::min(blob.size() - offset, storage::kPageSize);
+    std::memcpy(page_data.data.data(), blob.data() + offset, chunk);
+    XRANK_RETURN_NOT_OK(file->Write(page, page_data));
+    offset += chunk;
+    previous = page;
+    ++extent.page_count;
+    if (blob.empty()) break;
+  }
+  return extent;
+}
+
+Status WriteIndexTrailer(storage::PageFile* file, IndexKind kind,
+                         const Lexicon& lexicon, IndexStats* stats) {
+  std::string blob;
+  lexicon.Serialize(&blob);
+  XRANK_ASSIGN_OR_RETURN(ListExtent lex_extent, WriteBlobToPages(file, blob));
+  stats->lexicon_pages = lex_extent.page_count;
+
+  storage::Page header{};
+  header.WriteU32(kMagicOffset, kIndexMagic);
+  header.WriteU32(kKindOffset, static_cast<uint32_t>(kind));
+  header.WriteU64(kListPagesOffset, stats->list_pages);
+  header.WriteU64(kIndexPagesOffset, stats->index_pages);
+  header.WriteU64(kLexiconPagesOffset, stats->lexicon_pages);
+  header.WriteU64(kEntryCountOffset, stats->entry_count);
+  header.WriteU32(kLexFirstPageOffset, lex_extent.first_page);
+  header.WriteU32(kLexPageCountOffset, lex_extent.page_count);
+  header.WriteU64(kLexByteLenOffset, blob.size());
+  header.WriteU64(kListUsedBytesOffset, stats->list_used_bytes);
+  XRANK_RETURN_NOT_OK(file->Write(0, header));
+  return file->Sync();
+}
+
+Result<BuiltIndex> OpenIndex(std::unique_ptr<storage::PageFile> file) {
+  if (file->page_count() == 0) {
+    return Status::Corruption("index file is empty");
+  }
+  storage::Page header;
+  XRANK_RETURN_NOT_OK(file->Read(0, &header));
+  if (header.ReadU32(kMagicOffset) != kIndexMagic) {
+    return Status::Corruption("bad index magic");
+  }
+  BuiltIndex index;
+  uint32_t kind = header.ReadU32(kKindOffset);
+  if (kind < 1 || kind > 5) return Status::Corruption("bad index kind");
+  index.kind = static_cast<IndexKind>(kind);
+  index.stats.list_pages = header.ReadU64(kListPagesOffset);
+  index.stats.index_pages = header.ReadU64(kIndexPagesOffset);
+  index.stats.lexicon_pages = header.ReadU64(kLexiconPagesOffset);
+  index.stats.entry_count = header.ReadU64(kEntryCountOffset);
+  index.stats.list_used_bytes = header.ReadU64(kListUsedBytesOffset);
+
+  uint32_t lex_first = header.ReadU32(kLexFirstPageOffset);
+  uint32_t lex_pages = header.ReadU32(kLexPageCountOffset);
+  uint64_t lex_bytes = header.ReadU64(kLexByteLenOffset);
+  if (static_cast<uint64_t>(lex_first) + lex_pages > file->page_count() ||
+      lex_bytes > static_cast<uint64_t>(lex_pages) * storage::kPageSize) {
+    return Status::Corruption("bad lexicon extent");
+  }
+  std::string blob;
+  blob.reserve(lex_bytes);
+  for (uint32_t i = 0; i < lex_pages; ++i) {
+    storage::Page page;
+    XRANK_RETURN_NOT_OK(file->Read(lex_first + i, &page));
+    size_t chunk = std::min(static_cast<size_t>(lex_bytes - blob.size()),
+                            storage::kPageSize);
+    blob.append(page.data.data(), chunk);
+    if (blob.size() == lex_bytes) break;
+  }
+  XRANK_ASSIGN_OR_RETURN(index.lexicon, Lexicon::Deserialize(blob));
+  index.file = std::move(file);
+  return index;
+}
+
+}  // namespace xrank::index

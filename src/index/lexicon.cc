@@ -1,0 +1,72 @@
+#include "index/lexicon.h"
+
+#include "common/varint.h"
+
+namespace xrank::index {
+
+void Lexicon::Add(std::string term, TermInfo info) {
+  terms_[std::move(term)] = info;
+}
+
+const TermInfo* Lexicon::Find(std::string_view term) const {
+  auto it = terms_.find(term);
+  if (it == terms_.end()) return nullptr;
+  return &it->second;
+}
+
+void Lexicon::Serialize(std::string* out) const {
+  PutVarint64(out, terms_.size());
+  for (const auto& [term, info] : terms_) {
+    PutVarint32(out, static_cast<uint32_t>(term.size()));
+    out->append(term);
+    PutVarint32(out, info.list.first_page);
+    PutVarint32(out, info.list.page_count);
+    PutVarint64(out, info.list.entry_count);
+    PutVarint64(out, info.list.byte_count);
+    PutVarint32(out, info.rank_list.first_page);
+    PutVarint32(out, info.rank_list.page_count);
+    PutVarint64(out, info.rank_list.entry_count);
+    PutVarint64(out, info.rank_list.byte_count);
+    PutVarint64(out, info.btree_root);
+    PutVarint32(out, info.hash_first_page);
+    PutVarint32(out, info.hash_page_count);
+    PutVarint32(out, info.hash_slot_count);
+    PutVarint32(out, info.hash_offset);
+  }
+}
+
+Result<Lexicon> Lexicon::Deserialize(std::string_view data) {
+  Lexicon lexicon;
+  size_t offset = 0;
+  XRANK_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &offset));
+  for (uint64_t i = 0; i < count; ++i) {
+    XRANK_ASSIGN_OR_RETURN(uint32_t term_len, GetVarint32(data, &offset));
+    if (offset + term_len > data.size()) {
+      return Status::Corruption("truncated lexicon term");
+    }
+    std::string term(data.substr(offset, term_len));
+    offset += term_len;
+    TermInfo info;
+    XRANK_ASSIGN_OR_RETURN(info.list.first_page, GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.list.page_count, GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.list.entry_count, GetVarint64(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.list.byte_count, GetVarint64(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.rank_list.first_page,
+                           GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.rank_list.page_count,
+                           GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.rank_list.entry_count,
+                           GetVarint64(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.rank_list.byte_count,
+                           GetVarint64(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.btree_root, GetVarint64(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.hash_first_page, GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.hash_page_count, GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.hash_slot_count, GetVarint32(data, &offset));
+    XRANK_ASSIGN_OR_RETURN(info.hash_offset, GetVarint32(data, &offset));
+    lexicon.Add(std::move(term), info);
+  }
+  return lexicon;
+}
+
+}  // namespace xrank::index

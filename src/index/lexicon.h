@@ -1,0 +1,55 @@
+#ifndef XRANK_INDEX_LEXICON_H_
+#define XRANK_INDEX_LEXICON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "index/posting.h"
+#include "storage/btree.h"
+
+namespace xrank::index {
+
+// Per-term index metadata. Which fields are populated depends on the index
+// kind: DIL uses only `list`; RDIL adds `btree_root` (dense B+-tree on Dewey
+// IDs); HDIL adds `rank_list` (rank-ordered prefix) and a sparse
+// `btree_root`; Naive-Rank uses the `hash_*` fields.
+struct TermInfo {
+  ListExtent list;
+  ListExtent rank_list;
+  storage::NodeRef btree_root = storage::kInvalidRef;
+  storage::PageId hash_first_page = storage::kInvalidPage;
+  uint32_t hash_page_count = 0;
+  uint32_t hash_slot_count = 0;
+  // Byte offset of the table within hash_first_page; small tables share
+  // pages (same space optimization as short B+-trees, Section 4.3.1).
+  // Multi-page tables always start at offset 0.
+  uint32_t hash_offset = 0;
+};
+
+// Term dictionary. Held in memory at query time (as in most IR engines);
+// serialized into the index file's trailing pages.
+class Lexicon {
+ public:
+  void Add(std::string term, TermInfo info);
+
+  // nullptr if the term does not occur in the collection.
+  const TermInfo* Find(std::string_view term) const;
+
+  size_t term_count() const { return terms_.size(); }
+  const std::map<std::string, TermInfo, std::less<>>& terms() const {
+    return terms_;
+  }
+
+  void Serialize(std::string* out) const;
+  static Result<Lexicon> Deserialize(std::string_view data);
+
+ private:
+  std::map<std::string, TermInfo, std::less<>> terms_;
+};
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_LEXICON_H_

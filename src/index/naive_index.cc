@@ -1,0 +1,226 @@
+#include "index/naive_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/btree.h"
+
+namespace xrank::index {
+
+namespace {
+
+// On-disk hash index: open-addressed (linear probing) table of 12-byte
+// slots (u32 element ordinal + u64 posting location; the all-ones ordinal
+// marks an empty slot). A probe reads the page holding the initial slot and
+// walks forward, wrapping at the table end; load factor is at most 75%.
+constexpr size_t kSlotSize = 12;
+constexpr uint32_t kEmptyKey = 0xFFFFFFFFu;
+
+uint64_t HashOrdinal(uint32_t key) {
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint32_t NextPowerOfTwo(uint32_t n) {
+  uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+struct HashBuildResult {
+  storage::PageId first_page = storage::kInvalidPage;
+  uint32_t page_count = 0;
+  uint32_t slot_count = 0;
+  uint32_t offset = 0;
+};
+
+Result<HashBuildResult> BuildHashIndex(
+    storage::PageFile* file, storage::SharedPagePacker* packer,
+    const std::vector<std::pair<uint32_t, uint64_t>>& entries) {
+  HashBuildResult result;
+  result.slot_count = NextPowerOfTwo(std::max<uint32_t>(
+      4, static_cast<uint32_t>(entries.size() * 4 / 3 + 1)));
+  uint32_t mask = result.slot_count - 1;
+
+  // Stage the table in memory.
+  struct Slot {
+    uint32_t key = kEmptyKey;
+    uint64_t value = 0;
+  };
+  std::vector<Slot> slots(result.slot_count);
+  for (const auto& [key, value] : entries) {
+    if (key == kEmptyKey) {
+      return Status::InvalidArgument("element ordinal collides with sentinel");
+    }
+    uint32_t slot = static_cast<uint32_t>(HashOrdinal(key)) & mask;
+    while (slots[slot].key != kEmptyKey) {
+      if (slots[slot].key == key) {
+        return Status::InvalidArgument("duplicate hash index key");
+      }
+      slot = (slot + 1) & mask;
+    }
+    slots[slot] = Slot{key, value};
+  }
+  std::string serialized(slots.size() * kSlotSize, '\0');
+  for (size_t s = 0; s < slots.size(); ++s) {
+    char* base = serialized.data() + s * kSlotSize;
+    std::memcpy(base, &slots[s].key, 4);
+    std::memcpy(base + 4, &slots[s].value, 8);
+  }
+
+  if (serialized.size() <= storage::kPageSize && packer != nullptr) {
+    // Small table: share a page with other terms' tables (the same space
+    // optimization the paper applies to short B+-trees, Section 4.3.1).
+    XRANK_ASSIGN_OR_RETURN(storage::NodeRef ref, packer->Append(serialized));
+    result.first_page = storage::NodeRefPage(ref);
+    result.offset = storage::NodeRefOffset(ref);
+    result.page_count = 0;  // shared with other tables
+    return result;
+  }
+
+  result.page_count = static_cast<uint32_t>(
+      (serialized.size() + storage::kPageSize - 1) / storage::kPageSize);
+  for (uint32_t p = 0; p < result.page_count; ++p) {
+    XRANK_ASSIGN_OR_RETURN(storage::PageId page, file->Allocate());
+    if (result.first_page == storage::kInvalidPage) {
+      result.first_page = page;
+    } else if (page != result.first_page + p) {
+      return Status::Internal("hash index pages not consecutive");
+    }
+    storage::Page page_data{};
+    size_t chunk = std::min(storage::kPageSize,
+                            serialized.size() - p * storage::kPageSize);
+    std::memcpy(page_data.data.data(),
+                serialized.data() + p * storage::kPageSize, chunk);
+    XRANK_RETURN_NOT_OK(file->Write(page, page_data));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<std::optional<PostingLocation>> HashIndexLookup(
+    storage::BufferPool* pool, const TermInfo& info,
+    uint32_t element_ordinal) {
+  if (info.hash_slot_count == 0) return std::optional<PostingLocation>();
+  uint32_t mask = info.hash_slot_count - 1;
+  uint32_t slot = static_cast<uint32_t>(HashOrdinal(element_ordinal)) & mask;
+  storage::Page page;
+  uint32_t loaded_page_index = UINT32_MAX;
+  for (uint32_t probes = 0; probes < info.hash_slot_count; ++probes) {
+    // hash_offset > 0 means a packed sub-page table (always single-page).
+    size_t byte_position = info.hash_offset + slot * kSlotSize;
+    uint32_t page_index =
+        static_cast<uint32_t>(byte_position / storage::kPageSize);
+    if (page_index != loaded_page_index) {
+      XRANK_RETURN_NOT_OK(pool->Read(info.hash_first_page + page_index, &page));
+      loaded_page_index = page_index;
+    }
+    size_t base = byte_position % storage::kPageSize;
+    uint32_t key = page.ReadU32(base);
+    if (key == kEmptyKey) return std::optional<PostingLocation>();
+    if (key == element_ordinal) {
+      return std::optional<PostingLocation>(
+          DecodePostingLocation(page.ReadU64(base + 4)));
+    }
+    slot = (slot + 1) & mask;
+  }
+  return std::optional<PostingLocation>();
+}
+
+Result<BuiltIndex> BuildNaiveIdIndex(const TermPostingsMap& naive_postings,
+                                     std::unique_ptr<storage::PageFile> file) {
+  BuiltIndex index;
+  index.kind = IndexKind::kNaiveId;
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  for (const auto& [term, postings] : naive_postings) {
+    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
+    for (const Posting& posting : postings) {
+      XRANK_RETURN_NOT_OK(writer.Add(posting).status());
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
+    index.stats.list_pages += extent.page_count;
+    index.stats.list_used_bytes += extent.byte_count;
+    index.stats.entry_count += extent.entry_count;
+    TermInfo info;
+    info.list = extent;
+    index.lexicon.Add(term, info);
+  }
+
+  XRANK_RETURN_NOT_OK(WriteIndexTrailer(file.get(), IndexKind::kNaiveId,
+                                        index.lexicon, &index.stats));
+  index.file = std::move(file);
+  return index;
+}
+
+Result<BuiltIndex> BuildNaiveRankIndex(
+    const TermPostingsMap& naive_postings,
+    std::unique_ptr<storage::PageFile> file) {
+  BuiltIndex index;
+  index.kind = IndexKind::kNaiveRank;
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  struct StagedHash {
+    std::string term;
+    std::vector<std::pair<uint32_t, uint64_t>> entries;  // ordinal -> loc
+  };
+  std::vector<StagedHash> staged;
+
+  for (const auto& [term, postings] : naive_postings) {
+    std::vector<const Posting*> by_rank;
+    by_rank.reserve(postings.size());
+    for (const Posting& posting : postings) by_rank.push_back(&posting);
+    std::sort(by_rank.begin(), by_rank.end(),
+              [](const Posting* a, const Posting* b) {
+                if (a->elem_rank != b->elem_rank) {
+                  return a->elem_rank > b->elem_rank;
+                }
+                return a->id < b->id;
+              });
+
+    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
+    StagedHash stage;
+    stage.term = term;
+    stage.entries.reserve(postings.size());
+    for (const Posting* posting : by_rank) {
+      XRANK_ASSIGN_OR_RETURN(PostingLocation loc, writer.Add(*posting));
+      stage.entries.emplace_back(posting->id.component(0),
+                                 EncodePostingLocation(loc));
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
+    index.stats.list_pages += extent.page_count;
+    index.stats.list_used_bytes += extent.byte_count;
+    index.stats.entry_count += extent.entry_count;
+    TermInfo info;
+    info.list = extent;
+    index.lexicon.Add(term, info);
+    staged.push_back(std::move(stage));
+  }
+
+  uint32_t index_pages_before = file->page_count();
+  storage::SharedPagePacker packer(file.get());
+  for (StagedHash& stage : staged) {
+    XRANK_ASSIGN_OR_RETURN(
+        HashBuildResult hash,
+        BuildHashIndex(file.get(), &packer, stage.entries));
+    TermInfo info = *index.lexicon.Find(stage.term);
+    info.hash_first_page = hash.first_page;
+    info.hash_page_count = hash.page_count;
+    info.hash_slot_count = hash.slot_count;
+    info.hash_offset = hash.offset;
+    index.lexicon.Add(stage.term, info);
+  }
+  index.stats.index_pages = file->page_count() - index_pages_before;
+
+  XRANK_RETURN_NOT_OK(WriteIndexTrailer(file.get(), IndexKind::kNaiveRank,
+                                        index.lexicon, &index.stats));
+  index.file = std::move(file);
+  return index;
+}
+
+}  // namespace xrank::index

@@ -1,0 +1,221 @@
+#include "index/posting.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/varint.h"
+#include "dewey/codec.h"
+
+namespace xrank::index {
+
+namespace {
+
+constexpr size_t kListPageHeaderSize = 2;  // u16 entry count
+
+void EncodePosting(const Posting& posting, const dewey::DeweyId* previous,
+                   std::string* out) {
+  if (previous != nullptr) {
+    dewey::EncodeDeweyIdDelta(*previous, posting.id, out);
+  } else {
+    dewey::EncodeDeweyId(posting.id, out);
+  }
+  uint32_t rank_bits;
+  static_assert(sizeof(rank_bits) == sizeof(posting.elem_rank));
+  std::memcpy(&rank_bits, &posting.elem_rank, sizeof(rank_bits));
+  out->append(reinterpret_cast<const char*>(&rank_bits), sizeof(rank_bits));
+  size_t count = std::min(posting.positions.size(), kMaxPositionsPerPosting);
+  PutVarint32(out, static_cast<uint32_t>(count));
+  uint32_t prev_pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    PutVarint32(out, posting.positions[i] - prev_pos);
+    prev_pos = posting.positions[i];
+  }
+}
+
+Result<Posting> DecodePosting(std::string_view data, size_t* offset,
+                              const dewey::DeweyId* previous) {
+  Posting posting;
+  if (previous != nullptr) {
+    XRANK_ASSIGN_OR_RETURN(posting.id,
+                           dewey::DecodeDeweyIdDelta(*previous, data, offset));
+  } else {
+    XRANK_ASSIGN_OR_RETURN(posting.id, dewey::DecodeDeweyId(data, offset));
+  }
+  if (*offset + sizeof(uint32_t) > data.size()) {
+    return Status::Corruption("truncated posting rank");
+  }
+  uint32_t rank_bits;
+  std::memcpy(&rank_bits, data.data() + *offset, sizeof(rank_bits));
+  std::memcpy(&posting.elem_rank, &rank_bits, sizeof(rank_bits));
+  *offset += sizeof(rank_bits);
+  XRANK_ASSIGN_OR_RETURN(uint32_t count, GetVarint32(data, offset));
+  if (count > kMaxPositionsPerPosting) {
+    return Status::Corruption("posting position count out of range");
+  }
+  posting.positions.reserve(count);
+  uint32_t position = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    XRANK_ASSIGN_OR_RETURN(uint32_t delta, GetVarint32(data, offset));
+    position += delta;
+    posting.positions.push_back(position);
+  }
+  return posting;
+}
+
+}  // namespace
+
+size_t EncodedPostingSize(const Posting& posting,
+                          const dewey::DeweyId* previous) {
+  std::string buffer;
+  EncodePosting(posting, previous, &buffer);
+  return buffer.size();
+}
+
+// ---------------------------------------------------------------- writer --
+
+PostingListWriter::PostingListWriter(storage::PageFile* file,
+                                     bool delta_encode_ids)
+    : file_(file), delta_encode_ids_(delta_encode_ids) {}
+
+Status PostingListWriter::FlushPage() {
+  XRANK_ASSIGN_OR_RETURN(storage::PageId page, file_->Allocate());
+  if (!pages_.empty()) {
+    // Lists must occupy consecutive pages so sequential scans are cheap and
+    // SeekToPage can address pages by index.
+    if (page != pages_.back() + 1) {
+      return Status::Internal("posting list pages not consecutive");
+    }
+  }
+  storage::Page page_data{};
+  page_data.WriteU16(0, page_count_in_page_);
+  std::memcpy(page_data.data.data() + kListPageHeaderSize,
+              page_entries_.data(), page_entries_.size());
+  XRANK_RETURN_NOT_OK(file_->Write(page, page_data));
+  pages_.push_back(page);
+  page_entries_.clear();
+  page_count_in_page_ = 0;
+  previous_id_ = dewey::DeweyId();  // next page starts raw
+  return Status::OK();
+}
+
+Result<PostingLocation> PostingListWriter::Add(const Posting& posting) {
+  XRANK_CHECK(!finished_, "Add after Finish");
+  const dewey::DeweyId* previous =
+      (delta_encode_ids_ && page_count_in_page_ > 0) ? &previous_id_ : nullptr;
+  std::string encoded;
+  EncodePosting(posting, previous, &encoded);
+  if (kListPageHeaderSize + page_entries_.size() + encoded.size() >
+      storage::kPageSize) {
+    if (page_count_in_page_ == 0) {
+      return Status::InvalidArgument("posting larger than a page");
+    }
+    XRANK_RETURN_NOT_OK(FlushPage());
+    // Re-encode raw at the start of the new page.
+    encoded.clear();
+    EncodePosting(posting, nullptr, &encoded);
+    if (kListPageHeaderSize + encoded.size() > storage::kPageSize) {
+      return Status::InvalidArgument("posting larger than a page");
+    }
+  }
+  PostingLocation loc{static_cast<uint32_t>(pages_.size()),
+                      page_count_in_page_};
+  if (page_count_in_page_ == 0) extent_.byte_count += kListPageHeaderSize;
+  page_entries_ += encoded;
+  extent_.byte_count += encoded.size();
+  ++page_count_in_page_;
+  previous_id_ = posting.id;
+  ++extent_.entry_count;
+  return loc;
+}
+
+Result<ListExtent> PostingListWriter::Finish() {
+  XRANK_CHECK(!finished_, "double Finish");
+  finished_ = true;
+  if (page_count_in_page_ > 0) XRANK_RETURN_NOT_OK(FlushPage());
+  extent_.page_count = static_cast<uint32_t>(pages_.size());
+  extent_.first_page = pages_.empty() ? storage::kInvalidPage : pages_.front();
+  return extent_;
+}
+
+// ---------------------------------------------------------------- cursor --
+
+PostingListCursor::PostingListCursor(storage::BufferPool* pool,
+                                     const ListExtent& extent,
+                                     bool delta_encode_ids)
+    : pool_(pool), extent_(extent), delta_encode_ids_(delta_encode_ids) {}
+
+bool PostingListCursor::AtEnd() const {
+  if (page_index_ >= extent_.page_count) return true;
+  if (page_index_ == extent_.page_count - 1 && page_loaded_ &&
+      entry_index_ >= entries_in_page_) {
+    return true;
+  }
+  return false;
+}
+
+Status PostingListCursor::LoadPage() {
+  XRANK_RETURN_NOT_OK(pool_->Read(extent_.first_page + page_index_, &page_));
+  entries_in_page_ = page_.ReadU16(0);
+  entry_index_ = 0;
+  byte_offset_ = kListPageHeaderSize;
+  previous_id_ = dewey::DeweyId();
+  page_loaded_ = true;
+  return Status::OK();
+}
+
+Status PostingListCursor::SeekToPage(uint32_t page_index) {
+  if (page_index >= extent_.page_count) {
+    return Status::OutOfRange("SeekToPage beyond list");
+  }
+  page_index_ = page_index;
+  return LoadPage();
+}
+
+Result<bool> PostingListCursor::Next(Posting* out) {
+  for (;;) {
+    if (!page_loaded_) {
+      if (page_index_ >= extent_.page_count) return false;
+      XRANK_RETURN_NOT_OK(LoadPage());
+    }
+    if (entry_index_ >= entries_in_page_) {
+      ++page_index_;
+      page_loaded_ = false;
+      if (page_index_ >= extent_.page_count) return false;
+      continue;
+    }
+    const dewey::DeweyId* previous =
+        (delta_encode_ids_ && entry_index_ > 0) ? &previous_id_ : nullptr;
+    XRANK_ASSIGN_OR_RETURN(*out,
+                           DecodePosting(page_.view(), &byte_offset_, previous));
+    previous_id_ = out->id;
+    ++entry_index_;
+    return true;
+  }
+}
+
+Result<Posting> ReadPostingAt(storage::BufferPool* pool,
+                              const ListExtent& extent, PostingLocation loc,
+                              bool delta_encode_ids) {
+  if (loc.page_index >= extent.page_count) {
+    return Status::OutOfRange("posting page out of list bounds");
+  }
+  storage::Page page;
+  XRANK_RETURN_NOT_OK(pool->Read(extent.first_page + loc.page_index, &page));
+  uint16_t count = page.ReadU16(0);
+  if (loc.slot >= count) {
+    return Status::OutOfRange("posting slot out of page bounds");
+  }
+  size_t offset = kListPageHeaderSize;
+  dewey::DeweyId previous;
+  Posting posting;
+  for (uint16_t i = 0; i <= loc.slot; ++i) {
+    const dewey::DeweyId* prev =
+        (delta_encode_ids && i > 0) ? &previous : nullptr;
+    XRANK_ASSIGN_OR_RETURN(posting, DecodePosting(page.view(), &offset, prev));
+    previous = posting.id;
+  }
+  return posting;
+}
+
+}  // namespace xrank::index

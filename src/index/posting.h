@@ -1,0 +1,130 @@
+#ifndef XRANK_INDEX_POSTING_H_
+#define XRANK_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dewey/dewey_id.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace xrank::index {
+
+// One inverted-list entry: the Dewey ID of an element that *directly*
+// contains the keyword, the element's ElemRank, and the (document-global)
+// word positions of the keyword inside that element (paper Section 4.2.1).
+struct Posting {
+  dewey::DeweyId id;
+  float elem_rank = 0.0f;
+  std::vector<uint32_t> positions;
+
+  bool operator==(const Posting& other) const = default;
+};
+
+// Postings whose position list would overflow a page are truncated to this
+// many positions (an element repeating one term 400+ times adds nothing to
+// existence or window computation).
+inline constexpr size_t kMaxPositionsPerPosting = 400;
+
+// Physical location of a posting within a list: page index *within the
+// list's page run* plus the slot on that page. Encoded into B+-tree values.
+struct PostingLocation {
+  uint32_t page_index = 0;
+  uint16_t slot = 0;
+};
+
+inline uint64_t EncodePostingLocation(PostingLocation loc) {
+  return (static_cast<uint64_t>(loc.page_index) << 16) | loc.slot;
+}
+inline PostingLocation DecodePostingLocation(uint64_t encoded) {
+  return PostingLocation{static_cast<uint32_t>(encoded >> 16),
+                         static_cast<uint16_t>(encoded & 0xFFFF)};
+}
+
+// Extent of one term's list within a page file.
+struct ListExtent {
+  storage::PageId first_page = storage::kInvalidPage;
+  uint32_t page_count = 0;
+  uint64_t entry_count = 0;
+  // Encoded bytes actually used (page headers + postings). Space reporting
+  // uses this; page_count * kPageSize additionally includes the trailing
+  // padding of the last page of each list.
+  uint64_t byte_count = 0;
+};
+
+// Appends postings to consecutive pages of a PageFile. Page layout:
+//   u16 entry count, then back-to-back encoded postings. With
+// `delta_encode_ids` (Dewey-ordered lists) each posting's ID is
+// prefix-delta-coded against the previous posting on the same page (the
+// first posting on a page is raw, so pages are self-decoding).
+class PostingListWriter {
+ public:
+  PostingListWriter(storage::PageFile* file, bool delta_encode_ids);
+
+  // Returns the location the posting was placed at.
+  Result<PostingLocation> Add(const Posting& posting);
+
+  Result<ListExtent> Finish();
+
+ private:
+  Status FlushPage();
+
+  storage::PageFile* file_;
+  bool delta_encode_ids_;
+  std::string page_entries_;
+  uint16_t page_count_in_page_ = 0;
+  dewey::DeweyId previous_id_;
+  ListExtent extent_;
+  std::vector<storage::PageId> pages_;
+  bool finished_ = false;
+};
+
+// Sequential cursor over a list's page run (through the buffer pool, so
+// reads are charged to the cost model).
+class PostingListCursor {
+ public:
+  PostingListCursor(storage::BufferPool* pool, const ListExtent& extent,
+                    bool delta_encode_ids);
+
+  // Reads the next posting; returns false at end of list.
+  Result<bool> Next(Posting* out);
+
+  bool AtEnd() const;
+
+  // Repositions at the start of the list page with the given index within
+  // the run (used by HDIL to jump via its sparse B+-tree).
+  Status SeekToPage(uint32_t page_index);
+
+  uint32_t current_page_index() const { return page_index_; }
+  const ListExtent& extent() const { return extent_; }
+
+ private:
+  Status LoadPage();
+
+  storage::BufferPool* pool_;
+  ListExtent extent_;
+  bool delta_encode_ids_;
+  uint32_t page_index_ = 0;
+  uint16_t entries_in_page_ = 0;
+  uint16_t entry_index_ = 0;
+  size_t byte_offset_ = 0;
+  storage::Page page_;
+  dewey::DeweyId previous_id_;
+  bool page_loaded_ = false;
+};
+
+// Random access to one posting (used by RDIL after a B+-tree lookup; decodes
+// the page up to the requested slot).
+Result<Posting> ReadPostingAt(storage::BufferPool* pool,
+                              const ListExtent& extent, PostingLocation loc,
+                              bool delta_encode_ids);
+
+// Serialized size of `posting` when encoded after `previous` (raw when
+// delta encoding is off or the posting starts a page).
+size_t EncodedPostingSize(const Posting& posting,
+                          const dewey::DeweyId* previous);
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_POSTING_H_

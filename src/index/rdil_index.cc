@@ -1,0 +1,85 @@
+#include "index/rdil_index.h"
+
+#include <algorithm>
+
+#include "storage/btree.h"
+
+namespace xrank::index {
+
+Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
+                                  std::unique_ptr<storage::PageFile> file) {
+  BuiltIndex index;
+  index.kind = IndexKind::kRdil;
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  // Phase 1: the rank-ordered lists. Lists must occupy consecutive pages,
+  // so each term's list is written completely before the next; B+-tree
+  // loads are staged until phase 2.
+  struct StagedTree {
+    std::string term;
+    std::vector<std::pair<dewey::DeweyId, uint64_t>> entries;  // id -> loc
+  };
+  std::vector<StagedTree> staged;
+
+  for (const auto& [term, postings] : dewey_postings) {
+    // Sort by descending ElemRank; ties broken by Dewey ID so builds are
+    // deterministic.
+    std::vector<const Posting*> by_rank;
+    by_rank.reserve(postings.size());
+    for (const Posting& posting : postings) by_rank.push_back(&posting);
+    std::sort(by_rank.begin(), by_rank.end(),
+              [](const Posting* a, const Posting* b) {
+                if (a->elem_rank != b->elem_rank) {
+                  return a->elem_rank > b->elem_rank;
+                }
+                return a->id < b->id;
+              });
+
+    // Rank order destroys prefix locality, so IDs are stored raw.
+    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
+    StagedTree tree;
+    tree.term = term;
+    tree.entries.reserve(postings.size());
+    for (const Posting* posting : by_rank) {
+      XRANK_ASSIGN_OR_RETURN(PostingLocation loc, writer.Add(*posting));
+      tree.entries.emplace_back(posting->id, EncodePostingLocation(loc));
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
+    index.stats.list_pages += extent.page_count;
+    index.stats.list_used_bytes += extent.byte_count;
+    index.stats.entry_count += extent.entry_count;
+    TermInfo info;
+    info.list = extent;
+    index.lexicon.Add(term, info);
+
+    std::sort(tree.entries.begin(), tree.entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    staged.push_back(std::move(tree));
+  }
+
+  // Phase 2: one dense B+-tree per term, keyed by Dewey ID. Short trees
+  // share pages through the packer.
+  uint32_t index_pages_before = file->page_count();
+  storage::SharedPagePacker packer(file.get());
+  for (StagedTree& tree : staged) {
+    storage::BtreeBuilder builder(file.get(), &packer);
+    for (const auto& [id, value] : tree.entries) {
+      XRANK_RETURN_NOT_OK(builder.Add(id, value));
+    }
+    XRANK_ASSIGN_OR_RETURN(storage::BtreeBuilder::BuildStats tree_stats,
+                           builder.Finish());
+    const TermInfo* existing = index.lexicon.Find(tree.term);
+    TermInfo info = *existing;
+    info.btree_root = tree_stats.root;
+    index.lexicon.Add(tree.term, info);
+  }
+  index.stats.index_pages = file->page_count() - index_pages_before;
+
+  XRANK_RETURN_NOT_OK(WriteIndexTrailer(file.get(), IndexKind::kRdil,
+                                        index.lexicon, &index.stats));
+  index.file = std::move(file);
+  return index;
+}
+
+}  // namespace xrank::index

@@ -1,0 +1,20 @@
+#ifndef XRANK_INDEX_RDIL_INDEX_H_
+#define XRANK_INDEX_RDIL_INDEX_H_
+
+#include <memory>
+
+#include "index/index_builder.h"
+
+namespace xrank::index {
+
+// Builds the Ranked Dewey Inverted List (paper Section 4.3): per term, the
+// postings sorted by descending ElemRank, plus a dense disk-resident
+// B+-tree on the Dewey ID whose values locate postings inside the
+// rank-ordered list. Single-leaf B+-trees of short lists are packed onto
+// shared pages (the space optimization of Section 4.3.1).
+Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
+                                  std::unique_ptr<storage::PageFile> file);
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_RDIL_INDEX_H_

@@ -1,0 +1,68 @@
+#ifndef XRANK_QUERY_DEWEY_STACK_H_
+#define XRANK_QUERY_DEWEY_STACK_H_
+
+#include <functional>
+#include <vector>
+
+#include "index/posting.h"
+#include "query/scoring.h"
+
+namespace xrank::query {
+
+// The Dewey-stack merge at the heart of DIL query processing (paper
+// Figure 5), also reused by RDIL to verify a candidate subtree. Postings
+// must be fed in global Dewey-ID order (across all keywords); the merger
+// maintains the stack of components of the current ID, and popping a stack
+// frame evaluates the corresponding element:
+//
+//  * if every keyword's position list is non-empty, the element contains
+//    all query keywords — it is emitted as a result and marked ContainsAll
+//    (it is in R0, so nothing propagates above it; Section 2.2's exclusion
+//    of sub-elements already containing all keywords);
+//  * otherwise, unless a descendant already contained all keywords, its
+//    position lists and decay-scaled ranks merge into its parent
+//    (implementing r(v,k) = ElemRank(v_t) · decay^(t-1), Section 2.3.2.1).
+class DeweyStackMerger {
+ public:
+  using Callback = std::function<void(const CandidateResult&)>;
+
+  // Results shallower than `min_result_depth` components are suppressed
+  // (RDIL verification must not emit ancestors of the verified subtree
+  // root, whose other descendants were not scanned).
+  DeweyStackMerger(size_t num_keywords, const ScoringOptions& scoring,
+                   size_t min_result_depth, Callback callback);
+
+  // Feeds the next posting of keyword `keyword_index`. IDs must be
+  // non-decreasing across calls; equal IDs for different keywords are fine.
+  void Add(size_t keyword_index, const index::Posting& posting);
+
+  // Signals end of input: pops and evaluates all remaining frames.
+  void Flush();
+
+  uint64_t postings_consumed() const { return postings_consumed_; }
+
+ private:
+  struct Frame {
+    uint32_t component = 0;
+    std::vector<std::vector<uint32_t>> positions;  // per keyword
+    std::vector<double> ranks;                     // per keyword, 0 = absent
+    bool contains_all = false;
+  };
+
+  // Pops the top frame, evaluating / propagating per Figure 5 lines 12-24.
+  void PopFrame();
+  Frame MakeFrame(uint32_t component) const;
+
+  size_t num_keywords_;
+  ScoringOptions scoring_;
+  size_t min_result_depth_;
+  Callback callback_;
+  std::vector<Frame> stack_;
+  std::vector<uint32_t> path_;  // components of the current stack
+  uint64_t postings_consumed_ = 0;
+  bool flushed_ = false;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_DEWEY_STACK_H_

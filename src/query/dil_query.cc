@@ -1,0 +1,104 @@
+#include "query/dil_query.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "query/dewey_stack.h"
+#include "query/result_heap.h"
+
+namespace xrank::query {
+
+namespace {
+
+// Snapshot/diff helper shared by all processors.
+struct CostSnapshot {
+  uint64_t sequential = 0;
+  uint64_t random = 0;
+  double cost = 0.0;
+};
+
+CostSnapshot TakeSnapshot(const storage::CostModel* model) {
+  CostSnapshot snap;
+  if (model != nullptr) {
+    snap.sequential = model->sequential_reads();
+    snap.random = model->random_reads();
+    snap.cost = model->TotalCost();
+  }
+  return snap;
+}
+
+void FillIoStats(const storage::CostModel* model, const CostSnapshot& before,
+                 QueryStats* stats) {
+  if (model == nullptr) return;
+  stats->sequential_reads = model->sequential_reads() - before.sequential;
+  stats->random_reads = model->random_reads() - before.random;
+  stats->io_cost = model->TotalCost() - before.cost;
+}
+
+}  // namespace
+
+DilQueryProcessor::DilQueryProcessor(storage::BufferPool* pool,
+                                     const index::Lexicon* lexicon,
+                                     const ScoringOptions& scoring)
+    : pool_(pool), lexicon_(lexicon), scoring_(scoring) {}
+
+Result<QueryResponse> DilQueryProcessor::Execute(
+    const std::vector<std::string>& keywords, size_t m) {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  WallTimer timer;
+  CostSnapshot before = TakeSnapshot(pool_->cost_model());
+  QueryResponse response;
+
+  // A keyword absent from the collection makes the conjunction empty.
+  std::vector<index::PostingListCursor> cursors;
+  cursors.reserve(keywords.size());
+  for (const std::string& keyword : keywords) {
+    const index::TermInfo* info = lexicon_->Find(keyword);
+    if (info == nullptr) {
+      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+      return response;
+    }
+    cursors.emplace_back(pool_, info->list, /*delta_encode_ids=*/true);
+  }
+
+  TopKAccumulator accumulator(m);
+  DeweyStackMerger merger(keywords.size(), scoring_, /*min_result_depth=*/1,
+                          [&](const CandidateResult& candidate) {
+                            accumulator.Add(candidate.id,
+                                            candidate.overall_rank);
+                          });
+
+  // n-way merge by Dewey ID (Figure 5 lines 6-9): repeatedly consume the
+  // cursor holding the smallest next ID.
+  std::vector<index::Posting> current(cursors.size());
+  std::vector<bool> live(cursors.size(), false);
+  for (size_t k = 0; k < cursors.size(); ++k) {
+    XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
+    live[k] = has;
+  }
+  for (;;) {
+    size_t smallest = cursors.size();
+    for (size_t k = 0; k < cursors.size(); ++k) {
+      if (!live[k]) continue;
+      if (smallest == cursors.size() ||
+          current[k].id < current[smallest].id) {
+        smallest = k;
+      }
+    }
+    if (smallest == cursors.size()) break;  // all lists exhausted
+    merger.Add(smallest, current[smallest]);
+    XRANK_ASSIGN_OR_RETURN(bool has, cursors[smallest].Next(&current[smallest]));
+    live[smallest] = has;
+  }
+  merger.Flush();
+
+  response.results = accumulator.TakeTop();
+  response.stats.postings_scanned = merger.postings_consumed();
+  response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+  FillIoStats(pool_->cost_model(), before, &response.stats);
+  return response;
+}
+
+}  // namespace xrank::query

@@ -1,0 +1,38 @@
+#ifndef XRANK_QUERY_DIL_QUERY_H_
+#define XRANK_QUERY_DIL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/lexicon.h"
+#include "query/query.h"
+#include "storage/buffer_pool.h"
+
+namespace xrank::query {
+
+// Single-pass DIL evaluation (paper Figure 5): merges the keyword inverted
+// lists in Dewey-ID order through the Dewey stack, computing the most
+// specific results and their ranks in one sequential scan of each list.
+class DilQueryProcessor {
+ public:
+  // `pool` must wrap a DIL (or HDIL — the full lists are format-compatible)
+  // index file; `lexicon` describes it. Both are borrowed.
+  DilQueryProcessor(storage::BufferPool* pool,
+                    const index::Lexicon* lexicon,
+                    const ScoringOptions& scoring);
+
+  // Keywords must already be analyzer-normalized. A keyword missing from
+  // the lexicon yields an empty result (conjunctive semantics).
+  Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
+                                size_t m);
+
+ private:
+  storage::BufferPool* pool_;
+  const index::Lexicon* lexicon_;
+  ScoringOptions scoring_;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_DIL_QUERY_H_

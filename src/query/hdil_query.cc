@@ -1,0 +1,291 @@
+#include "query/hdil_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/timer.h"
+#include "query/dewey_stack.h"
+#include "query/dil_query.h"
+#include "query/result_heap.h"
+#include "storage/btree.h"
+
+namespace xrank::query {
+
+namespace {
+
+struct CostSnapshot {
+  uint64_t sequential = 0;
+  uint64_t random = 0;
+  double cost = 0.0;
+};
+
+CostSnapshot TakeSnapshot(const storage::CostModel* model) {
+  CostSnapshot snap;
+  if (model != nullptr) {
+    snap.sequential = model->sequential_reads();
+    snap.random = model->random_reads();
+    snap.cost = model->TotalCost();
+  }
+  return snap;
+}
+
+void FillIoStats(const storage::CostModel* model, const CostSnapshot& before,
+                 QueryStats* stats) {
+  if (model == nullptr) return;
+  stats->sequential_reads = model->sequential_reads() - before.sequential;
+  stats->random_reads = model->random_reads() - before.random;
+  stats->io_cost = model->TotalCost() - before.cost;
+}
+
+}  // namespace
+
+Result<size_t> HdilLongestCommonPrefix(storage::BufferPool* pool,
+                                       const index::TermInfo& info,
+                                       const dewey::DeweyId& key) {
+  if (info.btree_root == storage::kInvalidRef || info.list.entry_count == 0) {
+    return static_cast<size_t>(0);
+  }
+  storage::BtreeReader sparse(pool, info.btree_root);
+  XRANK_ASSIGN_OR_RETURN(storage::SeekResult seek, sparse.SeekCeil(key));
+
+  // The Dewey-order neighbours of `key` live on the last list page whose
+  // first ID precedes key (pred) or on the following page (ceil); scan both
+  // pages of the full list — they are the "leaf level" of this tree.
+  std::vector<uint32_t> pages;
+  if (seek.has_pred) pages.push_back(static_cast<uint32_t>(seek.pred.value));
+  if (seek.has_ceil) pages.push_back(static_cast<uint32_t>(seek.ceil.value));
+  size_t best = 0;
+  for (uint32_t page : pages) {
+    index::PostingListCursor cursor(pool, info.list,
+                                    /*delta_encode_ids=*/true);
+    XRANK_RETURN_NOT_OK(cursor.SeekToPage(page));
+    index::Posting posting;
+    for (;;) {
+      XRANK_ASSIGN_OR_RETURN(bool has, cursor.Next(&posting));
+      if (!has) break;
+      best = std::max(best, key.CommonPrefixLength(posting.id));
+      if (cursor.current_page_index() != page) break;
+    }
+  }
+  return best;
+}
+
+Status HdilScanPrefix(
+    storage::BufferPool* pool, const index::TermInfo& info,
+    const dewey::DeweyId& prefix,
+    const std::function<bool(const index::Posting&)>& fn) {
+  if (info.btree_root == storage::kInvalidRef || info.list.entry_count == 0) {
+    return Status::OK();
+  }
+  storage::BtreeReader sparse(pool, info.btree_root);
+  XRANK_ASSIGN_OR_RETURN(storage::SeekResult seek, sparse.SeekCeil(prefix));
+  uint32_t start_page;
+  if (seek.has_pred) {
+    start_page = static_cast<uint32_t>(seek.pred.value);
+  } else if (seek.has_ceil) {
+    start_page = static_cast<uint32_t>(seek.ceil.value);
+  } else {
+    return Status::OK();
+  }
+  index::PostingListCursor cursor(pool, info.list, /*delta_encode_ids=*/true);
+  XRANK_RETURN_NOT_OK(cursor.SeekToPage(start_page));
+  index::Posting posting;
+  for (;;) {
+    XRANK_ASSIGN_OR_RETURN(bool has, cursor.Next(&posting));
+    if (!has) return Status::OK();
+    if (prefix.IsPrefixOf(posting.id)) {
+      if (!fn(posting)) return Status::OK();
+    } else if (prefix < posting.id) {
+      return Status::OK();  // past the subtree
+    }
+  }
+}
+
+HdilQueryProcessor::HdilQueryProcessor(storage::BufferPool* pool,
+                                       const index::Lexicon* lexicon,
+                                       const ScoringOptions& scoring,
+                                       const HdilStrategyOptions& strategy)
+    : pool_(pool),
+      lexicon_(lexicon),
+      scoring_(scoring),
+      strategy_(strategy) {}
+
+Result<QueryResponse> HdilQueryProcessor::ExecuteDil(
+    const std::vector<std::string>& keywords, size_t m) {
+  DilQueryProcessor dil(pool_, lexicon_, scoring_);
+  return dil.Execute(keywords, m);
+}
+
+Result<QueryResponse> HdilQueryProcessor::Execute(
+    const std::vector<std::string>& keywords, size_t m) {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (scoring_.semantics == QuerySemantics::kDisjunctive) {
+    return Status::Unimplemented(
+        "disjunctive queries are evaluated via DIL (the threshold algorithm "
+        "here assumes conjunctive semantics, paper Section 4.3)");
+  }
+  WallTimer timer;
+  const storage::CostModel* model = pool_->cost_model();
+  CostSnapshot before = TakeSnapshot(model);
+  QueryResponse response;
+  size_t n = keywords.size();
+
+  std::vector<const index::TermInfo*> infos(n);
+  std::vector<index::PostingListCursor> rank_cursors;
+  rank_cursors.reserve(n);
+  double dil_cost_estimate = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    infos[k] = lexicon_->Find(keywords[k]);
+    if (infos[k] == nullptr) {
+      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+      return response;
+    }
+    rank_cursors.emplace_back(pool_, infos[k]->rank_list,
+                              /*delta_encode_ids=*/false);
+    // DIL's cost is predictable a priori: a full sequential scan of each
+    // keyword's inverted list (paper Section 4.4.2).
+    double seq_cost =
+        model != nullptr ? model->options().sequential_read_cost : 1.0;
+    dil_cost_estimate += seq_cost * infos[k]->list.page_count;
+  }
+
+  TopKAccumulator accumulator(m);
+
+  auto verify = [&](const dewey::DeweyId& lcp) -> Status {
+    struct Hit {
+      size_t keyword;
+      index::Posting posting;
+    };
+    std::vector<Hit> hits;
+    for (size_t k = 0; k < n; ++k) {
+      XRANK_RETURN_NOT_OK(HdilScanPrefix(
+          pool_, *infos[k], lcp, [&](const index::Posting& posting) {
+            hits.push_back(Hit{k, posting});
+            return true;
+          }));
+    }
+    response.stats.postings_scanned += hits.size();
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+      if (a.posting.id != b.posting.id) return a.posting.id < b.posting.id;
+      return a.keyword < b.keyword;
+    });
+    DeweyStackMerger merger(n, scoring_, /*min_result_depth=*/lcp.depth(),
+                            [&](const CandidateResult& candidate) {
+                              accumulator.Add(candidate.id,
+                                              candidate.overall_rank);
+                            });
+    for (const Hit& hit : hits) merger.Add(hit.keyword, hit.posting);
+    merger.Flush();
+    accumulator.MarkSeen(lcp);
+    return Status::OK();
+  };
+
+  // --- RDIL mode over the rank-ordered prefix lists ---
+  std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
+  size_t next_list = 0;
+  bool switch_to_dil = false;
+  bool done = false;
+
+  while (!done && !switch_to_dil) {
+    size_t k = next_list;
+    next_list = (next_list + 1) % n;
+
+    index::Posting entry;
+    XRANK_ASSIGN_OR_RETURN(bool has, rank_cursors[k].Next(&entry));
+    if (!has) {
+      // The rank prefix only covers the top fraction of this list: once it
+      // runs dry the threshold cannot drop further, so fall back to DIL
+      // (Section 4.4.2's low-correlation case).
+      switch_to_dil = true;
+      break;
+    }
+    ++response.stats.postings_scanned;
+    ++response.stats.rounds;
+    last_rank[k] = entry.elem_rank;
+
+    size_t lcp_len = entry.id.depth();
+    for (size_t j = 0; j < n && lcp_len > 0; ++j) {
+      if (j == k) continue;
+      XRANK_ASSIGN_OR_RETURN(size_t cpl,
+                             HdilLongestCommonPrefix(pool_, *infos[j],
+                                                     entry.id));
+      ++response.stats.btree_probes;
+      lcp_len = std::min(lcp_len, cpl);
+    }
+    if (lcp_len >= 1) {
+      dewey::DeweyId lcp = entry.id.Prefix(lcp_len);
+      if (!accumulator.Contains(lcp)) {
+        XRANK_RETURN_NOT_OK(verify(lcp));
+      }
+    }
+
+    double threshold = 0.0;
+    bool bounded = true;
+    for (size_t j = 0; j < n; ++j) {
+      if (std::isinf(last_rank[j])) {
+        bounded = false;
+        break;
+      }
+      threshold += last_rank[j];
+    }
+    if (bounded && accumulator.CountAtLeast(threshold) >= m) {
+      done = true;
+      response.stats.threshold_terminated = true;
+      break;
+    }
+
+    // Adaptive strategy (Section 4.4.2): estimate RDIL's remaining time as
+    // (m - r) * t / r and compare against DIL's predictable full-scan cost.
+    // Rounds are split round-robin over n lists, so the interval between
+    // checks scales with n to see the same per-list progress.
+    uint64_t interval =
+        std::max<uint64_t>(8, strategy_.check_interval * n / 2);
+    if (bounded && response.stats.rounds % interval == 0) {
+      double r = static_cast<double>(accumulator.CountAtLeast(threshold));
+      if (r == 0.0) {
+        // The paper's estimator diverges at r = 0: no result has cleared
+        // the threshold after a full check interval, the signature of
+        // uncorrelated keywords — switch immediately.
+        switch_to_dil = true;
+      } else if (r >= static_cast<double>(
+                          strategy_.min_results_for_estimate)) {
+        double t;
+        double dil_budget;
+        if (strategy_.use_cost_model && model != nullptr) {
+          t = model->TotalCost() - before.cost;
+          dil_budget = dil_cost_estimate;  // cost-model units
+        } else {
+          // Wall-clock mode (the paper's implementation): budget DIL at a
+          // fixed per-page sequential-scan time.
+          constexpr double kSequentialPageMs = 0.02;
+          t = timer.ElapsedSeconds() * 1e3;
+          double total_pages = 0.0;
+          for (size_t j = 0; j < n; ++j) {
+            total_pages += infos[j]->list.page_count;
+          }
+          dil_budget = kSequentialPageMs * total_pages;
+        }
+        double estimate = (static_cast<double>(m) - r) * t / r;
+        if (estimate > dil_budget) switch_to_dil = true;
+      }
+    }
+  }
+
+  if (switch_to_dil) {
+    XRANK_ASSIGN_OR_RETURN(QueryResponse dil_response,
+                           ExecuteDil(keywords, m));
+    response.results = std::move(dil_response.results);
+    response.stats.postings_scanned += dil_response.stats.postings_scanned;
+    response.stats.switched_to_dil = true;
+  } else {
+    response.results = accumulator.TakeTop();
+  }
+  response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+  FillIoStats(model, before, &response.stats);
+  return response;
+}
+
+}  // namespace xrank::query

@@ -1,0 +1,75 @@
+#ifndef XRANK_QUERY_HDIL_QUERY_H_
+#define XRANK_QUERY_HDIL_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/lexicon.h"
+#include "query/query.h"
+#include "storage/buffer_pool.h"
+
+namespace xrank::query {
+
+// Controls the adaptive RDIL→DIL switch-over of paper Section 4.4.2.
+struct HdilStrategyOptions {
+  // Re-evaluate the switch decision every this many threshold rounds. The
+  // first check must come late enough that one-off startup costs (first
+  // B+-tree levels, first list pages) do not pollute the per-result
+  // estimate; r = 0 at a check point means the keywords are uncorrelated
+  // and triggers an immediate switch (the estimator diverges).
+  uint64_t check_interval = 16;
+  // Do not estimate before this many results are above the threshold
+  // ((m-r)*t/r needs r > 0; the paper's estimator).
+  uint64_t min_results_for_estimate = 1;
+  // When true the decision uses the deterministic I/O cost model; when
+  // false it uses wall-clock time like the paper's implementation.
+  bool use_cost_model = true;
+};
+
+// HDIL evaluation (paper Section 4.4): starts in RDIL mode over the small
+// rank-ordered prefix lists, probing the sparse B+-trees whose leaf level is
+// the full Dewey-ordered list; monitors progress and switches to a full DIL
+// scan when RDIL's estimated remaining time exceeds DIL's predicted cost, or
+// when a rank prefix is exhausted (the prefix no longer bounds unseen
+// ranks).
+class HdilQueryProcessor {
+ public:
+  HdilQueryProcessor(storage::BufferPool* pool,
+                     const index::Lexicon* lexicon,
+                     const ScoringOptions& scoring,
+                     const HdilStrategyOptions& strategy = {});
+
+  Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
+                                size_t m);
+
+ private:
+  Result<QueryResponse> ExecuteDil(const std::vector<std::string>& keywords,
+                                   size_t m);
+
+  storage::BufferPool* pool_;
+  const index::Lexicon* lexicon_;
+  ScoringOptions scoring_;
+  HdilStrategyOptions strategy_;
+};
+
+// --- HDIL probe primitives (exposed for testing) ---
+
+// The deepest prefix of `key` shared with any posting ID in the term's full
+// list, located through the sparse B+-tree and the list pages themselves
+// (which act as the B+-tree leaf level).
+Result<size_t> HdilLongestCommonPrefix(storage::BufferPool* pool,
+                                       const index::TermInfo& info,
+                                       const dewey::DeweyId& key);
+
+// Scans all postings of the term whose ID has `prefix` as a Dewey prefix,
+// in ID order. Returning false from fn stops the scan.
+Status HdilScanPrefix(
+    storage::BufferPool* pool, const index::TermInfo& info,
+    const dewey::DeweyId& prefix,
+    const std::function<bool(const index::Posting&)>& fn);
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_HDIL_QUERY_H_

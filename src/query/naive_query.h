@@ -1,0 +1,57 @@
+#ifndef XRANK_QUERY_NAIVE_QUERY_H_
+#define XRANK_QUERY_NAIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/lexicon.h"
+#include "query/query.h"
+#include "storage/buffer_pool.h"
+
+namespace xrank::query {
+
+// Baseline processors over the naive element-granularity indexes (paper
+// Section 4.1 / 5.1). Result IDs are single-component Dewey IDs holding the
+// element's global preorder ordinal; the engine maps them back to real
+// elements. By design these return spurious ancestor results and ignore
+// result specificity — that is the paper's point of comparison.
+
+// Naive-ID: n-way equality merge join over ID-ordered lists; an element
+// (or replicated ancestor) appearing in every list is a result.
+class NaiveIdQueryProcessor {
+ public:
+  NaiveIdQueryProcessor(storage::BufferPool* pool,
+                        const index::Lexicon* lexicon,
+                        const ScoringOptions& scoring);
+
+  Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
+                                size_t m);
+
+ private:
+  storage::BufferPool* pool_;
+  const index::Lexicon* lexicon_;
+  ScoringOptions scoring_;
+};
+
+// Naive-Rank: Threshold Algorithm over rank-ordered lists; membership of an
+// element in the other keywords' lists is tested by hash-index probes
+// (random I/O), and the TA threshold is the sum of the last ranks seen.
+class NaiveRankQueryProcessor {
+ public:
+  NaiveRankQueryProcessor(storage::BufferPool* pool,
+                          const index::Lexicon* lexicon,
+                          const ScoringOptions& scoring);
+
+  Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
+                                size_t m);
+
+ private:
+  storage::BufferPool* pool_;
+  const index::Lexicon* lexicon_;
+  ScoringOptions scoring_;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_NAIVE_QUERY_H_

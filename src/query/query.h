@@ -1,0 +1,34 @@
+#ifndef XRANK_QUERY_QUERY_H_
+#define XRANK_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/scoring.h"
+
+namespace xrank::query {
+
+// Execution statistics common to all processors. I/O counts come from the
+// cost model attached to the buffer pool the processor runs against.
+struct QueryStats {
+  uint64_t postings_scanned = 0;   // list entries decoded
+  uint64_t btree_probes = 0;       // RDIL/HDIL index probes
+  uint64_t hash_probes = 0;        // Naive-Rank index probes
+  uint64_t rounds = 0;             // threshold-algorithm iterations
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  double io_cost = 0.0;            // weighted cost-model units
+  double wall_ms = 0.0;
+  bool switched_to_dil = false;    // HDIL adaptivity outcome
+  bool threshold_terminated = false;  // TA stopped before exhausting lists
+};
+
+struct QueryResponse {
+  std::vector<RankedResult> results;  // rank-descending, at most m
+  QueryStats stats;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_QUERY_H_

@@ -1,0 +1,37 @@
+#ifndef XRANK_QUERY_RDIL_QUERY_H_
+#define XRANK_QUERY_RDIL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/lexicon.h"
+#include "query/query.h"
+#include "storage/buffer_pool.h"
+
+namespace xrank::query {
+
+// RDIL evaluation (paper Figure 7): consumes the rank-ordered inverted
+// lists round-robin; for each entry, B+-tree probes on the other keywords
+// compute the deepest common ancestor containing all keywords, which is
+// verified by a range scan and scored; the Threshold Algorithm condition
+// (sum of the last ElemRanks seen per list, an overestimate because decay
+// and proximity are at most 1) stops the scan once the top m are certain.
+class RdilQueryProcessor {
+ public:
+  RdilQueryProcessor(storage::BufferPool* pool,
+                     const index::Lexicon* lexicon,
+                     const ScoringOptions& scoring);
+
+  Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
+                                size_t m);
+
+ private:
+  storage::BufferPool* pool_;
+  const index::Lexicon* lexicon_;
+  ScoringOptions scoring_;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_RDIL_QUERY_H_

@@ -1,0 +1,52 @@
+#include "query/result_heap.h"
+
+#include <algorithm>
+
+namespace xrank::query {
+
+bool TopKAccumulator::Add(const dewey::DeweyId& id, double rank) {
+  seen_[id] = true;
+  auto [it, inserted] = ranks_by_id_.emplace(id, rank);
+  if (inserted) {
+    ranks_desc_.insert(rank);
+    return true;
+  }
+  if (rank > it->second) {
+    ranks_desc_.erase(ranks_desc_.find(it->second));
+    ranks_desc_.insert(rank);
+    it->second = rank;
+  }
+  return false;
+}
+
+void TopKAccumulator::MarkSeen(const dewey::DeweyId& id) { seen_[id] = true; }
+
+bool TopKAccumulator::Contains(const dewey::DeweyId& id) const {
+  return seen_.find(id) != seen_.end();
+}
+
+size_t TopKAccumulator::CountAtLeast(double threshold) const {
+  size_t count = 0;
+  for (double rank : ranks_desc_) {
+    if (rank < threshold || count >= m_) break;
+    ++count;
+  }
+  return count;
+}
+
+std::vector<RankedResult> TopKAccumulator::TakeTop() const {
+  std::vector<RankedResult> results;
+  results.reserve(ranks_by_id_.size());
+  for (const auto& [id, rank] : ranks_by_id_) {
+    results.push_back(RankedResult{id, rank});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              return a.id < b.id;
+            });
+  if (results.size() > m_) results.resize(m_);
+  return results;
+}
+
+}  // namespace xrank::query

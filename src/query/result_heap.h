@@ -1,0 +1,53 @@
+#ifndef XRANK_QUERY_RESULT_HEAP_H_
+#define XRANK_QUERY_RESULT_HEAP_H_
+
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "dewey/dewey_id.h"
+#include "query/scoring.h"
+
+namespace xrank::query {
+
+// Accumulates query-result candidates and answers the two questions the
+// algorithms ask: "have we already evaluated this element?" (RDIL line 18)
+// and "do at least m candidates beat the current threshold?" (the TA
+// stopping condition, RDIL lines 26-28). Keeps every candidate — the paper
+// sizes the heap "greater than m" because low-ranked candidates can enter
+// the final top-m once the threshold drops.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(size_t m) : m_(m) {}
+
+  // Records a candidate. Returns true if the id was not seen before; a
+  // repeated id keeps the higher rank.
+  bool Add(const dewey::DeweyId& id, double rank);
+
+  // Marks an id as evaluated without giving it a rank (an element probed
+  // and rejected must not be verified again).
+  void MarkSeen(const dewey::DeweyId& id);
+
+  bool Contains(const dewey::DeweyId& id) const;
+
+  // Number of candidates with rank >= threshold, capped at m (early exit).
+  size_t CountAtLeast(double threshold) const;
+
+  size_t candidate_count() const { return ranks_by_id_.size(); }
+  size_t m() const { return m_; }
+
+  // The top min(m, candidates) results, rank-descending (ties by id so
+  // output is deterministic).
+  std::vector<RankedResult> TakeTop() const;
+
+ private:
+  size_t m_;
+  std::unordered_map<dewey::DeweyId, double, dewey::DeweyIdHash> ranks_by_id_;
+  std::unordered_map<dewey::DeweyId, bool, dewey::DeweyIdHash> seen_;
+  std::multiset<double, std::greater<double>> ranks_desc_;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_RESULT_HEAP_H_

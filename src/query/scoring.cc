@@ -1,0 +1,25 @@
+#include "query/scoring.h"
+
+#include <algorithm>
+
+namespace xrank::query {
+
+double AggregateRank(RankAggregation aggregation, double existing,
+                     double incoming) {
+  switch (aggregation) {
+    case RankAggregation::kMax:
+      return std::max(existing, incoming);
+    case RankAggregation::kSum:
+      return existing + incoming;
+  }
+  return existing;
+}
+
+double CombineRanks(const std::vector<double>& keyword_ranks,
+                    double proximity) {
+  double sum = 0.0;
+  for (double r : keyword_ranks) sum += r;
+  return sum * proximity;
+}
+
+}  // namespace xrank::query

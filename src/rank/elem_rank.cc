@@ -1,0 +1,232 @@
+#include "rank/elem_rank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace xrank::rank {
+
+namespace {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::XmlGraph;
+
+// Precomputed per-element structural facts shared by all formula variants.
+struct ElementFacts {
+  std::vector<NodeId> elements;        // all element node ids
+  std::vector<uint32_t> out_links;     // N_h(u)
+  std::vector<uint32_t> child_count;   // N_c(u), element children only
+  std::vector<uint8_t> has_parent;     // document roots have none
+  std::vector<double> jump_weight;     // random-jump distribution over nodes
+};
+
+ElementFacts CollectFacts(const XmlGraph& graph, Formula formula) {
+  ElementFacts facts;
+  size_t n = graph.node_count();
+  facts.out_links.assign(n, 0);
+  facts.child_count.assign(n, 0);
+  facts.has_parent.assign(n, 0);
+  facts.jump_weight.assign(n, 0.0);
+  double nd = static_cast<double>(graph.document_count());
+  for (NodeId u = 0; u < n; ++u) {
+    if (!graph.is_element(u)) continue;
+    facts.elements.push_back(u);
+    const auto& data = graph.node(u);
+    facts.out_links[u] = static_cast<uint32_t>(graph.hyperlinks(u).size());
+    facts.child_count[u] =
+        static_cast<uint32_t>(data.element_children.size());
+    facts.has_parent[u] = data.parent != kInvalidNode ? 1 : 0;
+    if (formula == Formula::kFinal) {
+      // (1 - d1 - d2 - d3) mass is spread as 1/(N_d · N_de(v)): uniform over
+      // documents, then uniform within the document (paper final formula).
+      double nde =
+          static_cast<double>(graph.documents()[data.document].element_count);
+      facts.jump_weight[u] = 1.0 / (nd * nde);
+    } else {
+      facts.jump_weight[u] = 1.0;  // normalized below
+    }
+  }
+  if (formula != Formula::kFinal && !facts.elements.empty()) {
+    double uniform = 1.0 / static_cast<double>(facts.elements.size());
+    for (NodeId u : facts.elements) facts.jump_weight[u] = uniform;
+  }
+  return facts;
+}
+
+// One push-style iteration. `navigation` is the total probability of
+// following edges (d for the early variants, d1+d2+d3 for the final one);
+// mass that cannot be pushed anywhere (dangling) is redistributed through
+// the jump distribution, preserving Σ ranks = 1.
+void Iterate(const XmlGraph& graph, const ElemRankOptions& options,
+             const ElementFacts& facts, const std::vector<double>& src,
+             std::vector<double>* dst) {
+  double navigation;
+  switch (options.formula) {
+    case Formula::kPageRankAdaptation:
+    case Formula::kBidirectional:
+      navigation = options.d;
+      break;
+    case Formula::kDiscriminated:
+      navigation = options.d1 + options.d2;
+      break;
+    case Formula::kFinal:
+      navigation = options.d1 + options.d2 + options.d3;
+      break;
+  }
+  double base = 1.0 - navigation;
+
+  std::fill(dst->begin(), dst->end(), 0.0);
+  double dangling = 0.0;
+
+  for (NodeId u : facts.elements) {
+    double rank = src[u];
+    if (rank == 0.0) continue;
+    const auto& data = graph.node(u);
+    const auto& links = graph.hyperlinks(u);
+    uint32_t nh = facts.out_links[u];
+    uint32_t nc = facts.child_count[u];
+    bool parent = facts.has_parent[u] != 0;
+
+    switch (options.formula) {
+      case Formula::kPageRankAdaptation: {
+        // All edges directed forward; out-degree = N_h + N_c.
+        uint32_t out = nh + nc;
+        if (out == 0) {
+          dangling += navigation * rank;
+          break;
+        }
+        double share = navigation * rank / out;
+        for (NodeId v : links) (*dst)[v] += share;
+        for (NodeId v : data.element_children) (*dst)[v] += share;
+        break;
+      }
+      case Formula::kBidirectional: {
+        // E = HE ∪ CE ∪ CE⁻¹, uniform weight 1/(N_h + N_c + 1). The paper's
+        // formula uses the +1 denominator unconditionally; when a root has
+        // no parent the reverse-containment share becomes dangling mass.
+        double share = navigation * rank / (nh + nc + 1);
+        for (NodeId v : links) (*dst)[v] += share;
+        for (NodeId v : data.element_children) (*dst)[v] += share;
+        if (parent) {
+          (*dst)[data.parent] += share;
+        } else {
+          dangling += share;
+        }
+        if (nh == 0 && nc == 0 && !parent) {
+          // Isolated single element: everything dangles.
+          dangling += navigation * rank - share;
+        }
+        break;
+      }
+      case Formula::kDiscriminated: {
+        // d1 over hyperlinks, d2 over containment (forward + reverse,
+        // denominator N_c + 1).
+        double rank_d1 = options.d1 * rank;
+        if (nh > 0) {
+          double share = rank_d1 / nh;
+          for (NodeId v : links) (*dst)[v] += share;
+        } else {
+          dangling += rank_d1;
+        }
+        double share = options.d2 * rank / (nc + 1);
+        for (NodeId v : data.element_children) (*dst)[v] += share;
+        if (parent) {
+          (*dst)[data.parent] += share;
+        } else {
+          dangling += share;
+        }
+        break;
+      }
+      case Formula::kFinal: {
+        // Proportional re-split of d1+d2+d3 among available alternatives
+        // (paper Section 3.1, last paragraph).
+        double available = 0.0;
+        if (nh > 0) available += options.d1;
+        if (nc > 0) available += options.d2;
+        if (parent) available += options.d3;
+        if (available == 0.0) {
+          dangling += navigation * rank;
+          break;
+        }
+        double scale = navigation / available;
+        if (nh > 0) {
+          double share = options.d1 * scale * rank / nh;
+          for (NodeId v : links) (*dst)[v] += share;
+        }
+        if (nc > 0) {
+          double share = options.d2 * scale * rank / nc;
+          for (NodeId v : data.element_children) (*dst)[v] += share;
+        }
+        if (parent) {
+          (*dst)[data.parent] += options.d3 * scale * rank;
+        }
+        break;
+      }
+    }
+  }
+
+  // Random-jump mass plus redistributed dangling mass.
+  double jump_mass = base + dangling;
+  for (NodeId u : facts.elements) {
+    (*dst)[u] += jump_mass * facts.jump_weight[u];
+  }
+}
+
+}  // namespace
+
+Result<ElemRankResult> ComputeElemRank(const XmlGraph& graph,
+                                       const ElemRankOptions& options) {
+  if (graph.element_count() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  double navigation;
+  switch (options.formula) {
+    case Formula::kPageRankAdaptation:
+    case Formula::kBidirectional:
+      navigation = options.d;
+      break;
+    case Formula::kDiscriminated:
+      navigation = options.d1 + options.d2;
+      break;
+    case Formula::kFinal:
+      navigation = options.d1 + options.d2 + options.d3;
+      break;
+  }
+  if (navigation <= 0.0 || navigation >= 1.0) {
+    return Status::InvalidArgument(
+        "navigation probability must be in (0,1); got " +
+        std::to_string(navigation));
+  }
+  if (options.d1 < 0 || options.d2 < 0 || options.d3 < 0) {
+    return Status::InvalidArgument("negative navigation probability");
+  }
+
+  ElementFacts facts = CollectFacts(graph, options.formula);
+  size_t n = graph.node_count();
+  std::vector<double> current(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  double uniform = 1.0 / static_cast<double>(facts.elements.size());
+  for (NodeId u : facts.elements) current[u] = uniform;
+
+  ElemRankResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Iterate(graph, options, facts, current, &next);
+    double delta = 0.0;
+    for (NodeId u : facts.elements) {
+      delta = std::max(delta, std::fabs(next[u] - current[u]));
+    }
+    current.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.ranks = std::move(current);
+  return result;
+}
+
+}  // namespace xrank::rank

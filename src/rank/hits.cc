@@ -1,0 +1,99 @@
+#include "rank/hits.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrank::rank {
+
+namespace {
+
+using graph::kInvalidNode;
+using graph::NodeId;
+using graph::XmlGraph;
+
+void Normalize(std::vector<double>* values) {
+  double sum_squares = 0.0;
+  for (double v : *values) sum_squares += v * v;
+  if (sum_squares <= 0.0) return;
+  double norm = std::sqrt(sum_squares);
+  for (double& v : *values) v /= norm;
+}
+
+}  // namespace
+
+Result<HitsResult> ComputeHits(const XmlGraph& graph,
+                               const HitsOptions& options) {
+  size_t n = graph.node_count();
+  if (graph.element_count() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (options.containment_weight < 0.0 || options.containment_weight > 1.0) {
+    return Status::InvalidArgument("containment_weight must be in [0,1]");
+  }
+  double cw = options.containment_weight;
+  double hw = 1.0 - cw;
+
+  // Reverse hyperlink adjacency (who points at me) for the authority step.
+  std::vector<std::vector<NodeId>> in_links(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.hyperlinks(u)) in_links[v].push_back(u);
+  }
+
+  HitsResult result;
+  result.authorities.assign(n, 0.0);
+  result.hubs.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (graph.is_element(u)) {
+      result.authorities[u] = 1.0;
+      result.hubs[u] = 1.0;
+    }
+  }
+  Normalize(&result.authorities);
+  Normalize(&result.hubs);
+
+  std::vector<double> next_authorities(n, 0.0);
+  std::vector<double> next_hubs(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Authority: hubs that link here (classic), plus bidirectional
+    // containment coupling (parent <-> children).
+    for (NodeId u = 0; u < n; ++u) {
+      if (!graph.is_element(u)) continue;
+      double from_links = 0.0;
+      for (NodeId v : in_links[u]) from_links += result.hubs[v];
+      double from_containment = 0.0;
+      const auto& data = graph.node(u);
+      if (data.parent != kInvalidNode) {
+        from_containment += result.authorities[data.parent];
+      }
+      for (NodeId child : data.element_children) {
+        from_containment += result.authorities[child];
+      }
+      next_authorities[u] = hw * from_links + cw * from_containment;
+    }
+    // Hub: authorities I point at (classic HITS direction only).
+    for (NodeId u = 0; u < n; ++u) {
+      if (!graph.is_element(u)) continue;
+      double total = 0.0;
+      for (NodeId v : graph.hyperlinks(u)) total += result.authorities[v];
+      next_hubs[u] = total;
+    }
+    Normalize(&next_authorities);
+    Normalize(&next_hubs);
+
+    double delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      delta = std::max(delta,
+                       std::fabs(next_authorities[u] - result.authorities[u]));
+    }
+    result.authorities.swap(next_authorities);
+    result.hubs.swap(next_hubs);
+    result.iterations = iter + 1;
+    if (delta < options.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace xrank::rank

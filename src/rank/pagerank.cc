@@ -1,0 +1,55 @@
+#include "rank/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrank::rank {
+
+Result<PageRankResult> ComputePageRank(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    const PageRankOptions& options) {
+  size_t n = adjacency.size();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (options.d <= 0.0 || options.d >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0,1)");
+  }
+  for (const auto& targets : adjacency) {
+    for (uint32_t v : targets) {
+      if (v >= n) return Status::InvalidArgument("edge target out of range");
+    }
+  }
+
+  std::vector<double> current(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  PageRankResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      double push = options.d * current[u];
+      if (adjacency[u].empty()) {
+        dangling += push;
+        continue;
+      }
+      double share = push / static_cast<double>(adjacency[u].size());
+      for (uint32_t v : adjacency[u]) next[v] += share;
+    }
+    double jump = (1.0 - options.d + dangling) / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      next[u] += jump;
+      delta = std::max(delta, std::fabs(next[u] - current[u]));
+    }
+    current.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.convergence_threshold) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.ranks = std::move(current);
+  return result;
+}
+
+}  // namespace xrank::rank

@@ -1,0 +1,36 @@
+#ifndef XRANK_RANK_PAGERANK_H_
+#define XRANK_RANK_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xrank::rank {
+
+// Standalone PageRank over an arbitrary directed graph, used (a) as the
+// reference implementation that ElemRank must match on 2-level document
+// collections (the paper's design goal of generalizing Google, Section 1)
+// and (b) for HTML-only experiments.
+struct PageRankOptions {
+  double d = 0.85;
+  double convergence_threshold = 0.00002;
+  int max_iterations = 500;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  int iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;
+};
+
+// adjacency[u] lists the out-neighbours of u; node count = adjacency.size().
+// Dangling nodes redistribute their mass uniformly.
+Result<PageRankResult> ComputePageRank(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    const PageRankOptions& options);
+
+}  // namespace xrank::rank
+
+#endif  // XRANK_RANK_PAGERANK_H_

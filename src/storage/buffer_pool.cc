@@ -1,0 +1,65 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace xrank::storage {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages,
+                       CostModel* cost_model)
+    : file_(file), capacity_(capacity_pages), cost_model_(cost_model) {
+  XRANK_CHECK(file != nullptr, "BufferPool needs a file");
+  XRANK_CHECK(capacity_pages > 0, "BufferPool capacity must be positive");
+}
+
+void BufferPool::Touch(Entry* entry, PageId page) {
+  lru_.erase(entry->lru_position);
+  lru_.push_front(page);
+  entry->lru_position = lru_.begin();
+}
+
+void BufferPool::InsertAndMaybeEvict(PageId page, const Page& page_data) {
+  if (cache_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_.push_front(page);
+  Entry entry;
+  entry.page = page_data;
+  entry.lru_position = lru_.begin();
+  cache_.emplace(page, std::move(entry));
+}
+
+Status BufferPool::Read(PageId page, Page* out) {
+  auto it = cache_.find(page);
+  if (it != cache_.end()) {
+    ++hits_;
+    Touch(&it->second, page);
+    *out = it->second.page;
+    return Status::OK();
+  }
+  ++misses_;
+  if (cost_model_ != nullptr) cost_model_->RecordRead(page);
+  XRANK_RETURN_NOT_OK(file_->Read(page, out));
+  InsertAndMaybeEvict(page, *out);
+  return Status::OK();
+}
+
+Status BufferPool::Write(PageId page, const Page& page_data) {
+  XRANK_RETURN_NOT_OK(file_->Write(page, page_data));
+  auto it = cache_.find(page);
+  if (it != cache_.end()) {
+    it->second.page = page_data;
+    Touch(&it->second, page);
+  } else {
+    InsertAndMaybeEvict(page, page_data);
+  }
+  return Status::OK();
+}
+
+void BufferPool::DropCache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace xrank::storage

@@ -1,0 +1,61 @@
+#ifndef XRANK_STORAGE_BUFFER_POOL_H_
+#define XRANK_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/cost_model.h"
+#include "storage/page_file.h"
+
+namespace xrank::storage {
+
+// LRU page cache in front of a PageFile. Cache misses are charged to the
+// CostModel; DropCache() simulates the paper's cold-OS-cache experimental
+// setup ("results were obtained using a cold operating system cache",
+// Section 5.1).
+class BufferPool {
+ public:
+  // `file` and `cost_model` are borrowed and must outlive the pool;
+  // cost_model may be null (no accounting).
+  BufferPool(PageFile* file, size_t capacity_pages, CostModel* cost_model);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Copies the page into *out (through the cache).
+  Status Read(PageId page, Page* out);
+
+  // Writes through the cache to the file.
+  Status Write(PageId page, const Page& page_data);
+
+  // Evicts everything — the next read of any page is a physical read.
+  void DropCache();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t cached_pages() const { return cache_.size(); }
+  PageFile* file() const { return file_; }
+  CostModel* cost_model() const { return cost_model_; }
+
+ private:
+  struct Entry {
+    Page page;
+    std::list<PageId>::iterator lru_position;
+  };
+
+  void Touch(Entry* entry, PageId page);
+  void InsertAndMaybeEvict(PageId page, const Page& page_data);
+
+  PageFile* file_;
+  size_t capacity_;
+  CostModel* cost_model_;
+  std::unordered_map<PageId, Entry> cache_;
+  std::list<PageId> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xrank::storage
+
+#endif  // XRANK_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,4 @@
+#include "storage/cost_model.h"
+
+// CostModel is header-only today; this translation unit anchors the library
+// target and leaves room for non-inline growth (e.g. histogram reporting).

@@ -1,0 +1,53 @@
+#ifndef XRANK_STORAGE_PAGE_H_
+#define XRANK_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace xrank::storage {
+
+// All on-disk structures (inverted lists, B+-trees, hash indexes) are built
+// from fixed-size pages; the buffer pool and cost model operate at page
+// granularity, mirroring the paper's disk-resident implementation (§5.1).
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+struct Page {
+  std::array<char, kPageSize> data{};
+
+  std::string_view view() const { return {data.data(), kPageSize}; }
+
+  // Little-endian fixed-width accessors for page headers.
+  uint16_t ReadU16(size_t offset) const {
+    uint16_t v;
+    std::memcpy(&v, data.data() + offset, sizeof(v));
+    return v;
+  }
+  uint32_t ReadU32(size_t offset) const {
+    uint32_t v;
+    std::memcpy(&v, data.data() + offset, sizeof(v));
+    return v;
+  }
+  uint64_t ReadU64(size_t offset) const {
+    uint64_t v;
+    std::memcpy(&v, data.data() + offset, sizeof(v));
+    return v;
+  }
+  void WriteU16(size_t offset, uint16_t v) {
+    std::memcpy(data.data() + offset, &v, sizeof(v));
+  }
+  void WriteU32(size_t offset, uint32_t v) {
+    std::memcpy(data.data() + offset, &v, sizeof(v));
+  }
+  void WriteU64(size_t offset, uint64_t v) {
+    std::memcpy(data.data() + offset, &v, sizeof(v));
+  }
+};
+
+}  // namespace xrank::storage
+
+#endif  // XRANK_STORAGE_PAGE_H_

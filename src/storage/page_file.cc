@@ -1,0 +1,146 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace xrank::storage {
+
+namespace {
+
+class MemPageFile final : public PageFile {
+ public:
+  Result<PageId> Allocate() override {
+    pages_.emplace_back();
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+
+  Status Read(PageId page, Page* out) const override {
+    if (page >= pages_.size()) {
+      return Status::OutOfRange("read of unallocated page " +
+                                std::to_string(page));
+    }
+    *out = pages_[page];
+    return Status::OK();
+  }
+
+  Status Write(PageId page, const Page& page_data) override {
+    if (page >= pages_.size()) {
+      return Status::OutOfRange("write of unallocated page " +
+                                std::to_string(page));
+    }
+    pages_[page] = page_data;
+    return Status::OK();
+  }
+
+  uint32_t page_count() const override {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<Page> pages_;
+};
+
+class DiskPageFile final : public PageFile {
+ public:
+  DiskPageFile(int fd, std::string path, uint32_t page_count)
+      : fd_(fd), path_(std::move(path)), page_count_(page_count) {}
+
+  ~DiskPageFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<PageId> Allocate() override {
+    static const Page kZeroPage{};
+    PageId page = page_count_;
+    XRANK_RETURN_NOT_OK(WriteAt(page, kZeroPage));
+    ++page_count_;
+    return page;
+  }
+
+  Status Read(PageId page, Page* out) const override {
+    if (page >= page_count_) {
+      return Status::OutOfRange("read of unallocated page " +
+                                std::to_string(page));
+    }
+    ssize_t n = ::pread(fd_, out->data.data(), kPageSize,
+                        static_cast<off_t>(page) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError("pread failed on '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Write(PageId page, const Page& page_data) override {
+    if (page >= page_count_) {
+      return Status::OutOfRange("write of unallocated page " +
+                                std::to_string(page));
+    }
+    return WriteAt(page, page_data);
+  }
+
+  uint32_t page_count() const override { return page_count_; }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync failed on '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status WriteAt(PageId page, const Page& page_data) {
+    ssize_t n = ::pwrite(fd_, page_data.data.data(), kPageSize,
+                         static_cast<off_t>(page) * kPageSize);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError("pwrite failed on '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  std::string path_;
+  uint32_t page_count_;
+};
+
+}  // namespace
+
+std::unique_ptr<PageFile> PageFile::CreateInMemory() {
+  return std::make_unique<MemPageFile>();
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::CreateOnDisk(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<PageFile>(new DiskPageFile(fd, path, 0));
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::OpenOnDisk(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption("'" + path + "' is not page-aligned");
+  }
+  return std::unique_ptr<PageFile>(new DiskPageFile(
+      fd, path, static_cast<uint32_t>(size / static_cast<off_t>(kPageSize))));
+}
+
+}  // namespace xrank::storage

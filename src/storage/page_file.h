@@ -1,0 +1,42 @@
+#ifndef XRANK_STORAGE_PAGE_FILE_H_
+#define XRANK_STORAGE_PAGE_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace xrank::storage {
+
+// A growable array of pages, backed either by a real file (pread/pwrite) or
+// by memory. Memory backing keeps unit tests and small experiments fast; the
+// benchmark harnesses use file backing plus a cold buffer pool to model the
+// paper's cold-OS-cache setup.
+class PageFile {
+ public:
+  virtual ~PageFile() = default;
+
+  // In-memory backend.
+  static std::unique_ptr<PageFile> CreateInMemory();
+  // Creates (truncates) a page file on disk.
+  static Result<std::unique_ptr<PageFile>> CreateOnDisk(
+      const std::string& path);
+  // Opens an existing on-disk page file read/write.
+  static Result<std::unique_ptr<PageFile>> OpenOnDisk(const std::string& path);
+
+  // Appends a zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  virtual Status Read(PageId page, Page* out) const = 0;
+  virtual Status Write(PageId page, const Page& page_data) = 0;
+
+  virtual uint32_t page_count() const = 0;
+
+  // Flushes to stable storage (no-op for memory backing).
+  virtual Status Sync() = 0;
+};
+
+}  // namespace xrank::storage
+
+#endif  // XRANK_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,314 @@
+#include "xml/lexer.h"
+
+#include "common/string_util.h"
+
+namespace xrank::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+char Lexer::PeekAt(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  return i < input_.size() ? input_[i] : '\0';
+}
+
+void Lexer::Advance() {
+  if (input_[pos_] == '\n') ++line_;
+  ++pos_;
+}
+
+bool Lexer::ConsumePrefix(std::string_view prefix) {
+  if (input_.substr(pos_, prefix.size()) != prefix) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) Advance();
+  return true;
+}
+
+Status Lexer::Error(const std::string& what) const {
+  return Status::ParseError(what + " at line " + std::to_string(line_));
+}
+
+void Lexer::SkipWhitespace() {
+  while (!AtEnd() && IsWhitespace(Peek())) Advance();
+}
+
+Result<Token> Lexer::Next() {
+  for (;;) {
+    if (AtEnd()) {
+      Token token;
+      token.kind = TokenKind::kEof;
+      token.line = line_;
+      return token;
+    }
+    if (Peek() == '<') {
+      if (PeekAt(1) == '!') {
+        if (input_.substr(pos_, 4) == "<!--") {
+          XRANK_RETURN_NOT_OK(SkipComment());
+          continue;
+        }
+        if (input_.substr(pos_, 9) == "<![CDATA[") {
+          XRANK_ASSIGN_OR_RETURN(std::string cdata, LexCdata());
+          Token token;
+          token.kind = TokenKind::kText;
+          token.text = std::move(cdata);
+          token.line = line_;
+          return token;
+        }
+        XRANK_RETURN_NOT_OK(SkipDoctype());
+        continue;
+      }
+      if (PeekAt(1) == '?') {
+        XRANK_RETURN_NOT_OK(SkipProcessingInstruction());
+        continue;
+      }
+      return LexMarkup();
+    }
+    // Character data. Whitespace-only runs between markup are insignificant.
+    size_t start = pos_;
+    Result<Token> token = LexText();
+    if (!token.ok()) return token;
+    if (StripWhitespace(token->text).empty()) {
+      (void)start;
+      continue;  // ignorable whitespace
+    }
+    return token;
+  }
+}
+
+Result<Token> Lexer::LexMarkup() {
+  if (PeekAt(1) == '/') return LexEndTag();
+  return LexStartTag();
+}
+
+Result<Token> Lexer::LexStartTag() {
+  Token token;
+  token.kind = TokenKind::kStartTag;
+  token.line = line_;
+  Advance();  // consume '<'
+  if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected tag name");
+  XRANK_ASSIGN_OR_RETURN(token.name, ScanName());
+  for (;;) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag <" + token.name);
+    if (Peek() == '>') {
+      Advance();
+      return token;
+    }
+    if (Peek() == '/') {
+      Advance();
+      if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+      Advance();
+      token.self_closing = true;
+      return token;
+    }
+    if (!IsNameStartChar(Peek())) {
+      return Error("unexpected character in tag <" + token.name);
+    }
+    XRANK_ASSIGN_OR_RETURN(std::string attr_name, ScanName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') {
+      return Error("attribute '" + attr_name + "' missing '='");
+    }
+    Advance();  // consume '='
+    SkipWhitespace();
+    XRANK_ASSIGN_OR_RETURN(std::string attr_value, ScanAttributeValue());
+    token.attributes.push_back(
+        Attribute{std::move(attr_name), std::move(attr_value)});
+  }
+}
+
+Result<Token> Lexer::LexEndTag() {
+  Token token;
+  token.kind = TokenKind::kEndTag;
+  token.line = line_;
+  Advance();  // '<'
+  Advance();  // '/'
+  if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected tag name");
+  XRANK_ASSIGN_OR_RETURN(token.name, ScanName());
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '>') {
+    return Error("unterminated end tag </" + token.name);
+  }
+  Advance();
+  return token;
+}
+
+Result<Token> Lexer::LexText() {
+  Token token;
+  token.kind = TokenKind::kText;
+  token.line = line_;
+  while (!AtEnd() && Peek() != '<') {
+    if (Peek() == '&') {
+      XRANK_RETURN_NOT_OK(AppendDecodedEntity(&token.text));
+    } else {
+      token.text.push_back(Peek());
+      Advance();
+    }
+  }
+  return token;
+}
+
+Status Lexer::SkipComment() {
+  ConsumePrefix("<!--");
+  while (!AtEnd()) {
+    if (ConsumePrefix("-->")) return Status::OK();
+    Advance();
+  }
+  return Error("unterminated comment");
+}
+
+Status Lexer::SkipProcessingInstruction() {
+  ConsumePrefix("<?");
+  while (!AtEnd()) {
+    if (ConsumePrefix("?>")) return Status::OK();
+    Advance();
+  }
+  return Error("unterminated processing instruction");
+}
+
+Status Lexer::SkipDoctype() {
+  // <!DOCTYPE ...> — may contain a bracketed internal subset.
+  ConsumePrefix("<!");
+  int bracket_depth = 0;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == '[') ++bracket_depth;
+    if (c == ']') --bracket_depth;
+    if (c == '>' && bracket_depth <= 0) {
+      Advance();
+      return Status::OK();
+    }
+    Advance();
+  }
+  return Error("unterminated <! declaration");
+}
+
+Result<std::string> Lexer::LexCdata() {
+  ConsumePrefix("<![CDATA[");
+  std::string out;
+  while (!AtEnd()) {
+    if (ConsumePrefix("]]>")) return out;
+    out.push_back(Peek());
+    Advance();
+  }
+  return Error("unterminated CDATA section");
+}
+
+Result<std::string> Lexer::ScanName() {
+  std::string name;
+  name.push_back(Peek());
+  Advance();
+  while (!AtEnd() && IsNameChar(Peek())) {
+    name.push_back(Peek());
+    Advance();
+  }
+  return name;
+}
+
+Result<std::string> Lexer::ScanAttributeValue() {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Error("expected quoted attribute value");
+  }
+  char quote = Peek();
+  Advance();
+  std::string value;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '&') {
+      XRANK_RETURN_NOT_OK(AppendDecodedEntity(&value));
+    } else {
+      value.push_back(Peek());
+      Advance();
+    }
+  }
+  if (AtEnd()) return Error("unterminated attribute value");
+  Advance();  // closing quote
+  return value;
+}
+
+Status Lexer::AppendDecodedEntity(std::string* out) {
+  Advance();  // consume '&'
+  std::string entity;
+  while (!AtEnd() && Peek() != ';' && entity.size() < 12) {
+    entity.push_back(Peek());
+    Advance();
+  }
+  if (AtEnd() || Peek() != ';') return Error("malformed entity reference");
+  Advance();  // consume ';'
+  if (entity == "amp") {
+    out->push_back('&');
+  } else if (entity == "lt") {
+    out->push_back('<');
+  } else if (entity == "gt") {
+    out->push_back('>');
+  } else if (entity == "quot") {
+    out->push_back('"');
+  } else if (entity == "apos") {
+    out->push_back('\'');
+  } else if (!entity.empty() && entity[0] == '#') {
+    uint32_t code = 0;
+    bool ok = entity.size() > 1;
+    if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+      for (size_t i = 2; i < entity.size() && ok; ++i) {
+        char c = entity[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          digit = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          digit = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          ok = false;
+          break;
+        }
+        code = code * 16 + digit;
+      }
+    } else {
+      for (size_t i = 1; i < entity.size() && ok; ++i) {
+        char c = entity[i];
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        code = code * 10 + static_cast<uint32_t>(c - '0');
+      }
+    }
+    if (!ok || code == 0 || code > 0x10FFFF) {
+      return Error("bad character reference &" + entity + ";");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else {
+    return Error("unknown entity &" + entity + ";");
+  }
+  return Status::OK();
+}
+
+}  // namespace xrank::xml

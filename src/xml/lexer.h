@@ -1,0 +1,78 @@
+#ifndef XRANK_XML_LEXER_H_
+#define XRANK_XML_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace xrank::xml {
+
+// Lexical token stream over an XML byte buffer. The lexer handles tags with
+// attributes, text with entity references, CDATA sections, comments,
+// processing instructions and DOCTYPE declarations; the parser above it only
+// sees start/end tags and decoded text.
+enum class TokenKind {
+  kStartTag,  // <name attr="v" ...>  (self_closing for <name/>)
+  kEndTag,    // </name>
+  kText,      // decoded character data (entities resolved, CDATA inlined)
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string name;                   // tag name for start/end tags
+  std::string text;                   // character data for kText
+  std::vector<Attribute> attributes;  // for kStartTag
+  bool self_closing = false;          // for kStartTag
+  int line = 0;                       // 1-based line where the token started
+};
+
+class Lexer {
+ public:
+  // The input must outlive the lexer; no copy is taken.
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  // Returns the next token, skipping comments, PIs, the XML declaration and
+  // DOCTYPE. Whitespace-only text between markup is skipped; any other text
+  // (including whitespace adjacent to non-whitespace) is returned verbatim
+  // after entity decoding.
+  Result<Token> Next();
+
+  int line() const { return line_; }
+
+ private:
+  Result<Token> LexMarkup();
+  Result<Token> LexStartTag();
+  Result<Token> LexEndTag();
+  Result<Token> LexText();
+  Status SkipComment();
+  Status SkipProcessingInstruction();
+  Status SkipDoctype();
+  Result<std::string> LexCdata();
+
+  // Scans an XML Name (tag or attribute name) at the cursor.
+  Result<std::string> ScanName();
+  // Scans ="value" (either quote kind), decoding entities.
+  Result<std::string> ScanAttributeValue();
+  // Decodes one &...; entity at the cursor (which points at '&').
+  Status AppendDecodedEntity(std::string* out);
+
+  void SkipWhitespace();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t ahead) const;
+  void Advance();
+  bool ConsumePrefix(std::string_view prefix);
+  Status Error(const std::string& what) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace xrank::xml
+
+#endif  // XRANK_XML_LEXER_H_

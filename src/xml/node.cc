@@ -1,0 +1,82 @@
+#include "xml/node.h"
+
+#include <algorithm>
+
+namespace xrank::xml {
+
+std::unique_ptr<Node> Node::MakeElement(std::string name) {
+  auto node = std::unique_ptr<Node>(new Node(NodeKind::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+std::unique_ptr<Node> Node::MakeText(std::string text) {
+  auto node = std::unique_ptr<Node>(new Node(NodeKind::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+void Node::AddAttribute(std::string name, std::string value) {
+  attributes_.push_back(Attribute{std::move(name), std::move(value)});
+}
+
+const std::string* Node::FindAttribute(std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+const Node* Node::FindChildElement(std::string_view tag) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->name() == tag) return child.get();
+  }
+  return nullptr;
+}
+
+std::string Node::DirectText() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->is_text()) {
+      if (!out.empty()) out.push_back(' ');
+      out += child->text();
+    }
+  }
+  return out;
+}
+
+std::string Node::DeepText() const {
+  std::string out;
+  if (is_text()) return text_;
+  for (const auto& child : children_) {
+    std::string piece = child->DeepText();
+    if (piece.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += piece;
+  }
+  return out;
+}
+
+size_t Node::CountElements() const {
+  if (!is_element()) return 0;
+  size_t count = 1;
+  for (const auto& child : children_) count += child->CountElements();
+  return count;
+}
+
+size_t Node::ElementDepth() const {
+  if (!is_element()) return 0;
+  size_t deepest = 0;
+  for (const auto& child : children_) {
+    deepest = std::max(deepest, child->ElementDepth());
+  }
+  return deepest + 1;
+}
+
+}  // namespace xrank::xml

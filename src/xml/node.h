@@ -1,0 +1,93 @@
+#ifndef XRANK_XML_NODE_H_
+#define XRANK_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrank::xml {
+
+// A parsed XML document is a tree of Nodes. Attributes are kept on the
+// element node; the graph layer later re-exposes them as sub-elements,
+// matching the paper's convention ("we treat attributes as though they are
+// sub-elements", Section 2.1).
+enum class NodeKind {
+  kElement,
+  kText,
+};
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+class Node {
+ public:
+  static std::unique_ptr<Node> MakeElement(std::string name);
+  static std::unique_ptr<Node> MakeText(std::string text);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  // Element tag name; empty for text nodes.
+  const std::string& name() const { return name_; }
+
+  // Text content; empty for element nodes.
+  const std::string& text() const { return text_; }
+  void AppendText(std::string_view more) { text_ += more; }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  void AddAttribute(std::string name, std::string value);
+
+  // Returns the attribute value, or nullptr if absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  Node* parent() const { return parent_; }
+
+  // Appends `child` and returns a borrowed pointer to it.
+  Node* AddChild(std::unique_ptr<Node> child);
+
+  // First child element with the given tag name, or nullptr.
+  const Node* FindChildElement(std::string_view tag) const;
+
+  // Concatenation of all text directly under this element (not recursive).
+  std::string DirectText() const;
+
+  // Concatenation of all text in this subtree, in document order.
+  std::string DeepText() const;
+
+  // Number of element nodes in this subtree, including this one.
+  size_t CountElements() const;
+
+  // Depth of the deepest element below this one (a leaf element is 1).
+  size_t ElementDepth() const;
+
+ private:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind_;
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Node>> children_;
+  Node* parent_ = nullptr;
+};
+
+// A document: root element plus the URI it was loaded from. The URI is the
+// link target namespace for inter-document XLink references.
+struct Document {
+  std::string uri;
+  std::unique_ptr<Node> root;
+};
+
+}  // namespace xrank::xml
+
+#endif  // XRANK_XML_NODE_H_

@@ -1,0 +1,94 @@
+#include "xml/parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "xml/lexer.h"
+
+namespace xrank::xml {
+
+Result<Document> ParseDocument(std::string_view input, std::string uri,
+                               const ParseOptions& options) {
+  Lexer lexer(input);
+  Document doc;
+  doc.uri = std::move(uri);
+
+  std::vector<Node*> open_elements;  // stack of unclosed elements
+  for (;;) {
+    XRANK_ASSIGN_OR_RETURN(Token token, lexer.Next());
+    switch (token.kind) {
+      case TokenKind::kEof: {
+        if (!open_elements.empty()) {
+          return Status::ParseError("unexpected end of input: <" +
+                                    open_elements.back()->name() +
+                                    "> not closed");
+        }
+        if (doc.root == nullptr) {
+          return Status::ParseError("document has no root element");
+        }
+        return doc;
+      }
+      case TokenKind::kStartTag: {
+        auto element = Node::MakeElement(token.name);
+        for (Attribute& attr : token.attributes) {
+          element->AddAttribute(std::move(attr.name), std::move(attr.value));
+        }
+        if (open_elements.size() >= options.max_depth) {
+          return Status::ParseError(
+              "element nesting exceeds max depth " +
+              std::to_string(options.max_depth) + " at line " +
+              std::to_string(token.line));
+        }
+        Node* placed = nullptr;
+        if (open_elements.empty()) {
+          if (doc.root != nullptr) {
+            return Status::ParseError(
+                "second root element <" + token.name + "> at line " +
+                std::to_string(token.line));
+          }
+          doc.root = std::move(element);
+          placed = doc.root.get();
+        } else {
+          placed = open_elements.back()->AddChild(std::move(element));
+        }
+        if (!token.self_closing) open_elements.push_back(placed);
+        break;
+      }
+      case TokenKind::kEndTag: {
+        if (open_elements.empty()) {
+          return Status::ParseError("unmatched </" + token.name +
+                                    "> at line " + std::to_string(token.line));
+        }
+        if (open_elements.back()->name() != token.name) {
+          return Status::ParseError(
+              "mismatched </" + token.name + "> at line " +
+              std::to_string(token.line) + "; expected </" +
+              open_elements.back()->name() + ">");
+        }
+        open_elements.pop_back();
+        break;
+      }
+      case TokenKind::kText: {
+        if (open_elements.empty()) {
+          return Status::ParseError("character data outside root at line " +
+                                    std::to_string(token.line));
+        }
+        open_elements.back()->AddChild(Node::MakeText(std::move(token.text)));
+        break;
+      }
+    }
+  }
+}
+
+Result<Document> ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("error reading '" + path + "'");
+  std::string contents = buffer.str();
+  return ParseDocument(contents, path);
+}
+
+}  // namespace xrank::xml

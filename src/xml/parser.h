@@ -1,0 +1,31 @@
+#ifndef XRANK_XML_PARSER_H_
+#define XRANK_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace xrank::xml {
+
+struct ParseOptions {
+  // Maximum element nesting depth. Deeply nested input is rejected instead
+  // of risking stack exhaustion in the recursive consumers downstream
+  // (graph construction, extraction).
+  size_t max_depth = 512;
+};
+
+// Parses a complete XML document. Returns ParseError (with a line number)
+// for malformed input: mismatched tags, multiple roots, stray text at top
+// level, unterminated constructs, bad entities, excessive nesting.
+Result<Document> ParseDocument(std::string_view input, std::string uri,
+                               const ParseOptions& options = {});
+
+// Reads `path` from the filesystem and parses it; the path becomes the
+// document URI.
+Result<Document> ParseFile(const std::string& path);
+
+}  // namespace xrank::xml
+
+#endif  // XRANK_XML_PARSER_H_

@@ -1,0 +1,82 @@
+#include "xml/serializer.h"
+
+namespace xrank::xml {
+
+namespace {
+
+void SerializeNode(const Node& node, const SerializeOptions& options,
+                   int depth, std::string* out) {
+  if (node.is_text()) {
+    if (options.pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append(EscapeText(node.text()));
+    if (options.pretty) out->push_back('\n');
+    return;
+  }
+  if (options.pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->push_back('<');
+  out->append(node.name());
+  for (const Attribute& attr : node.attributes()) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    out->append(EscapeText(attr.value));
+    out->push_back('"');
+  }
+  if (node.children().empty()) {
+    out->append("/>");
+    if (options.pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (options.pretty) out->push_back('\n');
+  for (const auto& child : node.children()) {
+    SerializeNode(*child, options, depth + 1, out);
+  }
+  if (options.pretty) out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append("</");
+  out->append(node.name());
+  out->push_back('>');
+  if (options.pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Node& node, const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(node, options, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  if (doc.root == nullptr) return "";
+  return Serialize(*doc.root, options);
+}
+
+}  // namespace xrank::xml

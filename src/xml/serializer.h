@@ -1,0 +1,27 @@
+#ifndef XRANK_XML_SERIALIZER_H_
+#define XRANK_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace xrank::xml {
+
+struct SerializeOptions {
+  // Pretty-print with 2-space indentation; otherwise emit compact output
+  // that round-trips exactly through the parser.
+  bool pretty = false;
+};
+
+// Serializes a subtree back to XML text (entities re-escaped).
+std::string Serialize(const Node& node, const SerializeOptions& options = {});
+
+// Serializes a whole document (root subtree).
+std::string Serialize(const Document& doc, const SerializeOptions& options = {});
+
+// Escapes &, <, >, " and ' for use in character data or attribute values.
+std::string EscapeText(const std::string& text);
+
+}  // namespace xrank::xml
+
+#endif  // XRANK_XML_SERIALIZER_H_

@@ -1,0 +1,297 @@
+// Tests for the disk-resident B+-tree: bulk load, SeekCeil with
+// predecessor, longest-common-prefix probes (the RDIL primitive of paper
+// Section 4.3.2), prefix range scans, and the shared-page packing of short
+// trees (Section 4.3.1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "storage/btree.h"
+
+namespace xrank::storage {
+namespace {
+
+using dewey::DeweyId;
+
+struct TreeFixture {
+  std::unique_ptr<PageFile> file = PageFile::CreateInMemory();
+  CostModel model;
+  std::unique_ptr<BufferPool> pool;
+  NodeRef root = kInvalidRef;
+  BtreeBuilder::BuildStats stats;
+
+  void Build(const std::vector<std::pair<DeweyId, uint64_t>>& entries,
+             SharedPagePacker* packer = nullptr) {
+    BtreeBuilder builder(file.get(), packer);
+    for (const auto& [key, value] : entries) {
+      ASSERT_TRUE(builder.Add(key, value).ok()) << key.ToString();
+    }
+    auto result = builder.Finish();
+    ASSERT_TRUE(result.ok()) << result.status();
+    stats = *result;
+    root = stats.root;
+    pool = std::make_unique<BufferPool>(file.get(), 256, &model);
+  }
+
+  BtreeReader Reader() { return BtreeReader(pool.get(), root); }
+};
+
+std::vector<std::pair<DeweyId, uint64_t>> SequentialEntries(size_t count) {
+  // Dewey IDs shaped like real document trees: doc.chapter.section.para.
+  std::vector<std::pair<DeweyId, uint64_t>> entries;
+  uint64_t value = 0;
+  for (uint32_t doc = 0; entries.size() < count; ++doc) {
+    for (uint32_t a = 0; a < 8 && entries.size() < count; ++a) {
+      for (uint32_t b = 0; b < 8 && entries.size() < count; ++b) {
+        entries.emplace_back(DeweyId({doc, a, b}), value++);
+      }
+    }
+  }
+  return entries;
+}
+
+TEST(BtreeTest, EmptyTree) {
+  TreeFixture fixture;
+  fixture.Build({});
+  EXPECT_EQ(fixture.root, kInvalidRef);
+  auto seek = fixture.Reader().SeekCeil(DeweyId({1}));
+  ASSERT_TRUE(seek.ok());
+  EXPECT_FALSE(seek->has_ceil);
+  EXPECT_FALSE(seek->has_pred);
+  auto lcp = fixture.Reader().LongestCommonPrefixWith(DeweyId({1, 2}));
+  ASSERT_TRUE(lcp.ok());
+  EXPECT_EQ(*lcp, 0u);
+}
+
+TEST(BtreeTest, SingleLeafExactAndCeil) {
+  TreeFixture fixture;
+  fixture.Build({{DeweyId({1, 0}), 10},
+                 {DeweyId({1, 2}), 12},
+                 {DeweyId({2, 0, 1}), 20}});
+  EXPECT_EQ(fixture.stats.height, 1u);
+  auto reader = fixture.Reader();
+
+  auto exact = reader.SeekCeil(DeweyId({1, 2}));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact->has_ceil);
+  EXPECT_EQ(exact->ceil.key, DeweyId({1, 2}));
+  EXPECT_EQ(exact->ceil.value, 12u);
+  ASSERT_TRUE(exact->has_pred);
+  EXPECT_EQ(exact->pred.key, DeweyId({1, 0}));
+
+  auto between = reader.SeekCeil(DeweyId({1, 1}));
+  ASSERT_TRUE(between.ok());
+  EXPECT_EQ(between->ceil.key, DeweyId({1, 2}));
+  EXPECT_EQ(between->pred.key, DeweyId({1, 0}));
+
+  auto before_all = reader.SeekCeil(DeweyId({0}));
+  ASSERT_TRUE(before_all.ok());
+  ASSERT_TRUE(before_all->has_ceil);
+  EXPECT_EQ(before_all->ceil.key, DeweyId({1, 0}));
+  EXPECT_FALSE(before_all->has_pred);
+
+  auto after_all = reader.SeekCeil(DeweyId({9}));
+  ASSERT_TRUE(after_all.ok());
+  EXPECT_FALSE(after_all->has_ceil);
+  ASSERT_TRUE(after_all->has_pred);
+  EXPECT_EQ(after_all->pred.key, DeweyId({2, 0, 1}));
+}
+
+TEST(BtreeTest, MultiPageSeekAcrossLeaves) {
+  TreeFixture fixture;
+  auto entries = SequentialEntries(5000);
+  fixture.Build(entries);
+  EXPECT_GT(fixture.stats.height, 1u);
+  EXPECT_GT(fixture.stats.full_pages, 2u);
+  auto reader = fixture.Reader();
+
+  // Every 97th entry: exact seek finds it, and pred is the previous entry.
+  for (size_t i = 0; i < entries.size(); i += 97) {
+    auto seek = reader.SeekCeil(entries[i].first);
+    ASSERT_TRUE(seek.ok());
+    ASSERT_TRUE(seek->has_ceil) << i;
+    EXPECT_EQ(seek->ceil.key, entries[i].first);
+    EXPECT_EQ(seek->ceil.value, entries[i].second);
+    if (i > 0) {
+      ASSERT_TRUE(seek->has_pred) << i;
+      EXPECT_EQ(seek->pred.key, entries[i - 1].first) << i;
+    } else {
+      EXPECT_FALSE(seek->has_pred);
+    }
+  }
+}
+
+TEST(BtreeTest, ScanAllReturnsEverythingInOrder) {
+  TreeFixture fixture;
+  auto entries = SequentialEntries(3000);
+  fixture.Build(entries);
+  std::vector<BtreeEntry> scanned;
+  ASSERT_TRUE(fixture.Reader()
+                  .ScanAll([&](const BtreeEntry& entry) {
+                    scanned.push_back(entry);
+                    return true;
+                  })
+                  .ok());
+  ASSERT_EQ(scanned.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(scanned[i].key, entries[i].first);
+    EXPECT_EQ(scanned[i].value, entries[i].second);
+  }
+}
+
+TEST(BtreeTest, ScanPrefixSelectsSubtree) {
+  TreeFixture fixture;
+  auto entries = SequentialEntries(2000);
+  fixture.Build(entries);
+  DeweyId prefix({3, 2});
+  size_t expected = 0;
+  for (const auto& [key, value] : entries) {
+    if (prefix.IsPrefixOf(key)) ++expected;
+  }
+  ASSERT_GT(expected, 0u);
+  size_t found = 0;
+  ASSERT_TRUE(fixture.Reader()
+                  .ScanPrefix(prefix,
+                              [&](const BtreeEntry& entry) {
+                                EXPECT_TRUE(prefix.IsPrefixOf(entry.key));
+                                ++found;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(found, expected);
+}
+
+TEST(BtreeTest, ScanPrefixEarlyStop) {
+  TreeFixture fixture;
+  fixture.Build(SequentialEntries(500));
+  size_t seen = 0;
+  ASSERT_TRUE(fixture.Reader()
+                  .ScanPrefix(DeweyId({0}),
+                              [&](const BtreeEntry&) {
+                                ++seen;
+                                return seen < 5;
+                              })
+                  .ok());
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(BtreeTest, LongestCommonPrefixProbe) {
+  TreeFixture fixture;
+  // Mirrors the paper's B+-tree example (Section 4.3.2): leaves
+  // ..., 8.2.1.4.2, 9.0.4.1.2, 9.0.5.6, 10.8.3.
+  fixture.Build({{DeweyId({8, 2, 1, 4, 2}), 1},
+                 {DeweyId({9, 0, 4, 1, 2}), 2},
+                 {DeweyId({9, 0, 5, 6}), 3},
+                 {DeweyId({10, 8, 3}), 4}});
+  auto reader = fixture.Reader();
+  // Probe 9.0.4.2.0: ceil is 9.0.5.6 (CPL 2), pred is 9.0.4.1.2 (CPL 3);
+  // the longest common prefix is 9.0.4.
+  auto lcp = reader.LongestCommonPrefixWith(DeweyId({9, 0, 4, 2, 0}));
+  ASSERT_TRUE(lcp.ok());
+  EXPECT_EQ(*lcp, 3u);
+  // Probe below everything.
+  auto low = reader.LongestCommonPrefixWith(DeweyId({1, 1}));
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(*low, 0u);
+  // Exact member: full depth.
+  auto exact = reader.LongestCommonPrefixWith(DeweyId({10, 8, 3}));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 3u);
+}
+
+TEST(BtreeTest, RejectsNonIncreasingKeys) {
+  auto file = PageFile::CreateInMemory();
+  BtreeBuilder builder(file.get(), nullptr);
+  ASSERT_TRUE(builder.Add(DeweyId({1, 2}), 1).ok());
+  EXPECT_FALSE(builder.Add(DeweyId({1, 2}), 2).ok());  // duplicate
+  EXPECT_FALSE(builder.Add(DeweyId({1, 1}), 3).ok());  // decreasing
+}
+
+TEST(SharedPagePackerTest, PacksManySmallTreesOntoFewPages) {
+  auto file = PageFile::CreateInMemory();
+  SharedPagePacker packer(file.get());
+  std::vector<NodeRef> roots;
+  // 100 tiny trees (3 entries each) would waste 100 pages unpacked.
+  for (uint32_t t = 0; t < 100; ++t) {
+    BtreeBuilder builder(file.get(), &packer);
+    for (uint32_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(builder.Add(DeweyId({t, i}), t * 10 + i).ok());
+    }
+    auto stats = builder.Finish();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->full_pages, 0u);
+    EXPECT_GT(stats->packed_bytes, 0u);
+    roots.push_back(stats->root);
+  }
+  EXPECT_LT(file->page_count(), 10u);  // far fewer than 100
+
+  // Every packed tree is still independently readable.
+  CostModel model;
+  BufferPool pool(file.get(), 64, &model);
+  for (uint32_t t = 0; t < 100; ++t) {
+    BtreeReader reader(&pool, roots[t]);
+    auto seek = reader.SeekCeil(DeweyId({t, 1}));
+    ASSERT_TRUE(seek.ok());
+    ASSERT_TRUE(seek->has_ceil);
+    EXPECT_EQ(seek->ceil.value, t * 10 + 1);
+  }
+}
+
+// Property test: against random key sets, SeekCeil must agree with an
+// in-memory std::map reference.
+class BtreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BtreeRandomTest, SeekMatchesReferenceMap) {
+  xrank::Random rng(GetParam());
+  std::map<DeweyId, uint64_t> reference;
+  while (reference.size() < 800) {
+    size_t depth = 1 + rng.Uniform(6);
+    std::vector<uint32_t> components;
+    for (size_t i = 0; i < depth; ++i) {
+      components.push_back(static_cast<uint32_t>(rng.Uniform(9)));
+    }
+    DeweyId key(std::move(components));
+    reference.emplace(key, reference.size());
+  }
+  TreeFixture fixture;
+  std::vector<std::pair<DeweyId, uint64_t>> entries(reference.begin(),
+                                                    reference.end());
+  fixture.Build(entries);
+  auto reader = fixture.Reader();
+
+  for (int probe = 0; probe < 300; ++probe) {
+    size_t depth = 1 + rng.Uniform(6);
+    std::vector<uint32_t> components;
+    for (size_t i = 0; i < depth; ++i) {
+      components.push_back(static_cast<uint32_t>(rng.Uniform(9)));
+    }
+    DeweyId key(std::move(components));
+
+    auto seek = reader.SeekCeil(key);
+    ASSERT_TRUE(seek.ok());
+    auto it = reference.lower_bound(key);
+    if (it == reference.end()) {
+      EXPECT_FALSE(seek->has_ceil);
+    } else {
+      ASSERT_TRUE(seek->has_ceil);
+      EXPECT_EQ(seek->ceil.key, it->first);
+      EXPECT_EQ(seek->ceil.value, it->second);
+    }
+    if (it == reference.begin()) {
+      EXPECT_FALSE(seek->has_pred);
+    } else {
+      auto pred = std::prev(it);
+      ASSERT_TRUE(seek->has_pred);
+      EXPECT_EQ(seek->pred.key, pred->first);
+      EXPECT_EQ(seek->pred.value, pred->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeRandomTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace xrank::storage

@@ -1,0 +1,211 @@
+// Unit tests for the common substrate: Status/Result, varints, PRNG,
+// string utilities.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/varint.h"
+
+namespace xrank {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::ParseError("bad tag");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.message(), "bad tag");
+  EXPECT_EQ(status.ToString(), "ParseError: bad tag");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kIOError, StatusCode::kCorruption,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> input) {
+  XRANK_ASSIGN_OR_RETURN(int v, std::move(input));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  Result<int> error = Doubled(Status::IOError("disk"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kIOError);
+}
+
+TEST(VarintTest, RoundTripsBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            UINT32_MAX,
+                            (1ULL << 56) - 1,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), static_cast<size_t>(VarintLength64(v)));
+    size_t offset = 0;
+    auto decoded = GetVarint64(buf, &offset);
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(VarintTest, SequentialDecode) {
+  std::string buf;
+  for (uint32_t v = 0; v < 1000; v += 7) PutVarint32(&buf, v);
+  size_t offset = 0;
+  for (uint32_t v = 0; v < 1000; v += 7) {
+    auto decoded = GetVarint32(buf, &offset);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  buf.resize(buf.size() - 1);
+  size_t offset = 0;
+  auto decoded = GetVarint64(buf, &offset);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  size_t offset = 0;
+  auto decoded = GetVarint32(buf, &offset);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, ForksAreDecorrelated) {
+  Random parent(5);
+  Random fork1 = parent.Fork(1);
+  Random fork2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (fork1.Next64() == fork2.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("XQL and IR"), "xql and ir");
+  EXPECT_EQ(AsciiToLower(""), "");
+  EXPECT_EQ(AsciiToLower("123-ABC"), "123-abc");
+}
+
+TEST(StringUtilTest, SplitStringDropsEmpty) {
+  auto pieces = SplitString("a..b.c", ".");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_TRUE(SplitString("", ".").empty());
+  EXPECT_TRUE(SplitString("...", ".").empty());
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t\r\n "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtilTest, BytesToHuman) {
+  EXPECT_EQ(BytesToHuman(97), "97 B");
+  EXPECT_EQ(BytesToHuman(2048), "2.00 KB");
+  EXPECT_EQ(BytesToHuman(3 * 1024 * 1024), "3.00 MB");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.5), "1.50");
+}
+
+}  // namespace
+}  // namespace xrank

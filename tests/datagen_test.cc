@@ -1,0 +1,255 @@
+// Tests for the synthetic corpus generators: determinism, structural shape
+// (DBLP shallow/many-links, XMark deep/intra-document links), planted-term
+// guarantees, Zipf distribution sanity, and workload construction.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/html_gen.h"
+#include "datagen/vocabulary.h"
+#include "datagen/workload.h"
+#include "datagen/xmark_gen.h"
+#include "datagen/zipf.h"
+#include "graph/builder.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xrank::datagen {
+namespace {
+
+graph::XmlGraph ToGraph(const Corpus& corpus, bool html = false) {
+  graph::GraphBuilder builder;
+  for (const xml::Document& doc : corpus.documents) {
+    // Re-parse through the serializer to exercise the full pipeline.
+    auto parsed = xml::ParseDocument(xml::Serialize(doc), doc.uri);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    if (html) {
+      EXPECT_TRUE(builder.AddHtmlDocument(*parsed).ok());
+    } else {
+      EXPECT_TRUE(builder.AddDocument(*parsed).ok());
+    }
+  }
+  auto graph = std::move(builder).Finalize();
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  return std::move(graph).value();
+}
+
+TEST(VocabularyTest, WordsAreStableAndDistinct) {
+  Vocabulary vocab(5000);
+  EXPECT_EQ(vocab.Word(17), vocab.Word(17));
+  std::set<std::string> words;
+  for (size_t i = 0; i < 5000; ++i) words.insert(vocab.Word(i));
+  // Collisions from syllable concatenation are possible but must be rare.
+  EXPECT_GT(words.size(), 4950u);
+}
+
+TEST(ZipfTest, HeadIsHeavy) {
+  ZipfSampler zipf(1000, 1.1);
+  Random rng(42);
+  std::map<size_t, size_t> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(&rng)]++;
+  // Rank 0 much more frequent than rank 100.
+  EXPECT_GT(counts[0], 10 * std::max<size_t>(counts[100], 1));
+  // All samples in range.
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(DblpGenTest, DeterministicForSeed) {
+  DblpOptions options;
+  options.num_papers = 30;
+  Corpus a = GenerateDblp(options);
+  Corpus b = GenerateDblp(options);
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(xml::Serialize(a.documents[i]), xml::Serialize(b.documents[i]));
+  }
+}
+
+TEST(DblpGenTest, ShapeIsShallowWithInterDocumentLinks) {
+  DblpOptions options;
+  options.num_papers = 150;
+  Corpus corpus = GenerateDblp(options);
+  EXPECT_EQ(corpus.documents.size(), 150u);
+  // Depth ~4 like real DBLP records (root/field/attr-element/value).
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_LE(corpus.documents[i].root->ElementDepth(), 3u);
+  }
+  graph::XmlGraph graph = ToGraph(corpus);
+  EXPECT_GT(graph.total_hyperlink_count(), 100u);
+  // Hyperlinks are inter-document: source and target in different docs.
+  size_t cross = 0, total = 0;
+  for (graph::NodeId u = 0; u < graph.node_count(); ++u) {
+    for (graph::NodeId v : graph.hyperlinks(u)) {
+      ++total;
+      if (graph.node(u).document != graph.node(v).document) ++cross;
+    }
+  }
+  EXPECT_EQ(cross, total);
+}
+
+TEST(DblpGenTest, CitationInDegreesAreSkewed) {
+  DblpOptions options;
+  options.num_papers = 300;
+  Corpus corpus = GenerateDblp(options);
+  graph::XmlGraph graph = ToGraph(corpus);
+  std::map<uint32_t, size_t> indegree;
+  for (graph::NodeId u = 0; u < graph.node_count(); ++u) {
+    for (graph::NodeId v : graph.hyperlinks(u)) {
+      indegree[graph.node(v).document]++;
+    }
+  }
+  size_t max_in = 0, nonzero = 0;
+  for (const auto& [doc, count] : indegree) {
+    max_in = std::max(max_in, count);
+    ++nonzero;
+  }
+  // Preferential attachment: some paper far above average.
+  double average =
+      static_cast<double>(graph.total_hyperlink_count()) / nonzero;
+  EXPECT_GT(static_cast<double>(max_in), 4.0 * average);
+}
+
+TEST(DblpGenTest, PlantedTermsPresent) {
+  DblpOptions options;
+  options.num_papers = 100;
+  Corpus corpus = GenerateDblp(options);
+  ASSERT_EQ(corpus.planted.high_correlation.size(), options.planted_sets);
+  ASSERT_EQ(corpus.planted.low_correlation.size(), options.planted_sets);
+  // Every high-correlation quadruple occurs (adjacently) somewhere.
+  for (size_t s = 0; s < options.planted_sets; ++s) {
+    const auto& quad = corpus.planted.high_correlation[s];
+    bool found = false;
+    for (const xml::Document& doc : corpus.documents) {
+      std::string text = doc.root->DeepText();
+      if (text.find(quad[0] + " " + quad[1] + " " + quad[2] + " " + quad[3]) !=
+          std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "set " << s;
+  }
+  // Selectivity ladder: sel0 in every paper, deeper buckets rarer.
+  ASSERT_GE(corpus.planted.selectivity_terms.size(), 3u);
+  EXPECT_EQ(corpus.planted.selectivity_terms[0].second, 100u);
+  EXPECT_GT(corpus.planted.selectivity_terms[0].second,
+            corpus.planted.selectivity_terms[2].second);
+}
+
+TEST(DblpGenTest, LowCorrelationTermsRarelyMeet) {
+  DblpOptions options;
+  options.num_papers = 200;
+  Corpus corpus = GenerateDblp(options);
+  const auto& quad = corpus.planted.low_correlation[0];
+  size_t first = 0, second = 0, both = 0;
+  for (const xml::Document& doc : corpus.documents) {
+    std::string text = doc.root->DeepText();
+    bool has_first = text.find(quad[0]) != std::string::npos;
+    bool has_second = text.find(quad[1]) != std::string::npos;
+    first += has_first;
+    second += has_second;
+    both += has_first && has_second;
+  }
+  EXPECT_GT(first, 0u);
+  EXPECT_GT(second, 0u);
+  EXPECT_LE(both, 3u);  // only the deliberate joint papers
+}
+
+TEST(XMarkGenTest, SingleDeepDocumentWithIntraLinks) {
+  XMarkOptions options;
+  options.num_items = 80;
+  options.num_people = 40;
+  options.num_open_auctions = 50;
+  options.num_closed_auctions = 25;
+  Corpus corpus = GenerateXMark(options);
+  ASSERT_EQ(corpus.documents.size(), 1u);
+  // Deep nesting: 6 + 2 * parlist_depth >= 10.
+  EXPECT_GE(corpus.documents[0].root->ElementDepth(), 9u);
+
+  graph::XmlGraph graph = ToGraph(corpus);
+  EXPECT_GT(graph.total_hyperlink_count(), 100u);
+  // All links intra-document.
+  for (graph::NodeId u = 0; u < graph.node_count(); ++u) {
+    for (graph::NodeId v : graph.hyperlinks(u)) {
+      EXPECT_EQ(graph.node(u).document, graph.node(v).document);
+    }
+  }
+}
+
+TEST(XMarkGenTest, IdrefsResolveToTypedTargets) {
+  XMarkOptions options;
+  options.num_items = 40;
+  options.num_people = 20;
+  options.num_open_auctions = 30;
+  Corpus corpus = GenerateXMark(options);
+  graph::XmlGraph graph = ToGraph(corpus);
+  // personref/person attributes resolve to person elements, itemrefs to
+  // items, incategory to categories.
+  size_t checked = 0;
+  for (graph::NodeId u = 0; u < graph.node_count(); ++u) {
+    if (!graph.is_element(u)) continue;
+    std::string_view tag = graph.name(u);
+    for (graph::NodeId v : graph.hyperlinks(u)) {
+      std::string_view target = graph.name(v);
+      if (tag == "personref" || tag == "seller" || tag == "buyer") {
+        EXPECT_EQ(target, "person");
+        ++checked;
+      } else if (tag == "itemref") {
+        EXPECT_EQ(target, "item");
+        ++checked;
+      } else if (tag == "incategory") {
+        EXPECT_EQ(target, "category");
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(HtmlGenTest, PagesLinkEachOther) {
+  HtmlOptions options;
+  options.num_pages = 30;
+  Corpus corpus = GenerateHtml(options);
+  EXPECT_EQ(corpus.documents.size(), 30u);
+  graph::XmlGraph graph = ToGraph(corpus, /*html=*/true);
+  EXPECT_EQ(graph.element_count(), 30u);  // one element per page
+  EXPECT_GT(graph.total_hyperlink_count(), 20u);
+}
+
+TEST(WorkloadTest, QueriesComeFromPlantedQuadruples) {
+  PlantedTerms planted;
+  RegisterPlantedSets(6, &planted);
+  WorkloadOptions options;
+  options.num_queries = 12;
+  options.num_keywords = 3;
+  options.mode = CorrelationMode::kHigh;
+  auto queries = MakeQueries(planted, options);
+  ASSERT_EQ(queries.size(), 12u);
+  for (const auto& query : queries) {
+    ASSERT_EQ(query.size(), 3u);
+    // All keywords from the same quadruple: same trailing set number.
+    std::string suffix = query[0].substr(3);
+    EXPECT_EQ(query[0], "hca" + suffix);
+    EXPECT_EQ(query[1], "hcb" + suffix);
+    EXPECT_EQ(query[2], "hcc" + suffix);
+  }
+  options.mode = CorrelationMode::kLow;
+  auto low_queries = MakeQueries(planted, options);
+  EXPECT_EQ(low_queries[0][0].substr(0, 2), "lc");
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  PlantedTerms planted;
+  RegisterPlantedSets(8, &planted);
+  WorkloadOptions options;
+  options.seed = 55;
+  auto a = MakeQueries(planted, options);
+  auto b = MakeQueries(planted, options);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace xrank::datagen

@@ -1,0 +1,193 @@
+// Unit and property tests for Dewey IDs and their codecs — the invariants
+// the whole index layer rests on: ancestor IDs are prefixes, lexicographic
+// order is document order, and codecs round-trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "dewey/codec.h"
+#include "dewey/dewey_id.h"
+
+namespace xrank::dewey {
+namespace {
+
+TEST(DeweyIdTest, BasicAccessors) {
+  DeweyId id({5, 0, 3, 0, 1});
+  EXPECT_EQ(id.depth(), 5u);
+  EXPECT_EQ(id.document_id(), 5u);
+  EXPECT_EQ(id.component(2), 3u);
+  EXPECT_FALSE(id.empty());
+  EXPECT_TRUE(DeweyId().empty());
+}
+
+TEST(DeweyIdTest, ToStringAndBack) {
+  DeweyId id({5, 0, 3, 0, 0});
+  EXPECT_EQ(id.ToString(), "5.0.3.0.0");
+  auto parsed = DeweyId::FromString("5.0.3.0.0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, id);
+  EXPECT_EQ(DeweyId().ToString(), "");
+  auto empty = DeweyId::FromString("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(DeweyIdTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(DeweyId::FromString("1.x.2").ok());
+  EXPECT_FALSE(DeweyId::FromString("99999999999").ok());
+}
+
+TEST(DeweyIdTest, ParentAndChild) {
+  DeweyId id({5, 0, 3});
+  EXPECT_EQ(id.Parent(), DeweyId({5, 0}));
+  EXPECT_EQ(id.Child(7), DeweyId({5, 0, 3, 7}));
+  EXPECT_EQ(DeweyId({5}).Parent(), DeweyId());
+}
+
+TEST(DeweyIdTest, PrefixRelation) {
+  DeweyId ancestor({5, 0});
+  DeweyId descendant({5, 0, 3, 1});
+  EXPECT_TRUE(ancestor.IsPrefixOf(descendant));
+  EXPECT_TRUE(ancestor.IsPrefixOf(ancestor));
+  EXPECT_FALSE(descendant.IsPrefixOf(ancestor));
+  EXPECT_FALSE(DeweyId({5, 1}).IsPrefixOf(descendant));
+  EXPECT_TRUE(DeweyId().IsPrefixOf(descendant));
+}
+
+TEST(DeweyIdTest, CommonPrefixLength) {
+  DeweyId a({5, 0, 3, 0, 0});
+  DeweyId b({5, 0, 3, 0, 1});
+  DeweyId c({6, 0});
+  EXPECT_EQ(a.CommonPrefixLength(b), 4u);
+  EXPECT_EQ(a.CommonPrefixLength(c), 0u);
+  EXPECT_EQ(a.CommonPrefixLength(a), 5u);
+}
+
+TEST(DeweyIdTest, OrderingIsDocumentOrder) {
+  // Paper Figure 4: entries sorted by Dewey ID cluster common ancestors.
+  std::vector<DeweyId> ids = {
+      DeweyId({6, 0, 3, 8, 3}), DeweyId({5, 0, 3, 0, 0}),
+      DeweyId({5, 0, 3, 0, 1}), DeweyId({5}),
+      DeweyId({5, 0, 3}),       DeweyId({8, 2, 1, 4, 2}),
+  };
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids[0], DeweyId({5}));
+  EXPECT_EQ(ids[1], DeweyId({5, 0, 3}));
+  EXPECT_EQ(ids[2], DeweyId({5, 0, 3, 0, 0}));
+  EXPECT_EQ(ids[3], DeweyId({5, 0, 3, 0, 1}));
+  EXPECT_EQ(ids[4], DeweyId({6, 0, 3, 8, 3}));
+  EXPECT_EQ(ids[5], DeweyId({8, 2, 1, 4, 2}));
+}
+
+TEST(DeweyIdTest, AncestorSortsBeforeDescendant) {
+  DeweyId ancestor({1, 2});
+  DeweyId descendant({1, 2, 0});
+  EXPECT_LT(ancestor, descendant);
+}
+
+TEST(DeweyIdTest, HashDistinguishes) {
+  EXPECT_NE(DeweyId({1, 2}).Hash(), DeweyId({2, 1}).Hash());
+  EXPECT_EQ(DeweyId({1, 2}).Hash(), DeweyId({1, 2}).Hash());
+}
+
+TEST(DeweyCodecTest, RawRoundTrip) {
+  const DeweyId cases[] = {DeweyId(), DeweyId({0}), DeweyId({5, 0, 3, 0, 0}),
+                           DeweyId({1000000, 0, 128, 16384})};
+  for (const DeweyId& id : cases) {
+    std::string buf;
+    EncodeDeweyId(id, &buf);
+    EXPECT_EQ(buf.size(), EncodedDeweyIdLength(id));
+    size_t offset = 0;
+    auto decoded = DecodeDeweyId(buf, &offset);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, id);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(DeweyCodecTest, DeltaRoundTrip) {
+  DeweyId previous({5, 0, 3, 0, 0});
+  const DeweyId cases[] = {DeweyId({5, 0, 3, 0, 1}), DeweyId({5, 0, 4}),
+                           DeweyId({6}), DeweyId({5, 0, 3, 0, 0, 2})};
+  for (const DeweyId& id : cases) {
+    std::string buf;
+    EncodeDeweyIdDelta(previous, id, &buf);
+    EXPECT_EQ(buf.size(), EncodedDeweyIdDeltaLength(previous, id));
+    size_t offset = 0;
+    auto decoded = DecodeDeweyIdDelta(previous, buf, &offset);
+    ASSERT_TRUE(decoded.ok()) << id.ToString();
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(DeweyCodecTest, DeltaIsSmallerForSiblings) {
+  DeweyId previous({5, 0, 3, 0, 0});
+  DeweyId sibling({5, 0, 3, 0, 1});
+  std::string raw, delta;
+  EncodeDeweyId(sibling, &raw);
+  EncodeDeweyIdDelta(previous, sibling, &delta);
+  EXPECT_LT(delta.size(), raw.size());
+}
+
+TEST(DeweyCodecTest, DecodeRejectsTruncation) {
+  std::string buf;
+  EncodeDeweyId(DeweyId({1, 2, 3}), &buf);
+  buf.resize(buf.size() - 1);
+  size_t offset = 0;
+  EXPECT_FALSE(DecodeDeweyId(buf, &offset).ok());
+}
+
+// Property sweep: random ID pairs preserve order/prefix/codec invariants.
+class DeweyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeweyPropertyTest, RandomPairsSatisfyInvariants) {
+  xrank::Random rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_id = [&rng]() {
+      size_t depth = 1 + rng.Uniform(8);
+      std::vector<uint32_t> components;
+      for (size_t i = 0; i < depth; ++i) {
+        components.push_back(static_cast<uint32_t>(rng.Uniform(12)));
+      }
+      return DeweyId(std::move(components));
+    };
+    DeweyId a = random_id();
+    DeweyId b = random_id();
+
+    // Comparison is a strict weak order consistent with equality.
+    EXPECT_EQ(a == b, !(a < b) && !(b < a));
+    // CommonPrefixLength is symmetric and bounded.
+    EXPECT_EQ(a.CommonPrefixLength(b), b.CommonPrefixLength(a));
+    EXPECT_LE(a.CommonPrefixLength(b), std::min(a.depth(), b.depth()));
+    // Prefix(CPL) is a prefix of both.
+    DeweyId meet = a.Prefix(a.CommonPrefixLength(b));
+    EXPECT_TRUE(meet.IsPrefixOf(a));
+    EXPECT_TRUE(meet.IsPrefixOf(b));
+    // IsPrefixOf iff CPL == own depth.
+    EXPECT_EQ(a.IsPrefixOf(b), a.CommonPrefixLength(b) == a.depth());
+
+    // Raw codec round-trips.
+    std::string buf;
+    EncodeDeweyId(a, &buf);
+    size_t offset = 0;
+    auto decoded = DecodeDeweyId(buf, &offset);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, a);
+
+    // Delta codec round-trips against an arbitrary previous ID.
+    std::string delta;
+    EncodeDeweyIdDelta(a, b, &delta);
+    offset = 0;
+    auto delta_decoded = DecodeDeweyIdDelta(a, delta, &offset);
+    ASSERT_TRUE(delta_decoded.ok());
+    EXPECT_EQ(*delta_decoded, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeweyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace xrank::dewey

@@ -1,0 +1,325 @@
+// Tests for the ElemRank computation (paper Section 3): convergence,
+// probability conservation, the semantics each formula refinement adds, and
+// the design goal that 2-level collections reduce to PageRank.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "rank/elem_rank.h"
+#include "rank/pagerank.h"
+#include "xml/parser.h"
+
+namespace xrank::rank {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::XmlGraph;
+
+XmlGraph BuildGraph(std::vector<std::pair<const char*, const char*>> docs,
+                    bool attributes_as_subelements = false) {
+  graph::BuilderOptions options;
+  options.attributes_as_subelements = attributes_as_subelements;
+  GraphBuilder builder(options);
+  for (const auto& [text, uri] : docs) {
+    auto doc = xml::ParseDocument(text, uri);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    EXPECT_TRUE(builder.AddDocument(*doc).ok());
+  }
+  auto graph = std::move(builder).Finalize();
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  return std::move(graph).value();
+}
+
+double SumElementRanks(const XmlGraph& graph, const std::vector<double>& r) {
+  double sum = 0.0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    if (graph.is_element(u)) sum += r[u];
+  }
+  return sum;
+}
+
+TEST(ElemRankTest, ConvergesAndConserves) {
+  XmlGraph graph = BuildGraph(
+      {{"<a><b>x</b><c><d>y</d><e>z</e></c></a>", "u1"},
+       {"<a><b>q</b></a>", "u2"}});
+  for (Formula formula :
+       {Formula::kPageRankAdaptation, Formula::kBidirectional,
+        Formula::kDiscriminated, Formula::kFinal}) {
+    ElemRankOptions options;
+    options.formula = formula;
+    auto result = ComputeElemRank(graph, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->converged) << static_cast<int>(formula);
+    EXPECT_GT(result->iterations, 1);
+    double sum = SumElementRanks(graph, result->ranks);
+    // The final formula conserves probability exactly; the literal earlier
+    // refinements leak at document roots (no parent), as in the paper's
+    // formulas, so only check them loosely.
+    if (formula == Formula::kFinal ||
+        formula == Formula::kPageRankAdaptation) {
+      EXPECT_NEAR(sum, 1.0, 1e-6) << static_cast<int>(formula);
+    } else {
+      EXPECT_GT(sum, 0.5);
+      EXPECT_LT(sum, 1.01);
+    }
+    // All ranks positive, value nodes zero.
+    for (NodeId u = 0; u < graph.node_count(); ++u) {
+      if (graph.is_element(u)) {
+        EXPECT_GT(result->ranks[u], 0.0);
+      } else {
+        EXPECT_EQ(result->ranks[u], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ElemRankTest, RejectsBadParameters) {
+  XmlGraph graph = BuildGraph({{"<a/>", "u"}});
+  ElemRankOptions options;
+  options.d1 = 0.5;
+  options.d2 = 0.4;
+  options.d3 = 0.2;  // sums to 1.1
+  EXPECT_FALSE(ComputeElemRank(graph, options).ok());
+  options = ElemRankOptions();
+  options.formula = Formula::kPageRankAdaptation;
+  options.d = 1.5;
+  EXPECT_FALSE(ComputeElemRank(graph, options).ok());
+}
+
+// Forward propagation: sections of a highly-referenced paper inherit rank
+// (paper Section 3.1's motivation for bidirectional transfer).
+TEST(ElemRankTest, ForwardContainmentPropagation) {
+  // Two structurally identical papers; the first is cited by many others.
+  std::vector<std::pair<const char*, const char*>> docs = {
+      {"<paper><sec>alpha</sec></paper>", "popular.xml"},
+      {"<paper><sec>beta</sec></paper>", "obscure.xml"},
+  };
+  std::vector<std::string> citers;
+  for (int i = 0; i < 8; ++i) {
+    citers.push_back("<paper><cite xlink=\"popular.xml\">c</cite></paper>");
+  }
+  for (int i = 0; i < 8; ++i) docs.push_back({citers[i].c_str(), ""});
+  // Unique URIs for citers.
+  std::vector<std::string> uris;
+  for (int i = 0; i < 8; ++i) uris.push_back("citer" + std::to_string(i));
+  for (int i = 0; i < 8; ++i) docs[2 + i].second = uris[i].c_str();
+
+  XmlGraph graph = BuildGraph(docs);
+  auto result = ComputeElemRank(graph, ElemRankOptions{});
+  ASSERT_TRUE(result.ok());
+
+  NodeId popular_root = graph.documents()[0].root;
+  NodeId obscure_root = graph.documents()[1].root;
+  NodeId popular_sec = graph.node(popular_root).element_children[0];
+  NodeId obscure_sec = graph.node(obscure_root).element_children[0];
+  EXPECT_GT(result->ranks[popular_root], result->ranks[obscure_root]);
+  // The section of the popular paper outranks the obscure paper's section.
+  EXPECT_GT(result->ranks[popular_sec], result->ranks[obscure_sec]);
+}
+
+// Reverse propagation: a workshop whose papers are all heavily cited
+// outranks a structurally identical workshop with only one cited paper —
+// the aggregate semantics of the final formula's d3 term (Section 3.1:
+// "a workshop that contains many important papers should have a higher
+// ElemRank than a workshop that contains only one important paper").
+TEST(ElemRankTest, ReverseContainmentAggregates) {
+  // Hand-built graph via the mutation API: workshop A holds four papers,
+  // each cited 10 times; workshop B holds one equally-cited paper. Equal
+  // per-paper importance, so A's root must aggregate more.
+  XmlGraph graph;
+  uint32_t tag = graph.InternName("e");
+  auto make_workshop = [&](const std::string& uri, int papers,
+                           std::vector<NodeId>* out_children) {
+    uint32_t doc = graph.AddDocument(uri);
+    NodeId root = graph.AddElement(tag, graph::kInvalidNode, doc);
+    graph.SetDocumentRoot(doc, root);
+    for (int i = 0; i < papers; ++i) {
+      out_children->push_back(graph.AddElement(tag, root, doc));
+    }
+    return root;
+  };
+  std::vector<NodeId> papers_a, papers_b;
+  NodeId root_a = make_workshop("a", 4, &papers_a);
+  NodeId root_b = make_workshop("b", 1, &papers_b);
+
+  // Citer documents: every paper receives exactly 10 citations.
+  int citer_index = 0;
+  auto cite = [&](NodeId target) {
+    uint32_t doc =
+        graph.AddDocument("citer" + std::to_string(citer_index++));
+    NodeId root = graph.AddElement(tag, graph::kInvalidNode, doc);
+    graph.SetDocumentRoot(doc, root);
+    NodeId cite_element = graph.AddElement(tag, root, doc);
+    graph.AddHyperlink(cite_element, target);
+  };
+  for (NodeId paper : papers_a) {
+    for (int c = 0; c < 10; ++c) cite(paper);
+  }
+  for (int c = 0; c < 10; ++c) cite(papers_b[0]);
+  graph.FinalizeStructure();
+
+  auto result = ComputeElemRank(graph, ElemRankOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->ranks[root_a], result->ranks[root_b]);
+  // And B's single paper is individually stronger than any one of A's
+  // (it receives the same citations but a larger forward share).
+  EXPECT_GT(result->ranks[papers_b[0]], result->ranks[papers_a[0]]);
+}
+
+// The discrimination refinement (Section 3.1): "the larger the number of
+// references in a paper, the less important each section of the paper is
+// likely to be, which is not very intuitive". With the final formula a
+// section's share of its paper is independent of how many hyperlinks the
+// paper carries; with the undiscriminated bidirectional formula it decays.
+TEST(ElemRankTest, HyperlinksDoNotDiluteSections) {
+  // Measures the marginal effect of adding references: a paper with one
+  // section and `nlinks` outgoing hyperlinks. Under the final formula the
+  // section's share of its paper is independent of nlinks; under the
+  // undiscriminated bidirectional formula it shrinks as references grow.
+  auto section_share = [](Formula formula, int nlinks) {
+    XmlGraph graph;
+    uint32_t tag = graph.InternName("e");
+    uint32_t doc_b = graph.AddDocument("b");
+    NodeId root_b = graph.AddElement(tag, graph::kInvalidNode, doc_b);
+    graph.SetDocumentRoot(doc_b, root_b);
+    NodeId section = graph.AddElement(tag, root_b, doc_b);
+    uint32_t doc_c = graph.AddDocument("c");
+    NodeId root_c = graph.AddElement(tag, graph::kInvalidNode, doc_c);
+    graph.SetDocumentRoot(doc_c, root_c);
+    // Plenty of filler elements so the uniform jump/dangling redistribution
+    // is negligible next to the structural flow under test, and enough
+    // in-links that the paper's rank is well above jump level (dilution
+    // only matters for important papers).
+    for (int i = 0; i < 300; ++i) {
+      NodeId filler = graph.AddElement(tag, root_c, doc_c);
+      if (i < 60) graph.AddHyperlink(filler, root_b);
+    }
+    for (int i = 0; i < nlinks; ++i) graph.AddHyperlink(root_b, root_c);
+    graph.FinalizeStructure();
+
+    ElemRankOptions options;
+    options.formula = formula;
+    auto result = ComputeElemRank(graph, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result->ranks[section] / result->ranks[root_b];
+  };
+
+  // Bidirectional: 50 references crowd the section down to a fraction of
+  // its 2-reference share.
+  double u_few = section_share(Formula::kBidirectional, 2);
+  double u_many = section_share(Formula::kBidirectional, 50);
+  EXPECT_LT(u_many, 0.7 * u_few);
+
+  // Final formula: the share is reference-count invariant.
+  double f_few = section_share(Formula::kFinal, 2);
+  double f_many = section_share(Formula::kFinal, 50);
+  EXPECT_NEAR(f_many, f_few, 0.05 * f_few);
+}
+
+// Design goal (paper Section 1): on a 2-level collection (document root +
+// text), ElemRank ordering matches PageRank over the hyperlink graph.
+TEST(ElemRankTest, TwoLevelCollectionMatchesPageRankOrdering) {
+  // A small web: 0 <- {1,2,3}, 1 <- {2}, chain 3 -> 1.
+  std::vector<std::pair<const char*, const char*>> docs = {
+      {"<page>zero</page>", "p0"},
+      {"<page><a xlink=\"p0\">l</a></page>", "p1"},
+      {"<page><a xlink=\"p0\">l</a><a xlink=\"p1\">l</a></page>", "p2"},
+      {"<page><a xlink=\"p0\">l</a><a xlink=\"p1\">l</a></page>", "p3"},
+  };
+  XmlGraph graph = BuildGraph(docs);
+
+  // Hyperlink-only adjacency between documents. Note XLink targets document
+  // roots; anchors live one level below, so project to the root level.
+  std::vector<std::vector<uint32_t>> adjacency(4);
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    if (!graph.is_element(u)) continue;
+    for (NodeId v : graph.hyperlinks(u)) {
+      adjacency[graph.node(u).document].push_back(graph.node(v).document);
+    }
+  }
+  PageRankOptions pr_options;
+  auto pagerank = ComputePageRank(adjacency, pr_options);
+  ASSERT_TRUE(pagerank.ok());
+
+  ElemRankOptions er_options;
+  auto elemrank = ComputeElemRank(graph, er_options);
+  ASSERT_TRUE(elemrank.ok());
+
+  // Compare document-level orderings.
+  auto doc_rank = [&](size_t d) {
+    return elemrank->ranks[graph.documents()[d].root];
+  };
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (pagerank->ranks[i] > pagerank->ranks[j] * 1.05) {
+        EXPECT_GT(doc_rank(i), doc_rank(j))
+            << "PageRank order violated for docs " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(PageRankTest, UniformOnSymmetricGraph) {
+  // A 3-cycle: all nodes equal.
+  std::vector<std::vector<uint32_t>> adjacency = {{1}, {2}, {0}};
+  auto result = ComputePageRank(adjacency, PageRankOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->ranks[0], 1.0 / 3, 1e-4);
+  EXPECT_NEAR(result->ranks[1], 1.0 / 3, 1e-4);
+  EXPECT_NEAR(result->ranks[2], 1.0 / 3, 1e-4);
+}
+
+TEST(PageRankTest, SinkReceivesMore) {
+  // 0 and 1 both point at 2.
+  std::vector<std::vector<uint32_t>> adjacency = {{2}, {2}, {}};
+  auto result = ComputePageRank(adjacency, PageRankOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->ranks[2], result->ranks[0]);
+  EXPECT_GT(result->ranks[2], result->ranks[1]);
+  double sum = std::accumulate(result->ranks.begin(), result->ranks.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputePageRank({}, PageRankOptions{}).ok());
+  std::vector<std::vector<uint32_t>> bad_edge = {{5}};
+  EXPECT_FALSE(ComputePageRank(bad_edge, PageRankOptions{}).ok());
+}
+
+// Parameter sweep (paper Section 3.2: varying d1,d2,d3 "does not have a
+// significant effect on algorithm convergence time").
+struct DParams {
+  double d1, d2, d3;
+};
+
+class ElemRankParamTest : public ::testing::TestWithParam<DParams> {};
+
+TEST_P(ElemRankParamTest, ConvergesAcrossParameterSettings) {
+  XmlGraph graph = BuildGraph({
+      {"<a><b><c>x</c></b><d>y</d></a>", "u1"},
+      {"<a><b>z</b></a>", "u2"},
+  });
+  ElemRankOptions options;
+  options.d1 = GetParam().d1;
+  options.d2 = GetParam().d2;
+  options.d3 = GetParam().d3;
+  auto result = ComputeElemRank(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->iterations, 200);
+  EXPECT_NEAR(SumElementRanks(graph, result->ranks), 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ElemRankParamTest,
+    ::testing::Values(DParams{0.35, 0.25, 0.25}, DParams{0.1, 0.1, 0.1},
+                      DParams{0.6, 0.2, 0.1}, DParams{0.1, 0.6, 0.2},
+                      DParams{0.1, 0.2, 0.6}, DParams{0.3, 0.3, 0.3}));
+
+}  // namespace
+}  // namespace xrank::rank

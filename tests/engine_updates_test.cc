@@ -1,0 +1,148 @@
+// Tests for document-granularity updates (paper Section 4.5): tombstone
+// deletion with immediate query filtering, and compaction that rebuilds the
+// physical indexes without the deleted documents.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "xml/parser.h"
+
+namespace xrank {
+namespace {
+
+using core::EngineOptions;
+using core::XRankEngine;
+using index::IndexKind;
+
+std::vector<xml::Document> SmallCollection() {
+  std::vector<xml::Document> docs;
+  const char* sources[] = {
+      "<a><t>shared alpha one</t></a>",
+      "<a><t>shared alpha two</t></a>",
+      "<a><t>shared alpha three</t></a>",
+  };
+  const char* uris[] = {"d1.xml", "d2.xml", "d3.xml"};
+  for (int i = 0; i < 3; ++i) {
+    auto doc = xml::ParseDocument(sources[i], uris[i]);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    docs.push_back(std::move(doc).value());
+  }
+  return docs;
+}
+
+EngineOptions AllIndexes() {
+  EngineOptions options;
+  options.indexes = {IndexKind::kNaiveId, IndexKind::kNaiveRank,
+                     IndexKind::kDil, IndexKind::kRdil, IndexKind::kHdil};
+  return options;
+}
+
+size_t CountDocResults(const core::EngineResponse& response,
+                       const std::string& uri) {
+  size_t count = 0;
+  for (const auto& result : response.results) {
+    if (result.document_uri == uri) ++count;
+  }
+  return count;
+}
+
+TEST(EngineUpdatesTest, DeleteFiltersResultsImmediately) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  for (IndexKind kind :
+       {IndexKind::kNaiveId, IndexKind::kNaiveRank, IndexKind::kDil,
+        IndexKind::kRdil, IndexKind::kHdil}) {
+    auto before = (*engine)->Query("shared alpha", 20, kind);
+    ASSERT_TRUE(before.ok());
+    EXPECT_GT(CountDocResults(*before, "d2.xml"), 0u);
+  }
+
+  ASSERT_TRUE((*engine)->DeleteDocument("d2.xml").ok());
+  EXPECT_EQ((*engine)->deleted_document_count(), 1u);
+
+  for (IndexKind kind :
+       {IndexKind::kNaiveId, IndexKind::kNaiveRank, IndexKind::kDil,
+        IndexKind::kRdil, IndexKind::kHdil}) {
+    auto after = (*engine)->Query("shared alpha", 20, kind);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(CountDocResults(*after, "d2.xml"), 0u)
+        << index::IndexKindName(kind);
+    EXPECT_GT(CountDocResults(*after, "d1.xml"), 0u);
+    EXPECT_GT(CountDocResults(*after, "d3.xml"), 0u);
+  }
+}
+
+TEST(EngineUpdatesTest, DeleteUnknownUriFails) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->DeleteDocument("nope.xml").ok());
+}
+
+TEST(EngineUpdatesTest, CompactionShrinksIndexesAndPreservesResults) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok());
+  uint64_t entries_before =
+      (*engine)->index_stats(IndexKind::kDil).entry_count;
+
+  ASSERT_TRUE((*engine)->DeleteDocument("d2.xml").ok());
+  // Capture each structure's tombstone-filtered results (the naive kinds
+  // legitimately include spurious ancestors, so compare per kind).
+  std::map<IndexKind, core::EngineResponse> filtered;
+  for (IndexKind kind :
+       {IndexKind::kNaiveId, IndexKind::kNaiveRank, IndexKind::kDil,
+        IndexKind::kRdil, IndexKind::kHdil}) {
+    auto response = (*engine)->Query("shared alpha", 20, kind);
+    ASSERT_TRUE(response.ok());
+    filtered.emplace(kind, std::move(response).value());
+  }
+
+  ASSERT_TRUE((*engine)->CompactDeletions().ok());
+  uint64_t entries_after =
+      (*engine)->index_stats(IndexKind::kDil).entry_count;
+  EXPECT_LT(entries_after, entries_before);
+
+  // Same results through the rebuilt indexes, for every structure.
+  for (auto& [kind, expected] : filtered) {
+    auto compacted = (*engine)->Query("shared alpha", 20, kind);
+    ASSERT_TRUE(compacted.ok()) << compacted.status();
+    ASSERT_EQ(compacted->results.size(), expected.results.size())
+        << index::IndexKindName(kind);
+    for (size_t i = 0; i < compacted->results.size(); ++i) {
+      EXPECT_EQ(compacted->results[i].id, expected.results[i].id);
+      EXPECT_NEAR(compacted->results[i].rank, expected.results[i].rank,
+                  1e-9);
+    }
+    EXPECT_EQ(CountDocResults(*compacted, "d2.xml"), 0u);
+  }
+}
+
+TEST(EngineUpdatesTest, CompactWithoutDeletionsIsNoOp) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok());
+  uint64_t entries_before =
+      (*engine)->index_stats(IndexKind::kDil).entry_count;
+  ASSERT_TRUE((*engine)->CompactDeletions().ok());
+  EXPECT_EQ((*engine)->index_stats(IndexKind::kDil).entry_count,
+            entries_before);
+}
+
+TEST(EngineUpdatesTest, DeleteAllDocumentsYieldsEmptyResults) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok());
+  for (const char* uri : {"d1.xml", "d2.xml", "d3.xml"}) {
+    ASSERT_TRUE((*engine)->DeleteDocument(uri).ok());
+  }
+  auto response = (*engine)->Query("shared", 10, IndexKind::kDil);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->results.empty());
+  ASSERT_TRUE((*engine)->CompactDeletions().ok());
+  auto after = (*engine)->Query("shared", 10, IndexKind::kHdil);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->results.empty());
+}
+
+}  // namespace
+}  // namespace xrank

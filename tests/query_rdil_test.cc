@@ -1,0 +1,152 @@
+// Tests for the RDIL query processor (paper Figure 7): top-m equivalence
+// with DIL, threshold early termination on correlated data, and probe
+// accounting.
+
+#include "query/rdil_query.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "query/dil_query.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+
+namespace xrank::query {
+namespace {
+
+using index::IndexKind;
+using testutil::BuildIndexedCorpus;
+
+std::vector<std::pair<std::string, std::string>> SerializeCorpus(
+    const datagen::Corpus& corpus) {
+  std::vector<std::pair<std::string, std::string>> docs;
+  for (const xml::Document& doc : corpus.documents) {
+    docs.emplace_back(xml::Serialize(doc), doc.uri);
+  }
+  return docs;
+}
+
+TEST(RdilQueryTest, MatchesDilOnFigure1) {
+  auto corpus = BuildIndexedCorpus({{testutil::Figure1Xml(), "figure1.xml"}});
+  DilQueryProcessor dil(corpus->pool(IndexKind::kDil),
+                        corpus->lexicon(IndexKind::kDil), ScoringOptions{});
+  RdilQueryProcessor rdil(corpus->pool(IndexKind::kRdil),
+                          corpus->lexicon(IndexKind::kRdil),
+                          ScoringOptions{});
+  for (auto keywords : std::vector<std::vector<std::string>>{
+           {"xql"},
+           {"xql", "language"},
+           {"xql", "ricardo"},
+           {"querying", "xyleme"},
+           {"xml", "sigir", "workshop"}}) {
+    auto dil_response = dil.Execute(keywords, 10);
+    auto rdil_response = rdil.Execute(keywords, 10);
+    ASSERT_TRUE(dil_response.ok() && rdil_response.ok());
+    ASSERT_EQ(dil_response->results.size(), rdil_response->results.size());
+    for (size_t i = 0; i < dil_response->results.size(); ++i) {
+      EXPECT_EQ(dil_response->results[i].id, rdil_response->results[i].id);
+      EXPECT_NEAR(dil_response->results[i].rank,
+                  rdil_response->results[i].rank, 1e-9);
+    }
+  }
+}
+
+TEST(RdilQueryTest, ThresholdTerminatesEarlyOnCorrelatedKeywords) {
+  datagen::DblpOptions gen;
+  gen.num_papers = 400;
+  gen.high_corr_frequency = 0.25;  // plenty of co-occurrences
+  datagen::Corpus corpus_data = datagen::GenerateDblp(gen);
+  auto corpus = BuildIndexedCorpus(SerializeCorpus(corpus_data));
+  corpus->DropCaches();
+
+  const auto& quad = corpus_data.planted.high_correlation[0];
+  RdilQueryProcessor rdil(corpus->pool(IndexKind::kRdil),
+                          corpus->lexicon(IndexKind::kRdil),
+                          ScoringOptions{});
+  auto response = rdil.Execute({quad[0], quad[1]}, 3);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_GE(response->results.size(), 3u);
+  EXPECT_TRUE(response->stats.threshold_terminated);
+  // Early termination: far fewer rank-list entries consumed than exist.
+  const auto* info = corpus->lexicon(IndexKind::kRdil)->Find(quad[0]);
+  ASSERT_NE(info, nullptr);
+  EXPECT_LT(response->stats.rounds, 2 * info->list.entry_count);
+  EXPECT_GT(response->stats.btree_probes, 0u);
+}
+
+TEST(RdilQueryTest, TopMAgreesWithDilOnSyntheticCorpus) {
+  datagen::DblpOptions gen;
+  gen.num_papers = 150;
+  gen.seed = 11;
+  datagen::Corpus corpus_data = datagen::GenerateDblp(gen);
+  auto corpus = BuildIndexedCorpus(SerializeCorpus(corpus_data));
+
+  DilQueryProcessor dil(corpus->pool(IndexKind::kDil),
+                        corpus->lexicon(IndexKind::kDil), ScoringOptions{});
+  RdilQueryProcessor rdil(corpus->pool(IndexKind::kRdil),
+                          corpus->lexicon(IndexKind::kRdil),
+                          ScoringOptions{});
+  // Mix of planted and organic Zipf terms.
+  const auto& quad = corpus_data.planted.high_correlation[1];
+  const auto& low = corpus_data.planted.low_correlation[0];
+  std::vector<std::vector<std::string>> queries = {
+      {quad[0], quad[1]},
+      {quad[0], quad[1], quad[2], quad[3]},
+      {low[0], low[1]},
+      {"sel0", "sel1"},
+  };
+  for (const auto& keywords : queries) {
+    for (size_t m : {1u, 5u, 20u}) {
+      auto dil_response = dil.Execute(keywords, m);
+      auto rdil_response = rdil.Execute(keywords, m);
+      ASSERT_TRUE(dil_response.ok() && rdil_response.ok());
+      ASSERT_EQ(dil_response->results.size(), rdil_response->results.size())
+          << keywords[0] << " m=" << m;
+      for (size_t i = 0; i < dil_response->results.size(); ++i) {
+        EXPECT_EQ(dil_response->results[i].id, rdil_response->results[i].id)
+            << keywords[0] << " m=" << m << " i=" << i;
+        EXPECT_NEAR(dil_response->results[i].rank,
+                    rdil_response->results[i].rank, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RdilQueryTest, UncorrelatedKeywordsStillCorrect) {
+  // Keywords that never co-occur: every probe fails, result set is empty,
+  // and the scan runs to exhaustion without terminating early.
+  auto corpus = BuildIndexedCorpus({
+      {"<a><b>solo1 filler</b></a>", "d1"},
+      {"<a><b>solo2 filler</b></a>", "d2"},
+      {"<a><b>solo1 other</b></a>", "d3"},
+      {"<a><b>solo2 other</b></a>", "d4"},
+  });
+  RdilQueryProcessor rdil(corpus->pool(IndexKind::kRdil),
+                          corpus->lexicon(IndexKind::kRdil),
+                          ScoringOptions{});
+  auto response = rdil.Execute({"solo1", "solo2"}, 5);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->results.empty());
+  EXPECT_FALSE(response->stats.threshold_terminated);
+}
+
+TEST(RdilQueryTest, SingleKeywordStopsAfterTopM) {
+  datagen::DblpOptions gen;
+  gen.num_papers = 300;
+  datagen::Corpus corpus_data = datagen::GenerateDblp(gen);
+  auto corpus = BuildIndexedCorpus(SerializeCorpus(corpus_data));
+  RdilQueryProcessor rdil(corpus->pool(IndexKind::kRdil),
+                          corpus->lexicon(IndexKind::kRdil),
+                          ScoringOptions{});
+  // 'sel0' occurs in every paper; top-5 needs only a prefix of the list.
+  auto response = rdil.Execute({"sel0"}, 5);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->results.size(), 5u);
+  const auto* info = corpus->lexicon(IndexKind::kRdil)->Find("sel0");
+  ASSERT_NE(info, nullptr);
+  EXPECT_LT(response->stats.rounds, info->list.entry_count);
+  EXPECT_TRUE(response->stats.threshold_terminated);
+}
+
+}  // namespace
+}  // namespace xrank::query

@@ -1,0 +1,146 @@
+#ifndef XRANK_TESTS_TEST_UTIL_H_
+#define XRANK_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "index/dil_index.h"
+#include "index/hdil_index.h"
+#include "index/index_builder.h"
+#include "index/naive_index.h"
+#include "index/rdil_index.h"
+#include "rank/elem_rank.h"
+#include "storage/buffer_pool.h"
+#include "xml/parser.h"
+
+namespace xrank::testutil {
+
+// Parses documents, builds the graph + ElemRanks + every physical index
+// (memory-backed), and exposes per-index buffer pools with cost models.
+// Small enough to rebuild per test.
+struct IndexedCorpus {
+  graph::XmlGraph graph;
+  rank::ElemRankResult ranks;
+  index::ExtractionResult extracted;
+
+  struct Instance {
+    index::BuiltIndex built;
+    std::unique_ptr<storage::CostModel> cost_model;
+    std::unique_ptr<storage::BufferPool> pool;
+  };
+  std::map<index::IndexKind, Instance> indexes;
+
+  storage::BufferPool* pool(index::IndexKind kind) {
+    return indexes.at(kind).pool.get();
+  }
+  const index::Lexicon* lexicon(index::IndexKind kind) {
+    return &indexes.at(kind).built.lexicon;
+  }
+  storage::CostModel* cost_model(index::IndexKind kind) {
+    return indexes.at(kind).cost_model.get();
+  }
+  void DropCaches() {
+    for (auto& [kind, instance] : indexes) {
+      instance.pool->DropCache();
+      instance.cost_model->Reset();
+    }
+  }
+};
+
+inline std::unique_ptr<IndexedCorpus> BuildIndexedCorpus(
+    std::vector<std::pair<std::string, std::string>> docs,
+    const index::HdilOptions& hdil_options = {},
+    size_t buffer_pool_pages = 1024) {
+  auto corpus = std::make_unique<IndexedCorpus>();
+  graph::GraphBuilder builder;
+  for (const auto& [text, uri] : docs) {
+    auto doc = xml::ParseDocument(text, uri);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    EXPECT_TRUE(builder.AddDocument(*doc).ok());
+  }
+  auto graph = std::move(builder).Finalize();
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  corpus->graph = std::move(graph).value();
+
+  auto ranks = rank::ComputeElemRank(corpus->graph, rank::ElemRankOptions{});
+  EXPECT_TRUE(ranks.ok()) << ranks.status();
+  corpus->ranks = std::move(ranks).value();
+
+  index::ExtractionOptions extraction;
+  extraction.build_naive = true;
+  auto extracted =
+      index::ExtractPostings(corpus->graph, corpus->ranks.ranks, extraction);
+  EXPECT_TRUE(extracted.ok()) << extracted.status();
+  corpus->extracted = std::move(extracted).value();
+
+  auto install = [&](index::IndexKind kind, Result<index::BuiltIndex> built) {
+    EXPECT_TRUE(built.ok()) << built.status();
+    IndexedCorpus::Instance instance;
+    instance.built = std::move(built).value();
+    instance.cost_model = std::make_unique<storage::CostModel>();
+    instance.pool = std::make_unique<storage::BufferPool>(
+        instance.built.file.get(), buffer_pool_pages,
+        instance.cost_model.get());
+    corpus->indexes.emplace(kind, std::move(instance));
+  };
+  install(index::IndexKind::kDil,
+          index::BuildDilIndex(corpus->extracted.dewey_postings,
+                               storage::PageFile::CreateInMemory()));
+  install(index::IndexKind::kRdil,
+          index::BuildRdilIndex(corpus->extracted.dewey_postings,
+                                storage::PageFile::CreateInMemory()));
+  install(index::IndexKind::kHdil,
+          index::BuildHdilIndex(corpus->extracted.dewey_postings,
+                                storage::PageFile::CreateInMemory(),
+                                hdil_options));
+  install(index::IndexKind::kNaiveId,
+          index::BuildNaiveIdIndex(corpus->extracted.naive_postings,
+                                   storage::PageFile::CreateInMemory()));
+  install(index::IndexKind::kNaiveRank,
+          index::BuildNaiveRankIndex(corpus->extracted.naive_postings,
+                                     storage::PageFile::CreateInMemory()));
+  return corpus;
+}
+
+// The Figure 1 document used throughout the paper's examples.
+inline const char* Figure1Xml() {
+  return R"(
+<workshop date="28 July 2000">
+  <title> XML and IR: A SIGIR 2000 Workshop </title>
+  <editors> David Carmel, Yoelle Maarek, Aya Soffer </editors>
+  <proceedings>
+    <paper id="1">
+      <title> XQL and Proximal Nodes </title>
+      <author> Ricardo Baeza-Yates </author>
+      <author> Gonzalo Navarro </author>
+      <abstract> We consider the recently proposed language </abstract>
+      <body>
+        <section name="Introduction">
+          Searching on structured text is more important
+        </section>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">
+            At first sight, the XQL query language looks
+          </subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+        <cite xlink="paper/xmlql">A Query Language for XML</cite>
+      </body>
+    </paper>
+    <paper id="2">
+      <title> Querying XML in Xyleme </title>
+      <body> xyleme supports XQL fragments </body>
+    </paper>
+  </proceedings>
+</workshop>
+)";
+}
+
+}  // namespace xrank::testutil
+
+#endif  // XRANK_TESTS_TEST_UTIL_H_

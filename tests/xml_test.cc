@@ -1,0 +1,191 @@
+// Unit tests for the hand-written XML lexer/parser/serializer.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xrank::xml {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = ParseDocument("<a/>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->name(), "a");
+  EXPECT_TRUE(doc->root->children().empty());
+  EXPECT_EQ(doc->uri, "t");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto doc = ParseDocument("<a><b>hello</b><c>world</c></a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->root->children().size(), 2u);
+  const Node* b = doc->root->FindChildElement("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->DirectText(), "hello");
+  EXPECT_EQ(doc->root->DeepText(), "hello world");
+}
+
+TEST(ParserTest, Attributes) {
+  auto doc = ParseDocument(
+      R"(<workshop date="28 July 2000" venue='sigir'/>)", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->root->attributes().size(), 2u);
+  const std::string* date = doc->root->FindAttribute("date");
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(*date, "28 July 2000");
+  EXPECT_EQ(*doc->root->FindAttribute("venue"), "sigir");
+  EXPECT_EQ(doc->root->FindAttribute("missing"), nullptr);
+}
+
+TEST(ParserTest, EntitiesDecoded) {
+  auto doc = ParseDocument("<a attr='&lt;x&gt;'>&amp;&quot;&apos;&#65;&#x42;</a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->DirectText(), "&\"'AB");
+  EXPECT_EQ(*doc->root->FindAttribute("attr"), "<x>");
+}
+
+TEST(ParserTest, NumericEntityUtf8) {
+  auto doc = ParseDocument("<a>&#233;&#x4E2D;</a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->DirectText(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  auto doc = ParseDocument(
+      "<?xml version=\"1.0\"?><!-- c --><a><!-- x -->text<?pi data?></a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->DirectText(), "text");
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  auto doc = ParseDocument(
+      "<!DOCTYPE site [ <!ELEMENT a (#PCDATA)> ]><a>x</a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->name(), "a");
+}
+
+TEST(ParserTest, CdataIsText) {
+  auto doc = ParseDocument("<a><![CDATA[<not> & parsed]]></a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root->DirectText(), "<not> & parsed");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextIgnored) {
+  auto doc = ParseDocument("<a>\n  <b>x</b>\n  \t</a>", "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(doc->root->children().size(), 1u);
+  EXPECT_TRUE(doc->root->children()[0]->is_element());
+}
+
+TEST(ParserTest, MismatchedTagIsError) {
+  auto doc = ParseDocument("<a><b></a></b>", "t");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("line"), std::string::npos);
+}
+
+TEST(ParserTest, UnclosedRootIsError) {
+  EXPECT_FALSE(ParseDocument("<a><b>x</b>", "t").ok());
+}
+
+TEST(ParserTest, SecondRootIsError) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>", "t").ok());
+}
+
+TEST(ParserTest, TextOutsideRootIsError) {
+  EXPECT_FALSE(ParseDocument("<a/>stray", "t").ok());
+}
+
+TEST(ParserTest, EmptyInputIsError) {
+  EXPECT_FALSE(ParseDocument("", "t").ok());
+  EXPECT_FALSE(ParseDocument("   \n ", "t").ok());
+}
+
+TEST(ParserTest, BadEntityIsError) {
+  EXPECT_FALSE(ParseDocument("<a>&nosuch;</a>", "t").ok());
+  EXPECT_FALSE(ParseDocument("<a>&#xZZ;</a>", "t").ok());
+}
+
+TEST(ParserTest, MissingAttributeQuoteIsError) {
+  EXPECT_FALSE(ParseDocument("<a x=1/>", "t").ok());
+  EXPECT_FALSE(ParseDocument("<a x='1/>", "t").ok());
+}
+
+TEST(NodeTest, CountsAndDepth) {
+  auto doc = ParseDocument("<a><b><c>x</c></b><d/></a>", "t");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->CountElements(), 4u);
+  EXPECT_EQ(doc->root->ElementDepth(), 3u);
+}
+
+TEST(SerializerTest, RoundTripCompact) {
+  const char* source =
+      R"(<a x="1&amp;2"><b>text &lt;here&gt;</b><c/><d>more</d></a>)";
+  auto doc = ParseDocument(source, "t");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::string serialized = Serialize(*doc);
+  auto reparsed = ParseDocument(serialized, "t");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << serialized;
+  EXPECT_EQ(Serialize(*reparsed), serialized);
+  EXPECT_EQ(reparsed->root->DeepText(), doc->root->DeepText());
+}
+
+TEST(SerializerTest, PrettyPrints) {
+  auto doc = ParseDocument("<a><b>x</b></a>", "t");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions options;
+  options.pretty = true;
+  std::string out = Serialize(*doc, options);
+  EXPECT_NE(out.find("\n"), std::string::npos);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+}
+
+TEST(SerializerTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeText("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+// Property: serialize(parse(x)) is a fixpoint for generated random trees.
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripTest, SerializeParseFixpoint) {
+  xrank::Random rng(GetParam());
+  // Build a random tree directly.
+  std::function<std::unique_ptr<Node>(size_t)> build =
+      [&](size_t depth) -> std::unique_ptr<Node> {
+    auto node = Node::MakeElement("n" + std::to_string(rng.Uniform(5)));
+    if (rng.Bernoulli(0.5)) {
+      node->AddAttribute("a" + std::to_string(rng.Uniform(3)),
+                         "v<&>" + std::to_string(rng.Uniform(100)));
+    }
+    size_t children = rng.Uniform(depth == 0 ? 1 : 4);
+    for (size_t i = 0; i < children; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        node->AddChild(Node::MakeText("word" + std::to_string(rng.Uniform(50)) +
+                                      " & <tail>"));
+      } else {
+        node->AddChild(build(depth - 1));
+      }
+    }
+    return node;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    Document doc;
+    doc.uri = "random";
+    doc.root = build(4);
+    std::string one = Serialize(doc);
+    auto parsed = ParseDocument(one, "random");
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << one;
+    EXPECT_EQ(Serialize(*parsed), one);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Values(17, 23, 42, 99));
+
+}  // namespace
+}  // namespace xrank::xml

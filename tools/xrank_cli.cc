@@ -1,0 +1,189 @@
+// xrank_cli — index XML files and run interactive ranked keyword queries.
+//
+//   xrank_cli [options] <file.xml ...>
+//     --index=dil|rdil|hdil|naive-id|naive-rank   (default hdil)
+//     --top=N                                     (default 10)
+//     --disjunctive                               (OR semantics, DIL only)
+//     --tfidf                                     (tf-idf posting ranks
+//                                                  instead of ElemRank)
+//     --answer-nodes=tag1,tag2,...                (Section 2.2 answer nodes)
+//     --query="..."                               (one-shot; else REPL)
+//
+// Example:
+//   ./build/tools/xrank_cli --top=5 corpus/*.xml
+//   > xql language
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "xml/parser.h"
+
+namespace {
+
+using xrank::core::EngineOptions;
+using xrank::core::EngineResponse;
+using xrank::core::XRankEngine;
+using xrank::index::IndexKind;
+
+struct CliOptions {
+  IndexKind kind = IndexKind::kHdil;
+  size_t top = 10;
+  bool disjunctive = false;
+  bool tfidf = false;
+  std::vector<std::string> answer_nodes;
+  std::string one_shot_query;
+  std::vector<std::string> files;
+};
+
+bool ParseIndexKind(const std::string& name, IndexKind* kind) {
+  if (name == "dil") {
+    *kind = IndexKind::kDil;
+  } else if (name == "rdil") {
+    *kind = IndexKind::kRdil;
+  } else if (name == "hdil") {
+    *kind = IndexKind::kHdil;
+  } else if (name == "naive-id") {
+    *kind = IndexKind::kNaiveId;
+  } else if (name == "naive-rank") {
+    *kind = IndexKind::kNaiveRank;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (xrank::StartsWith(arg, "--index=")) {
+      if (!ParseIndexKind(arg.substr(8), &options->kind)) {
+        std::fprintf(stderr, "unknown index kind '%s'\n", arg.c_str() + 8);
+        return false;
+      }
+    } else if (xrank::StartsWith(arg, "--top=")) {
+      options->top = std::strtoul(arg.c_str() + 6, nullptr, 10);
+      if (options->top == 0) options->top = 10;
+    } else if (arg == "--disjunctive") {
+      options->disjunctive = true;
+    } else if (arg == "--tfidf") {
+      options->tfidf = true;
+    } else if (xrank::StartsWith(arg, "--answer-nodes=")) {
+      for (auto piece : xrank::SplitString(arg.substr(15), ",")) {
+        options->answer_nodes.emplace_back(piece);
+      }
+    } else if (xrank::StartsWith(arg, "--query=")) {
+      options->one_shot_query = arg.substr(8);
+    } else if (xrank::StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      options->files.push_back(arg);
+    }
+  }
+  return !options->files.empty();
+}
+
+void PrintResponse(const EngineResponse& response) {
+  if (response.results.empty()) {
+    std::printf("  (no results)\n");
+    return;
+  }
+  for (size_t i = 0; i < response.results.size(); ++i) {
+    const auto& result = response.results[i];
+    std::printf("  %2zu. <%s> %s  rank=%.7f  dewey=%s\n", i + 1,
+                result.element_tag.c_str(), result.document_uri.c_str(),
+                result.rank, result.id.ToString().c_str());
+    std::printf("      \"%s\"\n", result.snippet.c_str());
+  }
+  std::printf("  [%llu postings, %llu random + %llu sequential reads, "
+              "%.2f ms%s]\n",
+              static_cast<unsigned long long>(
+                  response.stats.postings_scanned),
+              static_cast<unsigned long long>(response.stats.random_reads),
+              static_cast<unsigned long long>(
+                  response.stats.sequential_reads),
+              response.stats.wall_ms,
+              response.stats.switched_to_dil ? ", switched to DIL" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    std::fprintf(stderr,
+                 "usage: %s [--index=dil|rdil|hdil|naive-id|naive-rank] "
+                 "[--top=N] [--disjunctive] [--tfidf] "
+                 "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<xrank::xml::Document> docs;
+  for (const std::string& path : cli.files) {
+    auto doc = xrank::xml::ParseFile(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    docs.push_back(std::move(doc).value());
+  }
+
+  EngineOptions options;
+  options.indexes = {cli.kind};
+  options.answer_node_tags = cli.answer_nodes;
+  if (cli.disjunctive) {
+    options.scoring.semantics = xrank::query::QuerySemantics::kDisjunctive;
+    if (cli.kind != IndexKind::kDil) {
+      std::fprintf(stderr,
+                   "note: --disjunctive requires --index=dil; switching\n");
+      options.indexes = {IndexKind::kDil};
+      cli.kind = IndexKind::kDil;
+    }
+  }
+  if (cli.tfidf) {
+    options.extraction.rank_source = xrank::index::RankSource::kTfIdf;
+  }
+
+  auto engine = XRankEngine::Build(std::move(docs), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu documents, %zu elements, %zu hyperlinks "
+              "(%s, %s ranks)\n",
+              (*engine)->graph().document_count(),
+              (*engine)->graph().element_count(),
+              (*engine)->graph().total_hyperlink_count(),
+              std::string(xrank::index::IndexKindName(cli.kind)).c_str(),
+              cli.tfidf ? "tf-idf" : "ElemRank");
+
+  auto run = [&](const std::string& query) {
+    auto response = (*engine)->Query(query, cli.top, cli.kind);
+    if (!response.ok()) {
+      std::printf("  error: %s\n", response.status().ToString().c_str());
+      return;
+    }
+    PrintResponse(*response);
+  };
+
+  if (!cli.one_shot_query.empty()) {
+    run(cli.one_shot_query);
+    return 0;
+  }
+  std::printf("enter keyword queries (blank line or EOF to quit):\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (xrank::StripWhitespace(line).empty()) break;
+    run(line);
+  }
+  return 0;
+}
