@@ -30,7 +30,8 @@ graph::XmlGraph BuildGraph(std::vector<xml::Document> docs) {
   return std::move(graph).value();
 }
 
-void RunDataset(const char* name, const graph::XmlGraph& graph) {
+void RunDataset(const char* name, const graph::XmlGraph& graph,
+                JsonReport* report) {
   std::printf("\n%s: %zu elements, %zu hyperlinks, %zu documents\n", name,
               graph.element_count(), graph.total_hyperlink_count(),
               graph.document_count());
@@ -45,6 +46,9 @@ void RunDataset(const char* name, const graph::XmlGraph& graph) {
                 "%d iterations, %.3f s, converged=%s\n",
                 result->iterations, seconds,
                 result->converged ? "yes" : "no");
+    report->Add(std::string(name) + "/paper_params/iterations",
+                result->iterations);
+    report->Add(std::string(name) + "/paper_params/seconds", seconds);
   }
 
   // Sensitivity sweep over d1/d2/d3 (paper: convergence time insensitive).
@@ -84,8 +88,11 @@ void RunDataset(const char* name, const graph::XmlGraph& graph) {
     options.formula = variant.formula;
     WallTimer timer;
     auto result = rank::ComputeElemRank(graph, options);
+    double seconds = timer.ElapsedSeconds();
     std::printf("%s->%d it/%.2fs  ", variant.label, result->iterations,
-                timer.ElapsedSeconds());
+                seconds);
+    report->Add(std::string(name) + "/formula=" + variant.label + "/seconds",
+                seconds);
   }
   std::printf("\n");
 }
@@ -93,9 +100,13 @@ void RunDataset(const char* name, const graph::XmlGraph& graph) {
 }  // namespace
 }  // namespace xrank::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xrank;
   using namespace xrank::bench;
+
+  JsonReport report("bench_elemrank");
+  argc = report.ParseFlag(argc, argv);
+  (void)argc;
 
   std::printf("=== Section 3.2: ElemRank computation cost ===\n");
   std::printf("(paper: 143 MB DBLP in ~10 min, 113 MB XMark in ~5 min on a\n"
@@ -104,12 +115,12 @@ int main() {
   {
     datagen::Corpus corpus = datagen::GenerateDblp(BenchDblpOptions());
     graph::XmlGraph graph = BuildGraph(Reparse(&corpus));
-    RunDataset("DBLP-like", graph);
+    RunDataset("DBLP-like", graph, &report);
   }
   {
     datagen::Corpus corpus = datagen::GenerateXMark(BenchXMarkOptions());
     graph::XmlGraph graph = BuildGraph(Reparse(&corpus));
-    RunDataset("XMark-like", graph);
+    RunDataset("XMark-like", graph, &report);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "dewey/codec.h"
 #include "index/analyzer.h"
@@ -197,4 +200,28 @@ BENCHMARK(BM_DeweyStackMerge);
 }  // namespace
 }  // namespace xrank
 
-BENCHMARK_MAIN();
+// Custom main so `--json <path>` (the flag shared by the bench binaries)
+// maps onto google-benchmark's JSON reporter.
+int main(int argc, char** argv) {
+  std::vector<std::string> arg_storage;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string(argv[i]) == "--json") {
+      arg_storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      arg_storage.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    arg_storage.push_back(argv[i]);
+  }
+  args.reserve(arg_storage.size());
+  for (std::string& arg : arg_storage) args.push_back(arg.data());
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

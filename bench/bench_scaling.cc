@@ -1,0 +1,220 @@
+// Thread-scaling benchmark for the parallel execution layer: ElemRank
+// power iteration, posting extraction + physical index construction, and
+// concurrent query serving, each at 1/2/4/8 threads. The parallel paths
+// are deterministic — ElemRank results and index bytes are identical for
+// every thread count — so this harness measures pure wall-clock scaling.
+//
+// Note: speedups only materialize on multi-core hosts; on a single
+// hardware thread every configuration degenerates to sequential work plus
+// scheduling overhead.
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "graph/builder.h"
+#include "index/dil_index.h"
+#include "index/hdil_index.h"
+#include "rank/elem_rank.h"
+
+namespace xrank::bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+graph::XmlGraph BuildGraph(const std::vector<xml::Document>& docs) {
+  graph::GraphBuilder builder;
+  for (const xml::Document& doc : docs) {
+    Status status = builder.AddDocument(doc);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  auto graph = std::move(builder).Finalize();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", graph.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(graph).value();
+}
+
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  WallTimer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+void RunElemRankScaling(const char* name, const graph::XmlGraph& graph,
+                        JsonReport* report) {
+  std::printf("\n%s ElemRank (n=%zu elements):\n", name,
+              graph.element_count());
+  double base = 0.0;
+  for (int threads : kThreadCounts) {
+    rank::ElemRankOptions options;
+    options.num_threads = threads;
+    rank::ElemRankResult result;
+    double seconds = TimeSeconds([&] {
+      auto computed = rank::ComputeElemRank(graph, options);
+      if (!computed.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     computed.status().ToString().c_str());
+        std::abort();
+      }
+      result = std::move(computed).value();
+    });
+    if (threads == 1) base = seconds;
+    double speedup = seconds > 0 ? base / seconds : 0.0;
+    std::printf("  threads=%d: %7.3f s (%d iterations, speedup %.2fx)\n",
+                threads, seconds, result.iterations, speedup);
+    report->Add(std::string(name) + "/elemrank/threads=" +
+                    std::to_string(threads) + "/seconds",
+                seconds);
+    report->Add(std::string(name) + "/elemrank/threads=" +
+                    std::to_string(threads) + "/speedup",
+                speedup);
+  }
+}
+
+void RunBuildScaling(const char* name, const graph::XmlGraph& graph,
+                     const std::vector<double>& ranks, JsonReport* report) {
+  std::printf("\n%s extraction + DIL + HDIL build:\n", name);
+  double base = 0.0;
+  for (int threads : kThreadCounts) {
+    double seconds = TimeSeconds([&] {
+      index::ExtractionOptions extraction;
+      extraction.num_threads = threads;
+      auto extracted = index::ExtractPostings(graph, ranks, extraction);
+      if (!extracted.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     extracted.status().ToString().c_str());
+        std::abort();
+      }
+      index::BuildOptions build;
+      build.num_threads = threads;
+      auto dil = index::BuildDilIndex(extracted->dewey_postings,
+                                      storage::PageFile::CreateInMemory(),
+                                      build);
+      auto hdil = index::BuildHdilIndex(extracted->dewey_postings,
+                                        storage::PageFile::CreateInMemory(),
+                                        {}, build);
+      if (!dil.ok() || !hdil.ok()) {
+        std::fprintf(stderr, "FATAL: index build failed\n");
+        std::abort();
+      }
+    });
+    if (threads == 1) base = seconds;
+    double speedup = seconds > 0 ? base / seconds : 0.0;
+    std::printf("  threads=%d: %7.3f s (speedup %.2fx)\n", threads, seconds,
+                speedup);
+    report->Add(std::string(name) + "/build/threads=" +
+                    std::to_string(threads) + "/seconds",
+                seconds);
+    report->Add(std::string(name) + "/build/threads=" +
+                    std::to_string(threads) + "/speedup",
+                speedup);
+  }
+}
+
+void RunQueryScaling(const char* name, core::XRankEngine* engine,
+                     const std::vector<std::vector<std::string>>& queries,
+                     JsonReport* report) {
+  std::printf("\n%s concurrent query serving (HDIL, cold cache, %zu distinct "
+              "queries):\n",
+              name, queries.size());
+  // Enough work per configuration that thread startup cost is amortized.
+  constexpr size_t kQueriesPerThread = 64;
+  double base_qps = 0.0;
+  for (int threads : kThreadCounts) {
+    std::atomic<size_t> failures{0};
+    double seconds = TimeSeconds([&] {
+      std::vector<std::thread> clients;
+      clients.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+          for (size_t q = 0; q < kQueriesPerThread; ++q) {
+            const auto& keywords =
+                queries[(static_cast<size_t>(t) + q) % queries.size()];
+            auto response =
+                engine->QueryKeywords(keywords, 10, index::IndexKind::kHdil);
+            if (!response.ok()) failures.fetch_add(1);
+          }
+        });
+      }
+      for (std::thread& client : clients) client.join();
+    });
+    if (failures.load() > 0) {
+      std::fprintf(stderr, "FATAL: %zu concurrent queries failed\n",
+                   failures.load());
+      std::abort();
+    }
+    size_t total = static_cast<size_t>(threads) * kQueriesPerThread;
+    double qps = seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
+    if (threads == 1) base_qps = qps;
+    double speedup = base_qps > 0 ? qps / base_qps : 0.0;
+    std::printf("  clients=%d: %8.1f QPS (%.3f s for %zu queries, "
+                "throughput %.2fx)\n",
+                threads, qps, seconds, total, speedup);
+    report->Add(std::string(name) + "/query/clients=" +
+                    std::to_string(threads) + "/qps",
+                qps);
+    report->Add(std::string(name) + "/query/clients=" +
+                    std::to_string(threads) + "/throughput_x",
+                speedup);
+  }
+}
+
+}  // namespace
+}  // namespace xrank::bench
+
+int main(int argc, char** argv) {
+  using namespace xrank;
+  using namespace xrank::bench;
+
+  JsonReport report("bench_scaling");
+  argc = report.ParseFlag(argc, argv);
+  (void)argc;
+
+  std::printf("=== Thread scaling: ElemRank / index build / query serving "
+              "===\n");
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  report.Add("hardware_threads", std::thread::hardware_concurrency());
+
+  struct Dataset {
+    const char* name;
+    datagen::Corpus corpus;
+  };
+  Dataset datasets[] = {
+      {"dblp", datagen::GenerateDblp(BenchDblpOptions())},
+      {"xmark", datagen::GenerateXMark(BenchXMarkOptions())},
+  };
+
+  for (Dataset& dataset : datasets) {
+    std::vector<xml::Document> docs = Reparse(&dataset.corpus);
+    graph::XmlGraph graph = BuildGraph(docs);
+
+    RunElemRankScaling(dataset.name, graph, &report);
+
+    rank::ElemRankOptions rank_options;
+    auto ranks = rank::ComputeElemRank(graph, rank_options);
+    if (!ranks.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", ranks.status().ToString().c_str());
+      std::abort();
+    }
+    RunBuildScaling(dataset.name, graph, ranks->ranks, &report);
+
+    datagen::WorkloadOptions workload;
+    workload.num_queries = 16;
+    workload.num_keywords = 2;
+    std::vector<std::vector<std::string>> queries =
+        datagen::MakeQueries(dataset.corpus.planted, workload);
+    auto engine = BuildEngine(std::move(docs), {index::IndexKind::kHdil});
+    RunQueryScaling(dataset.name, engine.get(), queries, &report);
+    PrintRule();
+  }
+
+  return report.Write() ? 0 : 1;
+}

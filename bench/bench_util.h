@@ -150,6 +150,72 @@ inline void PrintRule(int width = 86) {
   std::putchar('\n');
 }
 
+// Machine-readable results for tracking the perf trajectory across
+// revisions. Bench binaries accept `--json <path>` and write a flat JSON
+// object {"bench": <name>, "metrics": {name: number, ...}}; the
+// conventional path is BENCH_<name>.json in the invocation directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Metric names use '/' for grouping, e.g. "elemrank/threads=4/ms".
+  void Add(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  // Consumes a `--json <path>` argument pair from argv (in place) and
+  // remembers the path. Returns argc with the pair removed. Call before
+  // handing argv to any other flag parser. Exits with an error if --json
+  // is given without a path.
+  int ParseFlag(int argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: --json requires a path argument\n");
+          std::exit(2);
+        }
+        path_ = argv[i + 1];
+        ++i;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    return out;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // Writes the report if --json was given. Returns false (with a message on
+  // stderr) if the file cannot be written.
+  bool Write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ERROR: cannot write JSON report to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.6f%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("JSON report written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace xrank::bench
 
 #endif  // XRANK_BENCH_BENCH_UTIL_H_

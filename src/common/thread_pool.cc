@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace xrank {
+
+namespace {
+
+size_t ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) return static_cast<size_t>(num_threads);
+  size_t hardware = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, hardware);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  size_t count = ResolveThreadCount(num_threads);
+  workers_.reserve(count - 1);
+  for (size_t i = 0; i + 1 < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::NumChunks(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  size_t n = end - begin;
+  if (grain == 0) grain = n;  // resolved against the pool in ParallelFor
+  return (n + grain - 1) / grain;
+}
+
+void ThreadPool::RunChunks(
+    size_t worker_index, size_t begin, size_t end, size_t grain,
+    size_t chunk_count, const std::function<void(size_t, size_t, size_t)>& fn) {
+  size_t stride = thread_count();
+  for (size_t c = worker_index; c < chunk_count; c += stride) {
+    size_t chunk_begin = begin + c * grain;
+    size_t chunk_end = std::min(end, chunk_begin + grain);
+    fn(chunk_begin, chunk_end, c);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  size_t n = end - begin;
+  if (grain == 0) grain = (n + thread_count() - 1) / thread_count();
+  size_t chunk_count = (n + grain - 1) / grain;
+
+  // Inline fast path: no workers to wake, or a single chunk (worker 0 —
+  // the caller's stride starts at chunk 0 either way).
+  if (workers_.empty() || chunk_count == 1) {
+    RunChunks(0, begin, end, grain, chunk_count, fn);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_chunk_count_ = chunk_count;
+    pending_.store(workers_.size(), std::memory_order_relaxed);
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is the last worker.
+  RunChunks(workers_.size(), begin, end, grain, chunk_count, fn);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock,
+                [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t, size_t)>* fn;
+    size_t begin, end, grain, chunk_count;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      fn = job_fn_;
+      begin = job_begin_;
+      end = job_end_;
+      grain = job_grain_;
+      chunk_count = job_chunk_count_;
+    }
+    RunChunks(worker_index, begin, end, grain, chunk_count, *fn);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace xrank

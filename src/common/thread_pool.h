@@ -1,0 +1,74 @@
+#ifndef XRANK_COMMON_THREAD_POOL_H_
+#define XRANK_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xrank {
+
+// Fixed-size worker pool for data-parallel loops. The pool spawns
+// `num_threads - 1` workers; the calling thread acts as the last worker, so
+// a pool of size 1 runs everything inline with no synchronization at all.
+//
+// Chunk assignment is deterministic: ParallelFor splits [begin, end) into
+// fixed-size chunks of `grain` and statically assigns chunk c to worker
+// c % thread_count(). Because chunk boundaries depend only on `grain` (not
+// on the thread count), per-chunk reductions combined in chunk-index order
+// produce results that are identical for every pool size.
+//
+// ParallelFor calls are not reentrant (a chunk function must not call back
+// into the same pool) and the loop body must not throw.
+class ThreadPool {
+ public:
+  // num_threads = 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  // Number of chunks ParallelFor(begin, end, grain, ...) will create; use it
+  // to size per-chunk partial-result buffers.
+  static size_t NumChunks(size_t begin, size_t end, size_t grain);
+
+  // Runs fn(chunk_begin, chunk_end, chunk_index) over [begin, end) split
+  // into chunks of `grain` elements (grain = 0 splits evenly across the
+  // pool). Blocks until every chunk has run.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  // Runs the chunks statically assigned to `worker_index` for the current
+  // job (parameters copied out under the pool mutex by the caller).
+  void RunChunks(size_t worker_index, size_t begin, size_t end, size_t grain,
+                 size_t chunk_count,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t job_epoch_ = 0;
+  std::atomic<size_t> pending_{0};
+
+  // Current job, valid while pending_ > 0.
+  const std::function<void(size_t, size_t, size_t)>* job_fn_ = nullptr;
+  size_t job_begin_ = 0;
+  size_t job_end_ = 0;
+  size_t job_grain_ = 0;
+  size_t job_chunk_count_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_THREAD_POOL_H_

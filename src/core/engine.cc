@@ -85,19 +85,20 @@ Result<XRankEngine::IndexInstance> XRankEngine::BuildInstance(
     case index::IndexKind::kDil: {
       XRANK_ASSIGN_OR_RETURN(
           built, index::BuildDilIndex(extracted.dewey_postings,
-                                      std::move(file)));
+                                      std::move(file), options_.build));
       break;
     }
     case index::IndexKind::kRdil: {
       XRANK_ASSIGN_OR_RETURN(
           built, index::BuildRdilIndex(extracted.dewey_postings,
-                                       std::move(file)));
+                                       std::move(file), options_.build));
       break;
     }
     case index::IndexKind::kHdil: {
       XRANK_ASSIGN_OR_RETURN(
           built, index::BuildHdilIndex(extracted.dewey_postings,
-                                       std::move(file), options_.hdil));
+                                       std::move(file), options_.hdil,
+                                       options_.build));
       break;
     }
     case index::IndexKind::kNaiveId: {
@@ -123,6 +124,7 @@ Result<XRankEngine::IndexInstance> XRankEngine::BuildInstance(
 }
 
 Status XRankEngine::DeleteDocument(std::string_view uri) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
   for (uint32_t doc = 0; doc < graph_.documents().size(); ++doc) {
     if (graph_.documents()[doc].uri == uri) {
       deleted_documents_.insert(doc);
@@ -133,6 +135,7 @@ Status XRankEngine::DeleteDocument(std::string_view uri) {
 }
 
 Status XRankEngine::CompactDeletions() {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
   if (deleted_documents_.empty()) return Status::OK();
   bool need_naive = false;
   for (const auto& [kind, instance] : indexes_) {
@@ -242,15 +245,33 @@ Result<EngineResponse> XRankEngine::Decorate(query::QueryResponse response,
 Result<EngineResponse> XRankEngine::QueryKeywords(
     const std::vector<std::string>& keywords, size_t m,
     index::IndexKind kind) {
+  // Shared against DeleteDocument/CompactDeletions; concurrent queries all
+  // hold the lock in shared mode and proceed in parallel.
+  std::shared_lock<std::shared_mutex> state_lock(state_mutex_);
   auto it = indexes_.find(kind);
   if (it == indexes_.end()) {
     return Status::InvalidArgument(
         std::string(index::IndexKindName(kind)) + " index was not built");
   }
   IndexInstance& instance = it->second;
+
+  // Cold-cache mode (the paper's experimental setup): a private buffer pool
+  // and cost model per query — no mutable state shared between concurrent
+  // queries. Warm mode reuses the instance's pool across queries, so
+  // queries on the same index serialize on its mutex.
+  std::unique_ptr<storage::CostModel> local_cost;
+  std::unique_ptr<storage::BufferPool> local_pool;
+  std::unique_lock<std::mutex> warm_lock;
+  storage::BufferPool* pool = nullptr;
   if (options_.cold_cache_per_query) {
-    instance.pool->DropCache();
-    instance.cost_model->Reset();
+    local_cost = std::make_unique<storage::CostModel>(options_.cost);
+    local_pool = std::make_unique<storage::BufferPool>(
+        instance.built.file.get(), options_.buffer_pool_pages,
+        local_cost.get());
+    pool = local_pool.get();
+  } else {
+    warm_lock = std::unique_lock<std::mutex>(*instance.warm_mutex);
+    pool = instance.pool.get();
   }
 
   std::vector<std::string> normalized;
@@ -270,7 +291,6 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
 
   query::QueryResponse response;
   const index::Lexicon* lexicon = &instance.built.lexicon;
-  storage::BufferPool* pool = instance.pool.get();
   switch (kind) {
     case index::IndexKind::kDil: {
       query::DilQueryProcessor processor(pool, lexicon, options_.scoring);

@@ -2,8 +2,10 @@
 #define XRANK_CORE_ENGINE_H_
 
 #include <map>
-#include <set>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +38,10 @@ struct EngineOptions {
   // structure and the engine default.
   std::vector<index::IndexKind> indexes = {index::IndexKind::kHdil};
 
+  // Worker threads for index construction (list encoding is sharded by
+  // term; the on-disk bytes are identical for every thread count).
+  index::BuildOptions build;
+
   // Non-empty: back index files with real files under this directory;
   // empty: in-memory page files.
   std::string disk_dir;
@@ -67,6 +73,15 @@ struct EngineResponse {
 };
 
 // The XRANK system facade.
+//
+// Thread safety: after Build returns, the graph, ElemRanks and index files
+// are immutable, and Query/QueryKeywords/QueryWithPath may be called from
+// any number of threads concurrently. In the default cold-cache mode each
+// query gets a private buffer pool and cost model, so queries share no
+// mutable state; in warm-cache mode queries on the same index serialize on
+// that index's shared pool. DeleteDocument and CompactDeletions are
+// writers: they take an exclusive lock and may run concurrently with
+// queries (queries observe the state before or after, never mid-update).
 class XRankEngine {
  public:
   // Ingests XML documents (consumed), computes ElemRanks and builds the
@@ -144,8 +159,11 @@ class XRankEngine {
 
   struct IndexInstance {
     index::BuiltIndex built;
+    // Shared pool, used only in warm-cache mode (cold-cache queries build a
+    // private pool instead). Guarded by warm_mutex.
     std::unique_ptr<storage::CostModel> cost_model;
     std::unique_ptr<storage::BufferPool> pool;
+    std::unique_ptr<std::mutex> warm_mutex = std::make_unique<std::mutex>();
   };
   // Builds one physical index of the given kind over extracted postings.
   Result<IndexInstance> BuildInstance(index::IndexKind kind,
@@ -153,6 +171,8 @@ class XRankEngine {
 
   std::map<index::IndexKind, IndexInstance> indexes_;
   std::set<uint32_t> deleted_documents_;
+  // Readers: Query paths. Writers: DeleteDocument / CompactDeletions.
+  mutable std::shared_mutex state_mutex_;
 };
 
 }  // namespace xrank::core

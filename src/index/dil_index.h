@@ -9,9 +9,12 @@ namespace xrank::index {
 
 // Builds the Dewey Inverted List (paper Section 4.2): per term, the postings
 // of elements that directly contain the term, sorted by Dewey ID,
-// prefix-delta compressed within pages. No auxiliary index.
+// prefix-delta compressed within pages. No auxiliary index. List encoding is
+// parallelized across contiguous term shards (see BuildOptions); the output
+// file is byte-identical for every thread count.
 Result<BuiltIndex> BuildDilIndex(const TermPostingsMap& dewey_postings,
-                                 std::unique_ptr<storage::PageFile> file);
+                                 std::unique_ptr<storage::PageFile> file,
+                                 const BuildOptions& build = {});
 
 }  // namespace xrank::index
 

@@ -2,45 +2,53 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "storage/btree.h"
 
 namespace xrank::index {
 
-Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
-                                  std::unique_ptr<storage::PageFile> file,
-                                  const HdilOptions& options) {
-  BuiltIndex index;
-  index.kind = IndexKind::kHdil;
-  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
-  if (header_page != 0) return Status::Internal("header page must be 0");
+namespace {
 
-  struct StagedTerm {
-    std::string term;
-    // One separator per full-list page: (first Dewey ID on page, page index).
-    std::vector<std::pair<dewey::DeweyId, uint64_t>> page_separators;
-    // Rank-ordered prefix postings.
-    std::vector<Posting> rank_prefix;
-  };
-  std::vector<StagedTerm> staged;
+// One worker's output for a contiguous term shard. The sequential layout
+// places every full list before every rank-prefix list, so the two phases
+// land in separate scratch files and the coordinator splices all phase-1
+// runs first, then all phase-2 runs. Page separators store page indices
+// relative to each list's run, so they need no rebasing.
+struct HdilShardOutput {
+  std::unique_ptr<storage::PageFile> dewey_scratch;
+  std::unique_ptr<storage::PageFile> rank_scratch;
+  std::vector<ListExtent> dewey_extents;  // one per term, shard order
+  std::vector<ListExtent> rank_extents;   // one per term, shard order
+  std::vector<std::vector<std::pair<dewey::DeweyId, uint64_t>>> separators;
+  Status status = Status::OK();
+};
 
-  // Phase 1: the full Dewey-ordered lists (same physical format as DIL).
-  for (const auto& [term, postings] : dewey_postings) {
-    PostingListWriter writer(file.get(), /*delta_encode_ids=*/true);
-    StagedTerm stage;
-    stage.term = term;
+Status EncodeHdilShard(
+    const std::vector<const TermPostingsMap::value_type*>& terms,
+    size_t begin, size_t end, const HdilOptions& options,
+    HdilShardOutput* out) {
+  out->dewey_scratch = storage::PageFile::CreateInMemory();
+  out->rank_scratch = storage::PageFile::CreateInMemory();
+  out->dewey_extents.reserve(end - begin);
+  out->rank_extents.reserve(end - begin);
+  out->separators.reserve(end - begin);
+  for (size_t t = begin; t < end; ++t) {
+    const std::vector<Posting>& postings = terms[t]->second;
+
+    // Phase 1: the full Dewey-ordered list (same physical format as DIL),
+    // capturing one separator per full-list page.
+    PostingListWriter writer(out->dewey_scratch.get(),
+                             /*delta_encode_ids=*/true);
+    std::vector<std::pair<dewey::DeweyId, uint64_t>> separators;
     for (const Posting& posting : postings) {
       XRANK_ASSIGN_OR_RETURN(PostingLocation loc, writer.Add(posting));
       if (loc.slot == 0) {
-        stage.page_separators.emplace_back(posting.id, loc.page_index);
+        separators.emplace_back(posting.id, loc.page_index);
       }
     }
     XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
-    index.stats.list_pages += extent.page_count;
-    index.stats.list_used_bytes += extent.byte_count;
-    index.stats.entry_count += extent.entry_count;
-    TermInfo info;
-    info.list = extent;
-    index.lexicon.Add(term, info);
+    out->dewey_extents.push_back(extent);
+    out->separators.push_back(std::move(separators));
 
     // Select the rank-ordered prefix: top max(min_rank_entries,
     // fraction * n) postings by ElemRank.
@@ -49,48 +57,130 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
         static_cast<size_t>(options.rank_fraction *
                             static_cast<double>(postings.size())));
     keep = std::min(keep, postings.size());
-    stage.rank_prefix = postings;
-    std::sort(stage.rank_prefix.begin(), stage.rank_prefix.end(),
+    std::vector<Posting> rank_prefix = postings;
+    std::sort(rank_prefix.begin(), rank_prefix.end(),
               [](const Posting& a, const Posting& b) {
                 if (a.elem_rank != b.elem_rank) {
                   return a.elem_rank > b.elem_rank;
                 }
                 return a.id < b.id;
               });
-    stage.rank_prefix.resize(keep);
-    staged.push_back(std::move(stage));
+    rank_prefix.resize(keep);
+
+    // Phase 2: the rank-ordered prefix list (raw IDs: rank order destroys
+    // prefix locality).
+    PostingListWriter rank_writer(out->rank_scratch.get(),
+                                  /*delta_encode_ids=*/false);
+    for (const Posting& posting : rank_prefix) {
+      XRANK_RETURN_NOT_OK(rank_writer.Add(posting).status());
+    }
+    XRANK_ASSIGN_OR_RETURN(ListExtent rank_extent, rank_writer.Finish());
+    out->rank_extents.push_back(rank_extent);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
+                                  std::unique_ptr<storage::PageFile> file,
+                                  const HdilOptions& options,
+                                  const BuildOptions& build) {
+  BuiltIndex index;
+  index.kind = IndexKind::kHdil;
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  std::vector<const TermPostingsMap::value_type*> terms;
+  terms.reserve(dewey_postings.size());
+  std::vector<uint64_t> weights;
+  weights.reserve(dewey_postings.size());
+  for (const auto& entry : dewey_postings) {
+    terms.push_back(&entry);
+    weights.push_back(entry.second.size() + 1);
   }
 
-  // Phase 2: rank-ordered prefix lists (counted as list space: they are
-  // inverted-list data, mirroring Table 1 where HDIL's "Inv. List" column
-  // is slightly larger than DIL's).
-  for (StagedTerm& stage : staged) {
-    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
-    for (const Posting& posting : stage.rank_prefix) {
-      XRANK_RETURN_NOT_OK(writer.Add(posting).status());
+  size_t num_workers =
+      std::min(ResolveBuildThreads(build.num_threads), terms.size());
+  std::vector<std::pair<size_t, size_t>> shards =
+      PartitionByWeight(weights, std::max<size_t>(num_workers, 1));
+
+  std::vector<HdilShardOutput> outputs(shards.size());
+  if (num_workers <= 1) {
+    for (size_t s = 0; s < shards.size(); ++s) {
+      outputs[s].status = EncodeHdilShard(terms, shards[s].first,
+                                          shards[s].second, options,
+                                          &outputs[s]);
     }
-    XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
-    index.stats.list_pages += extent.page_count;
-    index.stats.list_used_bytes += extent.byte_count;
-    TermInfo info = *index.lexicon.Find(stage.term);
-    info.rank_list = extent;
-    index.lexicon.Add(stage.term, info);
+  } else {
+    ThreadPool pool(static_cast<int>(num_workers));
+    pool.ParallelFor(0, shards.size(), 1,
+                     [&](size_t begin, size_t end, size_t) {
+                       for (size_t s = begin; s < end; ++s) {
+                         outputs[s].status = EncodeHdilShard(
+                             terms, shards[s].first, shards[s].second,
+                             options, &outputs[s]);
+                       }
+                     });
+  }
+
+  // Phase 1 splice: the full Dewey-ordered lists of every shard, in term
+  // order.
+  for (size_t s = 0; s < shards.size(); ++s) {
+    XRANK_RETURN_NOT_OK(outputs[s].status);
+    XRANK_ASSIGN_OR_RETURN(
+        storage::PageId offset,
+        AppendScratchPages(file.get(), *outputs[s].dewey_scratch));
+    for (size_t i = 0; i < outputs[s].dewey_extents.size(); ++i) {
+      ListExtent extent = outputs[s].dewey_extents[i];
+      if (extent.page_count > 0) extent.first_page += offset;
+      index.stats.list_pages += extent.page_count;
+      index.stats.list_used_bytes += extent.byte_count;
+      index.stats.entry_count += extent.entry_count;
+      TermInfo info;
+      info.list = extent;
+      index.lexicon.Add(terms[shards[s].first + i]->first, info);
+    }
+  }
+
+  // Phase 2 splice: rank-ordered prefix lists (counted as list space: they
+  // are inverted-list data, mirroring Table 1 where HDIL's "Inv. List"
+  // column is slightly larger than DIL's).
+  for (size_t s = 0; s < shards.size(); ++s) {
+    XRANK_ASSIGN_OR_RETURN(
+        storage::PageId offset,
+        AppendScratchPages(file.get(), *outputs[s].rank_scratch));
+    for (size_t i = 0; i < outputs[s].rank_extents.size(); ++i) {
+      ListExtent extent = outputs[s].rank_extents[i];
+      if (extent.page_count > 0) extent.first_page += offset;
+      index.stats.list_pages += extent.page_count;
+      index.stats.list_used_bytes += extent.byte_count;
+      const std::string& term = terms[shards[s].first + i]->first;
+      TermInfo info = *index.lexicon.Find(term);
+      info.rank_list = extent;
+      index.lexicon.Add(term, info);
+    }
   }
 
   // Phase 3: sparse B+-trees — only the levels above the list pages are
-  // stored (the full list acts as the leaf level, Section 4.4.1).
+  // stored (the full list acts as the leaf level, Section 4.4.1). Tree
+  // loads allocate absolute page pointers, so this stays on the
+  // coordinator.
   uint32_t index_pages_before = file->page_count();
   storage::SharedPagePacker packer(file.get());
-  for (StagedTerm& stage : staged) {
-    storage::BtreeBuilder builder(file.get(), &packer);
-    for (const auto& [id, page_index] : stage.page_separators) {
-      XRANK_RETURN_NOT_OK(builder.Add(id, page_index));
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (size_t i = 0; i < outputs[s].separators.size(); ++i) {
+      storage::BtreeBuilder builder(file.get(), &packer);
+      for (const auto& [id, page_index] : outputs[s].separators[i]) {
+        XRANK_RETURN_NOT_OK(builder.Add(id, page_index));
+      }
+      XRANK_ASSIGN_OR_RETURN(storage::BtreeBuilder::BuildStats tree_stats,
+                             builder.Finish());
+      const std::string& term = terms[shards[s].first + i]->first;
+      TermInfo info = *index.lexicon.Find(term);
+      info.btree_root = tree_stats.root;
+      index.lexicon.Add(term, info);
     }
-    XRANK_ASSIGN_OR_RETURN(storage::BtreeBuilder::BuildStats tree_stats,
-                           builder.Finish());
-    TermInfo info = *index.lexicon.Find(stage.term);
-    info.btree_root = tree_stats.root;
-    index.lexicon.Add(stage.term, info);
   }
   index.stats.index_pages = file->page_count() - index_pages_before;
 

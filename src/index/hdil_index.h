@@ -20,9 +20,13 @@ struct HdilOptions {
 // in Dewey order (serving both DIL scans and the leaf level of the B+-tree),
 // a sparse B+-tree holding one separator per list page (the explicitly
 // stored non-leaf levels), and a small rank-ordered prefix per term.
+// List encoding and prefix selection are parallelized across contiguous
+// term shards (see BuildOptions); the B+-tree load stays on the
+// coordinator, so the output file is byte-identical for every thread count.
 Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
                                   std::unique_ptr<storage::PageFile> file,
-                                  const HdilOptions& options = {});
+                                  const HdilOptions& options = {},
+                                  const BuildOptions& build = {});
 
 }  // namespace xrank::index
 

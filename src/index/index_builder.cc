@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace xrank::index {
 
@@ -24,6 +26,43 @@ std::string_view IndexKindName(IndexKind kind) {
       return "HDIL";
   }
   return "Unknown";
+}
+
+size_t ResolveBuildThreads(int num_threads) {
+  if (num_threads > 0) return static_cast<size_t>(num_threads);
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<std::pair<size_t, size_t>> PartitionByWeight(
+    const std::vector<uint64_t>& weights, size_t num_shards) {
+  std::vector<std::pair<size_t, size_t>> shards;
+  size_t n = weights.size();
+  if (n == 0 || num_shards == 0) return shards;
+  num_shards = std::min(num_shards, n);
+  uint64_t total = 0;
+  for (uint64_t w : weights) total += w;
+
+  size_t begin = 0;
+  uint64_t consumed = 0;
+  for (size_t s = 0; s < num_shards && begin < n; ++s) {
+    size_t end = begin;
+    uint64_t acc = 0;
+    if (s + 1 == num_shards) {
+      end = n;
+    } else {
+      size_t remaining_shards = num_shards - s;
+      uint64_t target =
+          (total - consumed + remaining_shards - 1) / remaining_shards;
+      while (end < n && (end == begin || acc < target)) {
+        acc += weights[end];
+        ++end;
+      }
+    }
+    shards.emplace_back(begin, end);
+    consumed += acc;
+    begin = end;
+  }
+  return shards;
 }
 
 namespace {
@@ -45,6 +84,10 @@ struct ExtractionState {
 
   ExtractionResult out;
   NaiveAccumulator naive;
+  // Global preorder ordinal of this state's first element; a document shard
+  // continues the numbering where the preceding shard's documents end, so
+  // partitioned extraction assigns the same ordinals as a sequential pass.
+  uint32_t ordinal_base = 0;
   // Ancestor chain of the current DFS path: (ordinal, rank) pairs.
   std::vector<std::pair<uint32_t, float>> ancestor_stack;
   uint32_t position_counter = 0;  // reset per document
@@ -54,7 +97,9 @@ void VisitElement(ExtractionState* state, NodeId element) {
   const XmlGraph& graph = *state->graph;
   const auto& data = graph.node(element);
 
-  uint32_t ordinal = static_cast<uint32_t>(state->out.ordinal_to_dewey.size());
+  uint32_t ordinal =
+      state->ordinal_base +
+      static_cast<uint32_t>(state->out.ordinal_to_dewey.size());
   state->out.ordinal_to_dewey.push_back(data.dewey_id);
   float rank = static_cast<float>((*state->ranks)[element]);
   state->ancestor_stack.emplace_back(ordinal, rank);
@@ -96,6 +141,56 @@ void VisitElement(ExtractionState* state, NodeId element) {
   state->ancestor_stack.pop_back();
 }
 
+// Flattens a state's naive accumulator into ordinal-ordered posting
+// vectors, appending to `out` (per-shard ordinal ranges are disjoint and
+// increasing, so appending shard flushes in shard order preserves order).
+void FlattenNaive(ExtractionState* state, TermPostingsMap* out) {
+  for (auto& [term, by_ordinal] : state->naive) {
+    std::vector<Posting>& list = (*out)[term];
+    for (auto& [ordinal, posting] : by_ordinal) {
+      list.push_back(std::move(posting));
+    }
+  }
+  state->naive.clear();
+}
+
+void ApplyTfIdf(ExtractionResult* out) {
+  // Replace the ElemRank field with (1 + ln tf) · ln(1 + N/df), where tf
+  // is the occurrence count inside the posting's element and df the
+  // number of elements with a direct occurrence of the term. Normalized
+  // by the corpus-wide maximum so ranks stay in (0, 1], preserving the
+  // threshold-algorithm overestimate (Section 4.3.2).
+  double n = static_cast<double>(out->element_count);
+  double max_weight = 0.0;
+  auto weight = [&](const Posting& posting, double df) {
+    double tf = static_cast<double>(posting.positions.size());
+    return (1.0 + std::log(std::max(tf, 1.0))) * std::log(1.0 + n / df);
+  };
+  for (auto& [term, postings] : out->dewey_postings) {
+    double df = static_cast<double>(postings.size());
+    for (Posting& posting : postings) {
+      max_weight = std::max(max_weight, weight(posting, df));
+    }
+  }
+  if (max_weight <= 0.0) max_weight = 1.0;
+  for (auto& [term, postings] : out->dewey_postings) {
+    double df = static_cast<double>(postings.size());
+    for (Posting& posting : postings) {
+      posting.elem_rank = static_cast<float>(weight(posting, df) / max_weight);
+    }
+  }
+  for (auto& [term, postings] : out->naive_postings) {
+    // df at element granularity: direct-occurrence count of the term.
+    auto it = out->dewey_postings.find(term);
+    double df = it != out->dewey_postings.end()
+                    ? static_cast<double>(it->second.size())
+                    : 1.0;
+    for (Posting& posting : postings) {
+      posting.elem_rank = static_cast<float>(weight(posting, df) / max_weight);
+    }
+  }
+}
+
 }  // namespace
 
 Result<ExtractionResult> ExtractPostings(const XmlGraph& graph,
@@ -105,70 +200,91 @@ Result<ExtractionResult> ExtractPostings(const XmlGraph& graph,
     return Status::InvalidArgument(
         "elem_ranks size does not match graph node count");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   Analyzer analyzer(options.analyzer);
-  ExtractionState state;
-  state.graph = &graph;
-  state.ranks = &elem_ranks;
-  state.analyzer = &analyzer;
-  state.build_naive = options.build_naive;
 
   std::unordered_set<uint32_t> excluded(options.exclude_documents.begin(),
                                         options.exclude_documents.end());
+  // Surviving documents with their global preorder ordinal bases.
+  std::vector<uint32_t> docs;
+  std::vector<uint32_t> ordinal_bases;
+  uint32_t next_base = 0;
   for (uint32_t doc = 0; doc < graph.documents().size(); ++doc) {
     if (excluded.count(doc) > 0) continue;
-    state.position_counter = 0;
-    VisitElement(&state, graph.documents()[doc].root);
+    docs.push_back(doc);
+    ordinal_bases.push_back(next_base);
+    next_base += graph.documents()[doc].element_count;
   }
-  state.out.element_count = state.out.ordinal_to_dewey.size();
 
-  // Flatten the naive accumulator into ordinal-ordered vectors.
-  for (auto& [term, by_ordinal] : state.naive) {
-    std::vector<Posting>& list = state.out.naive_postings[term];
-    list.reserve(by_ordinal.size());
-    for (auto& [ordinal, posting] : by_ordinal) {
-      list.push_back(std::move(posting));
+  size_t num_workers =
+      std::min(ResolveBuildThreads(options.num_threads), docs.size());
+  ExtractionResult merged;
+
+  if (num_workers <= 1) {
+    // Sequential reference path: one state over all documents.
+    ExtractionState state;
+    state.graph = &graph;
+    state.ranks = &elem_ranks;
+    state.analyzer = &analyzer;
+    state.build_naive = options.build_naive;
+    for (uint32_t doc : docs) {
+      state.position_counter = 0;
+      VisitElement(&state, graph.documents()[doc].root);
+    }
+    FlattenNaive(&state, &state.out.naive_postings);
+    merged = std::move(state.out);
+  } else {
+    // Partition documents into contiguous shards balanced by element count;
+    // each worker extracts its shard independently, then the shards are
+    // merged in document order — term posting lists concatenate (documents
+    // are visited in increasing Dewey order) and naive ordinal ranges are
+    // disjoint, so the merged result is identical to the sequential pass.
+    std::vector<uint64_t> weights;
+    weights.reserve(docs.size());
+    for (uint32_t doc : docs) {
+      weights.push_back(graph.documents()[doc].element_count + 1);
+    }
+    std::vector<std::pair<size_t, size_t>> shards =
+        PartitionByWeight(weights, num_workers);
+
+    std::vector<ExtractionState> states(shards.size());
+    ThreadPool pool(static_cast<int>(num_workers));
+    pool.ParallelFor(
+        0, shards.size(), 1, [&](size_t begin, size_t end, size_t) {
+          for (size_t s = begin; s < end; ++s) {
+            ExtractionState& state = states[s];
+            state.graph = &graph;
+            state.ranks = &elem_ranks;
+            state.analyzer = &analyzer;
+            state.build_naive = options.build_naive;
+            state.ordinal_base = ordinal_bases[shards[s].first];
+            for (size_t d = shards[s].first; d < shards[s].second; ++d) {
+              state.position_counter = 0;
+              VisitElement(&state, graph.documents()[docs[d]].root);
+            }
+          }
+        });
+
+    for (ExtractionState& state : states) {
+      for (auto& [term, postings] : state.out.dewey_postings) {
+        std::vector<Posting>& list = merged.dewey_postings[term];
+        std::move(postings.begin(), postings.end(), std::back_inserter(list));
+      }
+      FlattenNaive(&state, &merged.naive_postings);
+      merged.ordinal_to_dewey.insert(merged.ordinal_to_dewey.end(),
+                                     state.out.ordinal_to_dewey.begin(),
+                                     state.out.ordinal_to_dewey.end());
+      merged.direct_occurrence_count += state.out.direct_occurrence_count;
     }
   }
+  merged.element_count = merged.ordinal_to_dewey.size();
 
   if (options.rank_source == RankSource::kTfIdf) {
-    // Replace the ElemRank field with (1 + ln tf) · ln(1 + N/df), where tf
-    // is the occurrence count inside the posting's element and df the
-    // number of elements with a direct occurrence of the term. Normalized
-    // by the corpus-wide maximum so ranks stay in (0, 1], preserving the
-    // threshold-algorithm overestimate (Section 4.3.2).
-    double n = static_cast<double>(state.out.element_count);
-    double max_weight = 0.0;
-    auto weight = [&](const Posting& posting, double df) {
-      double tf = static_cast<double>(posting.positions.size());
-      return (1.0 + std::log(std::max(tf, 1.0))) * std::log(1.0 + n / df);
-    };
-    for (auto& [term, postings] : state.out.dewey_postings) {
-      double df = static_cast<double>(postings.size());
-      for (Posting& posting : postings) {
-        max_weight = std::max(max_weight, weight(posting, df));
-      }
-    }
-    if (max_weight <= 0.0) max_weight = 1.0;
-    for (auto& [term, postings] : state.out.dewey_postings) {
-      double df = static_cast<double>(postings.size());
-      for (Posting& posting : postings) {
-        posting.elem_rank =
-            static_cast<float>(weight(posting, df) / max_weight);
-      }
-    }
-    for (auto& [term, postings] : state.out.naive_postings) {
-      // df at element granularity: direct-occurrence count of the term.
-      auto it = state.out.dewey_postings.find(term);
-      double df = it != state.out.dewey_postings.end()
-                      ? static_cast<double>(it->second.size())
-                      : 1.0;
-      for (Posting& posting : postings) {
-        posting.elem_rank =
-            static_cast<float>(weight(posting, df) / max_weight);
-      }
-    }
+    ApplyTfIdf(&merged);
   }
-  return std::move(state.out);
+  return merged;
 }
 
 // ------------------------------------------------------------ persistence --
@@ -212,6 +328,21 @@ Result<ListExtent> WriteBlobToPages(storage::PageFile* file,
     if (blob.empty()) break;
   }
   return extent;
+}
+
+Result<storage::PageId> AppendScratchPages(storage::PageFile* file,
+                                           const storage::PageFile& scratch) {
+  storage::PageId offset = file->page_count();
+  for (storage::PageId p = 0; p < scratch.page_count(); ++p) {
+    storage::Page page;
+    XRANK_RETURN_NOT_OK(scratch.Read(p, &page));
+    XRANK_ASSIGN_OR_RETURN(storage::PageId dst, file->Allocate());
+    if (dst != offset + p) {
+      return Status::Internal("scratch splice pages not consecutive");
+    }
+    XRANK_RETURN_NOT_OK(file->Write(dst, page));
+  }
+  return offset;
 }
 
 Status WriteIndexTrailer(storage::PageFile* file, IndexKind kind,

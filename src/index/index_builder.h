@@ -50,6 +50,21 @@ struct ExtractionOptions {
   // deletion (paper Section 4.5): a compaction re-extracts postings with
   // the deleted documents masked out and rebuilds the physical indexes.
   std::vector<uint32_t> exclude_documents;
+  // Worker threads for tokenization (documents are partitioned across
+  // workers and the per-shard results merged in document order, so the
+  // output is identical for every thread count). 0 = hardware concurrency,
+  // 1 = sequential.
+  int num_threads = 0;
+};
+
+// Threading knob shared by the physical-list builders (DIL/RDIL/HDIL).
+// Terms are partitioned into contiguous shards; each worker encodes its
+// shard's complete posting-list page runs into a scratch page file, and the
+// coordinator splices the scratch pages back in term order — so the on-disk
+// bytes are identical to the sequential build for every thread count.
+struct BuildOptions {
+  // 0 = hardware concurrency, 1 = sequential reference path.
+  int num_threads = 0;
 };
 
 // Output of the shared posting-extraction pass over the graph.
@@ -113,6 +128,25 @@ Result<BuiltIndex> OpenIndex(std::unique_ptr<storage::PageFile> file);
 // Internal helper shared by builders: writes `blob` across fresh pages.
 Result<ListExtent> WriteBlobToPages(storage::PageFile* file,
                                     std::string_view blob);
+
+// --- helpers shared by the parallel builders ---
+
+// Resolves a BuildOptions/ExtractionOptions thread knob (0 = hardware).
+size_t ResolveBuildThreads(int num_threads);
+
+// Appends every page of `scratch` to `file` in order (consecutively) and
+// returns the page id in `file` where scratch page 0 landed; list extents
+// recorded against the scratch file are rebased by that offset. Returns 0
+// pages copied as first_page == file->page_count() (callers never rebase
+// empty extents).
+Result<storage::PageId> AppendScratchPages(storage::PageFile* file,
+                                           const storage::PageFile& scratch);
+
+// Splits `count` items into at most `num_shards` contiguous [begin, end)
+// ranges, balanced by the per-item weights (each shard is one worker's
+// unit of work, so balance matters more than an exact shard count).
+std::vector<std::pair<size_t, size_t>> PartitionByWeight(
+    const std::vector<uint64_t>& weights, size_t num_shards);
 
 }  // namespace xrank::index
 

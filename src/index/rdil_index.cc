@@ -2,27 +2,31 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "storage/btree.h"
 
 namespace xrank::index {
 
-Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
-                                  std::unique_ptr<storage::PageFile> file) {
-  BuiltIndex index;
-  index.kind = IndexKind::kRdil;
-  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
-  if (header_page != 0) return Status::Internal("header page must be 0");
+namespace {
 
-  // Phase 1: the rank-ordered lists. Lists must occupy consecutive pages,
-  // so each term's list is written completely before the next; B+-tree
-  // loads are staged until phase 2.
-  struct StagedTree {
-    std::string term;
-    std::vector<std::pair<dewey::DeweyId, uint64_t>> entries;  // id -> loc
-  };
-  std::vector<StagedTree> staged;
+// One worker's output for a contiguous term shard: the rank-ordered lists
+// in a scratch page file plus the staged B+-tree loads (posting locations
+// are relative to each list's page run, so they need no rebasing).
+struct RdilShardOutput {
+  std::unique_ptr<storage::PageFile> scratch;
+  std::vector<ListExtent> extents;  // one per term, shard order
+  std::vector<std::vector<std::pair<dewey::DeweyId, uint64_t>>> tree_entries;
+  Status status = Status::OK();
+};
 
-  for (const auto& [term, postings] : dewey_postings) {
+Status EncodeRdilShard(
+    const std::vector<const TermPostingsMap::value_type*>& terms,
+    size_t begin, size_t end, RdilShardOutput* out) {
+  out->scratch = storage::PageFile::CreateInMemory();
+  out->extents.reserve(end - begin);
+  out->tree_entries.reserve(end - begin);
+  for (size_t t = begin; t < end; ++t) {
+    const std::vector<Posting>& postings = terms[t]->second;
     // Sort by descending ElemRank; ties broken by Dewey ID so builds are
     // deterministic.
     std::vector<const Posting*> by_rank;
@@ -37,42 +41,102 @@ Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
               });
 
     // Rank order destroys prefix locality, so IDs are stored raw.
-    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
-    StagedTree tree;
-    tree.term = term;
-    tree.entries.reserve(postings.size());
+    PostingListWriter writer(out->scratch.get(), /*delta_encode_ids=*/false);
+    std::vector<std::pair<dewey::DeweyId, uint64_t>> entries;
+    entries.reserve(postings.size());
     for (const Posting* posting : by_rank) {
       XRANK_ASSIGN_OR_RETURN(PostingLocation loc, writer.Add(*posting));
-      tree.entries.emplace_back(posting->id, EncodePostingLocation(loc));
+      entries.emplace_back(posting->id, EncodePostingLocation(loc));
     }
     XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
-    index.stats.list_pages += extent.page_count;
-    index.stats.list_used_bytes += extent.byte_count;
-    index.stats.entry_count += extent.entry_count;
-    TermInfo info;
-    info.list = extent;
-    index.lexicon.Add(term, info);
-
-    std::sort(tree.entries.begin(), tree.entries.end(),
+    std::sort(entries.begin(), entries.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    staged.push_back(std::move(tree));
+    out->extents.push_back(extent);
+    out->tree_entries.push_back(std::move(entries));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
+                                  std::unique_ptr<storage::PageFile> file,
+                                  const BuildOptions& build) {
+  BuiltIndex index;
+  index.kind = IndexKind::kRdil;
+  XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
+  if (header_page != 0) return Status::Internal("header page must be 0");
+
+  std::vector<const TermPostingsMap::value_type*> terms;
+  terms.reserve(dewey_postings.size());
+  std::vector<uint64_t> weights;
+  weights.reserve(dewey_postings.size());
+  for (const auto& entry : dewey_postings) {
+    terms.push_back(&entry);
+    weights.push_back(entry.second.size() + 1);
+  }
+
+  // Phase 1: the rank-ordered lists. Lists must occupy consecutive pages,
+  // so workers encode complete per-term page runs into scratch files and
+  // the coordinator splices them back in term order.
+  size_t num_workers =
+      std::min(ResolveBuildThreads(build.num_threads), terms.size());
+  std::vector<std::pair<size_t, size_t>> shards =
+      PartitionByWeight(weights, std::max<size_t>(num_workers, 1));
+
+  std::vector<RdilShardOutput> outputs(shards.size());
+  if (num_workers <= 1) {
+    for (size_t s = 0; s < shards.size(); ++s) {
+      outputs[s].status = EncodeRdilShard(terms, shards[s].first,
+                                          shards[s].second, &outputs[s]);
+    }
+  } else {
+    ThreadPool pool(static_cast<int>(num_workers));
+    pool.ParallelFor(0, shards.size(), 1,
+                     [&](size_t begin, size_t end, size_t) {
+                       for (size_t s = begin; s < end; ++s) {
+                         outputs[s].status = EncodeRdilShard(
+                             terms, shards[s].first, shards[s].second,
+                             &outputs[s]);
+                       }
+                     });
+  }
+
+  for (size_t s = 0; s < shards.size(); ++s) {
+    XRANK_RETURN_NOT_OK(outputs[s].status);
+    XRANK_ASSIGN_OR_RETURN(storage::PageId offset,
+                           AppendScratchPages(file.get(), *outputs[s].scratch));
+    for (size_t i = 0; i < outputs[s].extents.size(); ++i) {
+      ListExtent extent = outputs[s].extents[i];
+      if (extent.page_count > 0) extent.first_page += offset;
+      index.stats.list_pages += extent.page_count;
+      index.stats.list_used_bytes += extent.byte_count;
+      index.stats.entry_count += extent.entry_count;
+      TermInfo info;
+      info.list = extent;
+      index.lexicon.Add(terms[shards[s].first + i]->first, info);
+    }
   }
 
   // Phase 2: one dense B+-tree per term, keyed by Dewey ID. Short trees
-  // share pages through the packer.
+  // share pages through the packer; tree loads allocate absolute page
+  // pointers, so this phase stays on the coordinator.
   uint32_t index_pages_before = file->page_count();
   storage::SharedPagePacker packer(file.get());
-  for (StagedTree& tree : staged) {
-    storage::BtreeBuilder builder(file.get(), &packer);
-    for (const auto& [id, value] : tree.entries) {
-      XRANK_RETURN_NOT_OK(builder.Add(id, value));
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (size_t i = 0; i < outputs[s].tree_entries.size(); ++i) {
+      storage::BtreeBuilder builder(file.get(), &packer);
+      for (const auto& [id, value] : outputs[s].tree_entries[i]) {
+        XRANK_RETURN_NOT_OK(builder.Add(id, value));
+      }
+      XRANK_ASSIGN_OR_RETURN(storage::BtreeBuilder::BuildStats tree_stats,
+                             builder.Finish());
+      const std::string& term = terms[shards[s].first + i]->first;
+      const TermInfo* existing = index.lexicon.Find(term);
+      TermInfo info = *existing;
+      info.btree_root = tree_stats.root;
+      index.lexicon.Add(term, info);
     }
-    XRANK_ASSIGN_OR_RETURN(storage::BtreeBuilder::BuildStats tree_stats,
-                           builder.Finish());
-    const TermInfo* existing = index.lexicon.Find(tree.term);
-    TermInfo info = *existing;
-    info.btree_root = tree_stats.root;
-    index.lexicon.Add(tree.term, info);
   }
   index.stats.index_pages = file->page_count() - index_pages_before;
 

@@ -11,9 +11,13 @@ namespace xrank::index {
 // postings sorted by descending ElemRank, plus a dense disk-resident
 // B+-tree on the Dewey ID whose values locate postings inside the
 // rank-ordered list. Single-leaf B+-trees of short lists are packed onto
-// shared pages (the space optimization of Section 4.3.1).
+// shared pages (the space optimization of Section 4.3.1). Sorting and list
+// encoding are parallelized across contiguous term shards (see
+// BuildOptions); the B+-tree load stays on the coordinator, so the output
+// file is byte-identical for every thread count.
 Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
-                                  std::unique_ptr<storage::PageFile> file);
+                                  std::unique_ptr<storage::PageFile> file,
+                                  const BuildOptions& build = {});
 
 }  // namespace xrank::index
 

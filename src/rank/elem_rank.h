@@ -39,6 +39,12 @@ struct ElemRankOptions {
   // L∞ convergence threshold on the rank vector (paper: 0.00002).
   double convergence_threshold = 0.00002;
   int max_iterations = 500;
+  // Worker threads for the power iteration. 0 = hardware concurrency;
+  // 1 = the exact legacy push-style loop (the sequential reference path).
+  // Any value >= 2 (and 0) runs the pull-style CSR path, whose results are
+  // identical for every thread count (chunk boundaries depend only on the
+  // grain, and per-chunk partials are combined in chunk order).
+  int num_threads = 0;
 };
 
 struct ElemRankResult {

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure with warnings-as-errors (-Wall -Wextra
+# -Werror), build everything, and run the full test suite. Fails on any
+# compiler warning or test failure.
+#
+#   tools/check_build.sh [build-dir]
+
+set -euo pipefail
+
+DIR="${1:-build-check}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$DIR" -S . -DXRANK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$DIR" -j "$(nproc)"
+cd "$DIR"
+ctest --output-on-failure -j "$(nproc)"
