@@ -129,6 +129,8 @@ void RunQueryScaling(const char* name, core::XRankEngine* engine,
   double base_qps = 0.0;
   for (int threads : kThreadCounts) {
     std::atomic<size_t> failures{0};
+    core::XRankEngine::ServingCounters before =
+        engine->serving_counters(index::IndexKind::kHdil);
     double seconds = TimeSeconds([&] {
       std::vector<std::thread> clients;
       clients.reserve(static_cast<size_t>(threads));
@@ -150,19 +152,38 @@ void RunQueryScaling(const char* name, core::XRankEngine* engine,
                    failures.load());
       std::abort();
     }
+    core::XRankEngine::ServingCounters after =
+        engine->serving_counters(index::IndexKind::kHdil);
+    uint64_t pool_hits = after.pool_hits - before.pool_hits;
+    uint64_t pool_misses = after.pool_misses - before.pool_misses;
+    uint64_t cache_hits = after.result_cache_hits - before.result_cache_hits;
+    uint64_t cache_lookups =
+        after.result_cache_lookups - before.result_cache_lookups;
+    double pool_hit_rate =
+        pool_hits + pool_misses > 0
+            ? static_cast<double>(pool_hits) /
+                  static_cast<double>(pool_hits + pool_misses)
+            : 0.0;
+    double cache_hit_rate =
+        cache_lookups > 0
+            ? static_cast<double>(cache_hits) /
+                  static_cast<double>(cache_lookups)
+            : 0.0;
     size_t total = static_cast<size_t>(threads) * kQueriesPerThread;
     double qps = seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
     if (threads == 1) base_qps = qps;
     double speedup = base_qps > 0 ? qps / base_qps : 0.0;
     std::printf("  clients=%d: %8.1f QPS (%.3f s for %zu queries, "
-                "throughput %.2fx)\n",
-                threads, qps, seconds, total, speedup);
-    report->Add(std::string(name) + "/query/clients=" +
-                    std::to_string(threads) + "/qps",
-                qps);
-    report->Add(std::string(name) + "/query/clients=" +
-                    std::to_string(threads) + "/throughput_x",
-                speedup);
+                "throughput %.2fx, pool hit %.1f%%, result cache hit "
+                "%.1f%%)\n",
+                threads, qps, seconds, total, speedup, 100.0 * pool_hit_rate,
+                100.0 * cache_hit_rate);
+    std::string prefix =
+        std::string(name) + "/query/clients=" + std::to_string(threads);
+    report->Add(prefix + "/qps", qps);
+    report->Add(prefix + "/throughput_x", speedup);
+    report->Add(prefix + "/pool_hit_rate", pool_hit_rate);
+    report->Add(prefix + "/result_cache_hit_rate", cache_hit_rate);
   }
 }
 
@@ -211,7 +232,10 @@ int main(int argc, char** argv) {
     workload.num_keywords = 2;
     std::vector<std::vector<std::string>> queries =
         datagen::MakeQueries(dataset.corpus.planted, workload);
-    auto engine = BuildEngine(std::move(docs), {index::IndexKind::kHdil});
+    // The serving benchmark opts into the result cache (the production
+    // fast path); the figure benches keep it off via BuildEngine's default.
+    auto engine = BuildEngine(std::move(docs), {index::IndexKind::kHdil}, {},
+                              /*result_cache_entries=*/1024);
     RunQueryScaling(dataset.name, engine.get(), queries, &report);
     PrintRule();
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "core/result_cache.h"
 #include "index/dil_index.h"
 #include "index/naive_index.h"
 #include "index/rdil_index.h"
@@ -26,6 +27,9 @@ Result<std::unique_ptr<storage::PageFile>> MakePageFile(
 
 }  // namespace
 
+// Out of line: ResultCache is only forward-declared in the header.
+XRankEngine::~XRankEngine() = default;
+
 Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
     std::vector<xml::Document> documents, const EngineOptions& options) {
   return Build(std::move(documents), {}, options);
@@ -37,6 +41,10 @@ Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
   auto engine = std::unique_ptr<XRankEngine>(new XRankEngine());
   engine->options_ = options;
   engine->analyzer_ = index::Analyzer(options.extraction.analyzer);
+  if (options.result_cache_entries > 0) {
+    engine->result_cache_ =
+        std::make_unique<ResultCache>(options.result_cache_entries);
+  }
 
   // 1. Graph construction (Section 2.1 data model).
   graph::GraphBuilder builder(options.graph);
@@ -119,7 +127,7 @@ Result<XRankEngine::IndexInstance> XRankEngine::BuildInstance(
   instance.cost_model = std::make_unique<storage::CostModel>(options_.cost);
   instance.pool = std::make_unique<storage::BufferPool>(
       instance.built.file.get(), options_.buffer_pool_pages,
-      instance.cost_model.get());
+      instance.cost_model.get(), options_.buffer_pool_shards);
   return instance;
 }
 
@@ -128,6 +136,8 @@ Status XRankEngine::DeleteDocument(std::string_view uri) {
   for (uint32_t doc = 0; doc < graph_.documents().size(); ++doc) {
     if (graph_.documents()[doc].uri == uri) {
       deleted_documents_.insert(doc);
+      // Cached responses may contain the tombstoned document.
+      if (result_cache_ != nullptr) result_cache_->Clear();
       return Status::OK();
     }
   }
@@ -159,6 +169,9 @@ Status XRankEngine::CompactDeletions() {
   indexes_ = std::move(rebuilt);
   // Compaction renumbers naive element ordinals.
   ordinal_to_dewey_ = std::move(extracted.ordinal_to_dewey);
+  // Cached stats (and naive ordinal mappings) refer to the old physical
+  // indexes.
+  if (result_cache_ != nullptr) result_cache_->Clear();
   return Status::OK();
 }
 
@@ -255,25 +268,6 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
   }
   IndexInstance& instance = it->second;
 
-  // Cold-cache mode (the paper's experimental setup): a private buffer pool
-  // and cost model per query — no mutable state shared between concurrent
-  // queries. Warm mode reuses the instance's pool across queries, so
-  // queries on the same index serialize on its mutex.
-  std::unique_ptr<storage::CostModel> local_cost;
-  std::unique_ptr<storage::BufferPool> local_pool;
-  std::unique_lock<std::mutex> warm_lock;
-  storage::BufferPool* pool = nullptr;
-  if (options_.cold_cache_per_query) {
-    local_cost = std::make_unique<storage::CostModel>(options_.cost);
-    local_pool = std::make_unique<storage::BufferPool>(
-        instance.built.file.get(), options_.buffer_pool_pages,
-        local_cost.get());
-    pool = local_pool.get();
-  } else {
-    warm_lock = std::unique_lock<std::mutex>(*instance.warm_mutex);
-    pool = instance.pool.get();
-  }
-
   std::vector<std::string> normalized;
   normalized.reserve(keywords.size());
   for (const std::string& keyword : keywords) {
@@ -283,6 +277,32 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
                                      "' normalizes to nothing");
     }
     normalized.push_back(std::move(term));
+  }
+
+  // Fast path: a repeated (terms, m, kind) query is answered from the
+  // result cache without touching the index. Writers invalidate the cache
+  // under the exclusive lock, so anything found here is current.
+  std::string cache_key;
+  if (result_cache_ != nullptr) {
+    cache_key = ResultCache::MakeKey(normalized, m, kind);
+    EngineResponse cached;
+    if (result_cache_->Lookup(cache_key, &cached)) {
+      // A hit does no index work; the miss's execution stats would be
+      // misleading here.
+      cached.stats = query::QueryStats{};
+      cached.stats.result_cache_hit = true;
+      return cached;
+    }
+  }
+
+  // All queries share the instance's sharded pool. Cold-cache mode (the
+  // paper's experimental setup) evicts it at each query start — under
+  // serial queries this reproduces the private-pool-per-query statistics
+  // exactly, without the per-query allocation.
+  storage::BufferPool* pool = instance.pool.get();
+  if (options_.cold_cache_per_query) {
+    pool->DropCache();
+    instance.cost_model->ResetStreams();
   }
 
   // With pending deletions, over-fetch so post-filtering can still fill m
@@ -325,7 +345,28 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
       break;
     }
   }
-  return Decorate(std::move(response), kind, m);
+  XRANK_ASSIGN_OR_RETURN(EngineResponse decorated,
+                         Decorate(std::move(response), kind, m));
+  if (result_cache_ != nullptr) {
+    result_cache_->Insert(cache_key, decorated);
+  }
+  return decorated;
+}
+
+XRankEngine::ServingCounters XRankEngine::serving_counters(
+    index::IndexKind kind) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  ServingCounters counters;
+  auto it = indexes_.find(kind);
+  if (it != indexes_.end()) {
+    counters.pool_hits = it->second.pool->hits();
+    counters.pool_misses = it->second.pool->misses();
+  }
+  if (result_cache_ != nullptr) {
+    counters.result_cache_hits = result_cache_->hits();
+    counters.result_cache_lookups = result_cache_->lookups();
+  }
+  return counters;
 }
 
 Result<EngineResponse> XRankEngine::QueryWithPath(

@@ -24,6 +24,8 @@
 
 namespace xrank::core {
 
+class ResultCache;
+
 // End-to-end configuration of an XRANK instance, mirroring Figure 2 of the
 // paper: ElemRank computation -> index construction -> query evaluation.
 struct EngineOptions {
@@ -46,11 +48,20 @@ struct EngineOptions {
   // empty: in-memory page files.
   std::string disk_dir;
 
-  // Buffer pool capacity per query, in pages.
+  // Shared buffer pool capacity per index, in pages.
   size_t buffer_pool_pages = 4096;
-  // Start each query with a cold cache (the paper's experimental setup).
+  // Lock stripes of the shared pool (0 = automatic from the capacity).
+  size_t buffer_pool_shards = 0;
+  // Start each query with a cold cache (the paper's experimental setup):
+  // the shared pool is dropped at each query start instead of allocating a
+  // private pool per query.
   bool cold_cache_per_query = true;
   storage::CostModelOptions cost;
+
+  // Capacity of the engine-level top-k result cache, in entries across all
+  // index kinds (0 disables it). The cache is invalidated wholesale by
+  // DeleteDocument and CompactDeletions.
+  size_t result_cache_entries = 256;
 
   // Non-empty: only elements with these tags may be returned (the
   // "answer node" mechanism of Section 2.2); a result is mapped to its
@@ -76,14 +87,19 @@ struct EngineResponse {
 //
 // Thread safety: after Build returns, the graph, ElemRanks and index files
 // are immutable, and Query/QueryKeywords/QueryWithPath may be called from
-// any number of threads concurrently. In the default cold-cache mode each
-// query gets a private buffer pool and cost model, so queries share no
-// mutable state; in warm-cache mode queries on the same index serialize on
-// that index's shared pool. DeleteDocument and CompactDeletions are
-// writers: they take an exclusive lock and may run concurrently with
-// queries (queries observe the state before or after, never mid-update).
+// any number of threads concurrently. Every query on an index runs against
+// that index's shared sharded buffer pool (lock striping keeps readers of
+// distinct pages from contending); in the default cold-cache mode each
+// query additionally drops the pool at its start, reproducing the paper's
+// cold-OS-cache measurements when queries run one at a time. Repeated
+// queries are answered from a sharded top-k result cache. DeleteDocument
+// and CompactDeletions are writers: they take an exclusive lock (and
+// invalidate the result cache) and may run concurrently with queries
+// (queries observe the state before or after, never mid-update).
 class XRankEngine {
  public:
+  ~XRankEngine();
+
   // Ingests XML documents (consumed), computes ElemRanks and builds the
   // configured indexes. `html_documents` are ingested in the paper's HTML
   // mode (whole document = one element).
@@ -140,6 +156,17 @@ class XRankEngine {
 
   size_t deleted_document_count() const { return deleted_documents_.size(); }
 
+  // Monotonic fast-path counters: the index's buffer-pool hit/miss totals
+  // plus the engine-wide result-cache totals. Benches diff snapshots to
+  // report per-phase hit rates.
+  struct ServingCounters {
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t result_cache_hits = 0;
+    uint64_t result_cache_lookups = 0;
+  };
+  ServingCounters serving_counters(index::IndexKind kind) const;
+
  private:
   XRankEngine() = default;
 
@@ -159,11 +186,11 @@ class XRankEngine {
 
   struct IndexInstance {
     index::BuiltIndex built;
-    // Shared pool, used only in warm-cache mode (cold-cache queries build a
-    // private pool instead). Guarded by warm_mutex.
+    // Shared by all concurrent queries on this index, in both cache modes
+    // (both are internally thread-safe; cold mode drops the pool between
+    // queries instead of allocating a private one).
     std::unique_ptr<storage::CostModel> cost_model;
     std::unique_ptr<storage::BufferPool> pool;
-    std::unique_ptr<std::mutex> warm_mutex = std::make_unique<std::mutex>();
   };
   // Builds one physical index of the given kind over extracted postings.
   Result<IndexInstance> BuildInstance(index::IndexKind kind,
@@ -171,6 +198,8 @@ class XRankEngine {
 
   std::map<index::IndexKind, IndexInstance> indexes_;
   std::set<uint32_t> deleted_documents_;
+  // Null when EngineOptions::result_cache_entries == 0.
+  std::unique_ptr<ResultCache> result_cache_;
   // Readers: Query paths. Writers: DeleteDocument / CompactDeletions.
   mutable std::shared_mutex state_mutex_;
 };

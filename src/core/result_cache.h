@@ -1,0 +1,79 @@
+#ifndef XRANK_CORE_RESULT_CACHE_H_
+#define XRANK_CORE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace xrank::core {
+
+// Engine-level top-k result cache: an LRU over (normalized query terms, k,
+// index kind) -> fully decorated results, sharded by key hash like the
+// buffer pool so concurrent lookups of different queries never contend.
+//
+// Consistency: entries are inserted and looked up while the engine holds
+// its state lock in shared mode, and Clear() is called by every writer
+// (DeleteDocument / CompactDeletions) while it holds the lock exclusively —
+// so a cached response can never outlive the engine state it was computed
+// from. There is no per-entry invalidation: updates are rare and wholesale
+// invalidation keeps the writer path trivially correct.
+class ResultCache {
+ public:
+  // `capacity_entries` > 0; `num_shards` == 0 picks an automatic stripe
+  // count from the capacity.
+  explicit ResultCache(size_t capacity_entries, size_t num_shards = 0);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Canonical cache key. Keyword order is preserved (a permuted query is a
+  // legal separate entry — same results, fewer hits, never wrong).
+  static std::string MakeKey(const std::vector<std::string>& terms, size_t m,
+                             index::IndexKind kind);
+
+  // On hit, copies the cached response into *out, promotes the entry to
+  // most-recently-used, and returns true.
+  bool Lookup(const std::string& key, EngineResponse* out);
+
+  // Inserts (or refreshes) the entry, evicting the least-recently-used
+  // entry of its shard when the shard is full.
+  void Insert(const std::string& key, const EngineResponse& response);
+
+  // Drops every entry (writer-side wholesale invalidation).
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  size_t shard_count() const { return shards_.size(); }
+  size_t cached_entries() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    // Front = most recently used.
+    std::list<std::pair<std::string, EngineResponse>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, EngineResponse>>::
+                           iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> lookups_{0};
+};
+
+}  // namespace xrank::core
+
+#endif  // XRANK_CORE_RESULT_CACHE_H_

@@ -14,6 +14,9 @@ namespace {
 struct DilShardOutput {
   std::unique_ptr<storage::PageFile> scratch;
   std::vector<ListExtent> extents;  // one per term, shard order
+  // Skip-block descriptors per term; page indices are relative to each
+  // list's run, so they need no rebasing after the splice.
+  std::vector<std::vector<SkipEntry>> skips;
   Status status = Status::OK();
 };
 
@@ -22,6 +25,7 @@ Status EncodeDilShard(
     size_t begin, size_t end, DilShardOutput* out) {
   out->scratch = storage::PageFile::CreateInMemory();
   out->extents.reserve(end - begin);
+  out->skips.reserve(end - begin);
   for (size_t t = begin; t < end; ++t) {
     PostingListWriter writer(out->scratch.get(), /*delta_encode_ids=*/true);
     for (const Posting& posting : terms[t]->second) {
@@ -29,6 +33,7 @@ Status EncodeDilShard(
     }
     XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
     out->extents.push_back(extent);
+    out->skips.push_back(writer.TakeSkips());
   }
   return Status::OK();
 }
@@ -91,7 +96,8 @@ Result<BuiltIndex> BuildDilIndex(const TermPostingsMap& dewey_postings,
       index.stats.entry_count += extent.entry_count;
       TermInfo info;
       info.list = extent;
-      index.lexicon.Add(terms[shards[s].first + i]->first, info);
+      info.skips = std::move(outputs[s].skips[i]);
+      index.lexicon.Add(terms[shards[s].first + i]->first, std::move(info));
     }
   }
 

@@ -20,6 +20,9 @@ struct HdilShardOutput {
   std::vector<ListExtent> dewey_extents;  // one per term, shard order
   std::vector<ListExtent> rank_extents;   // one per term, shard order
   std::vector<std::vector<std::pair<dewey::DeweyId, uint64_t>>> separators;
+  // Skip-block descriptors for the full Dewey lists (page indices relative
+  // to each list's run).
+  std::vector<std::vector<SkipEntry>> skips;
   Status status = Status::OK();
 };
 
@@ -49,6 +52,7 @@ Status EncodeHdilShard(
     XRANK_ASSIGN_OR_RETURN(ListExtent extent, writer.Finish());
     out->dewey_extents.push_back(extent);
     out->separators.push_back(std::move(separators));
+    out->skips.push_back(writer.TakeSkips());
 
     // Select the rank-ordered prefix: top max(min_rank_entries,
     // fraction * n) postings by ElemRank.
@@ -139,7 +143,8 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
       index.stats.entry_count += extent.entry_count;
       TermInfo info;
       info.list = extent;
-      index.lexicon.Add(terms[shards[s].first + i]->first, info);
+      info.skips = std::move(outputs[s].skips[i]);
+      index.lexicon.Add(terms[shards[s].first + i]->first, std::move(info));
     }
   }
 

@@ -1,11 +1,12 @@
 #include "index/lexicon.h"
 
 #include "common/varint.h"
+#include "dewey/codec.h"
 
 namespace xrank::index {
 
 void Lexicon::Add(std::string term, TermInfo info) {
-  terms_[std::move(term)] = info;
+  terms_[std::move(term)] = std::move(info);
 }
 
 const TermInfo* Lexicon::Find(std::string_view term) const {
@@ -32,6 +33,11 @@ void Lexicon::Serialize(std::string* out) const {
     PutVarint32(out, info.hash_page_count);
     PutVarint32(out, info.hash_slot_count);
     PutVarint32(out, info.hash_offset);
+    PutVarint64(out, info.skips.size());
+    for (const SkipEntry& skip : info.skips) {
+      PutVarint32(out, skip.page_index);
+      dewey::EncodeDeweyId(skip.first_id, out);
+    }
   }
 }
 
@@ -64,7 +70,19 @@ Result<Lexicon> Lexicon::Deserialize(std::string_view data) {
     XRANK_ASSIGN_OR_RETURN(info.hash_page_count, GetVarint32(data, &offset));
     XRANK_ASSIGN_OR_RETURN(info.hash_slot_count, GetVarint32(data, &offset));
     XRANK_ASSIGN_OR_RETURN(info.hash_offset, GetVarint32(data, &offset));
-    lexicon.Add(std::move(term), info);
+    XRANK_ASSIGN_OR_RETURN(uint64_t skip_count, GetVarint64(data, &offset));
+    if (skip_count > info.list.page_count) {
+      return Status::Corruption("lexicon skip count exceeds list pages");
+    }
+    info.skips.reserve(skip_count);
+    for (uint64_t s = 0; s < skip_count; ++s) {
+      SkipEntry skip;
+      XRANK_ASSIGN_OR_RETURN(skip.page_index, GetVarint32(data, &offset));
+      XRANK_ASSIGN_OR_RETURN(skip.first_id,
+                             dewey::DecodeDeweyId(data, &offset));
+      info.skips.push_back(std::move(skip));
+    }
+    lexicon.Add(std::move(term), std::move(info));
   }
   return lexicon;
 }

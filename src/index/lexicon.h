@@ -27,6 +27,11 @@ struct TermInfo {
   // pages (same space optimization as short B+-trees, Section 4.3.1).
   // Multi-page tables always start at offset 0.
   uint32_t hash_offset = 0;
+  // Skip-block descriptors for `list` (one per page: the page's first Dewey
+  // ID), in page order. Lets query cursors jump over pages whose ID range
+  // precedes the merge frontier. Empty for index kinds that never scan the
+  // Dewey-ordered list with a merge (Naive-Rank).
+  std::vector<SkipEntry> skips;
 };
 
 // Term dictionary. Held in memory at query time (as in most IR engines);

@@ -120,7 +120,10 @@ Result<PostingLocation> PostingListWriter::Add(const Posting& posting) {
   }
   PostingLocation loc{static_cast<uint32_t>(pages_.size()),
                       page_count_in_page_};
-  if (page_count_in_page_ == 0) extent_.byte_count += kListPageHeaderSize;
+  if (page_count_in_page_ == 0) {
+    extent_.byte_count += kListPageHeaderSize;
+    skips_.push_back(SkipEntry{loc.page_index, posting.id});
+  }
   page_entries_ += encoded;
   extent_.byte_count += encoded.size();
   ++page_count_in_page_;
@@ -209,7 +212,7 @@ Result<Posting> ReadPostingAt(storage::BufferPool* pool,
   size_t offset = kListPageHeaderSize;
   dewey::DeweyId previous;
   Posting posting;
-  for (uint16_t i = 0; i <= loc.slot; ++i) {
+  for (uint32_t i = 0; i <= loc.slot; ++i) {
     const dewey::DeweyId* prev =
         (delta_encode_ids && i > 0) ? &previous : nullptr;
     XRANK_ASSIGN_OR_RETURN(posting, DecodePosting(page.view(), &offset, prev));

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/result.h"
 #include "dewey/dewey_id.h"
 #include "storage/buffer_pool.h"
@@ -29,18 +30,35 @@ inline constexpr size_t kMaxPositionsPerPosting = 400;
 
 // Physical location of a posting within a list: page index *within the
 // list's page run* plus the slot on that page. Encoded into B+-tree values.
+// `slot` is 32-bit in memory but the on-disk encoding packs it into 16 bits;
+// EncodePostingLocation asserts the bound rather than truncating silently.
 struct PostingLocation {
   uint32_t page_index = 0;
-  uint16_t slot = 0;
+  uint32_t slot = 0;
 };
 
+inline constexpr uint32_t kMaxPostingSlot = 0xFFFF;
+
 inline uint64_t EncodePostingLocation(PostingLocation loc) {
+  XRANK_CHECK(loc.slot <= kMaxPostingSlot,
+              "posting slot overflows the 16-bit location encoding");
   return (static_cast<uint64_t>(loc.page_index) << 16) | loc.slot;
 }
 inline PostingLocation DecodePostingLocation(uint64_t encoded) {
   return PostingLocation{static_cast<uint32_t>(encoded >> 16),
-                         static_cast<uint16_t>(encoded & 0xFFFF)};
+                         static_cast<uint32_t>(encoded & 0xFFFF)};
 }
+
+// One skip-block descriptor: the first Dewey ID stored on page `page_index`
+// of a list's page run. The builder records one per page; a query cursor
+// can then skip every page whose successor descriptor still precedes the
+// merge target, without decoding the postings in between.
+struct SkipEntry {
+  uint32_t page_index = 0;
+  dewey::DeweyId first_id;
+
+  bool operator==(const SkipEntry& other) const = default;
+};
 
 // Extent of one term's list within a page file.
 struct ListExtent {
@@ -67,6 +85,11 @@ class PostingListWriter {
 
   Result<ListExtent> Finish();
 
+  // One entry per flushed page (the page's first posting ID). Complete
+  // after Finish(); callers move it into the lexicon's TermInfo.
+  const std::vector<SkipEntry>& skips() const { return skips_; }
+  std::vector<SkipEntry> TakeSkips() { return std::move(skips_); }
+
  private:
   Status FlushPage();
 
@@ -77,6 +100,7 @@ class PostingListWriter {
   dewey::DeweyId previous_id_;
   ListExtent extent_;
   std::vector<storage::PageId> pages_;
+  std::vector<SkipEntry> skips_;
   bool finished_ = false;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/timer.h"
 #include "query/dewey_stack.h"
+#include "query/posting_cursor.h"
 #include "query/result_heap.h"
 
 namespace xrank::query {
@@ -39,8 +40,12 @@ void FillIoStats(const storage::CostModel* model, const CostSnapshot& before,
 
 DilQueryProcessor::DilQueryProcessor(storage::BufferPool* pool,
                                      const index::Lexicon* lexicon,
-                                     const ScoringOptions& scoring)
-    : pool_(pool), lexicon_(lexicon), scoring_(scoring) {}
+                                     const ScoringOptions& scoring,
+                                     bool use_skip_blocks)
+    : pool_(pool),
+      lexicon_(lexicon),
+      scoring_(scoring),
+      use_skip_blocks_(use_skip_blocks) {}
 
 Result<QueryResponse> DilQueryProcessor::Execute(
     const std::vector<std::string>& keywords, size_t m) {
@@ -51,8 +56,13 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   CostSnapshot before = TakeSnapshot(pool_->cost_model());
   QueryResponse response;
 
+  // Skipping a document is only sound when a document missing one keyword
+  // can contribute nothing — i.e. under conjunctive semantics.
+  const bool skipping =
+      use_skip_blocks_ && scoring_.semantics == QuerySemantics::kConjunctive;
+
   // A keyword absent from the collection makes the conjunction empty.
-  std::vector<index::PostingListCursor> cursors;
+  std::vector<PostingCursor> cursors;
   cursors.reserve(keywords.size());
   for (const std::string& keyword : keywords) {
     const index::TermInfo* info = lexicon_->Find(keyword);
@@ -60,7 +70,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
       response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
       return response;
     }
-    cursors.emplace_back(pool_, info->list, /*delta_encode_ids=*/true);
+    cursors.emplace_back(pool_, info, skipping);
   }
 
   TopKAccumulator accumulator(m);
@@ -70,32 +80,85 @@ Result<QueryResponse> DilQueryProcessor::Execute(
                                             candidate.overall_rank);
                           });
 
-  // n-way merge by Dewey ID (Figure 5 lines 6-9): repeatedly consume the
-  // cursor holding the smallest next ID.
   std::vector<index::Posting> current(cursors.size());
   std::vector<bool> live(cursors.size(), false);
   for (size_t k = 0; k < cursors.size(); ++k) {
     XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
     live[k] = has;
   }
-  for (;;) {
-    size_t smallest = cursors.size();
-    for (size_t k = 0; k < cursors.size(); ++k) {
-      if (!live[k]) continue;
-      if (smallest == cursors.size() ||
-          current[k].id < current[smallest].id) {
-        smallest = k;
+
+  if (skipping) {
+    // Document-at-a-time merge. The frontier is the largest current
+    // document id across the cursors: no earlier document can hold all the
+    // keywords, so the lagging cursors leap to it through the skip blocks.
+    // Once every cursor stands on the frontier document, its postings are
+    // fed in global Dewey order — exactly the subsequence of the exhaustive
+    // merge that can produce results — and one exhausted cursor ends the
+    // query.
+    for (;;) {
+      bool any_dead = false;
+      uint32_t target = 0;
+      for (size_t k = 0; k < cursors.size(); ++k) {
+        if (!live[k]) {
+          any_dead = true;
+          break;
+        }
+        target = std::max(target, current[k].id.document_id());
+      }
+      if (any_dead) break;
+
+      bool aligned = true;
+      for (size_t k = 0; k < cursors.size(); ++k) {
+        if (current[k].id.document_id() >= target) continue;
+        XRANK_ASSIGN_OR_RETURN(bool has,
+                               cursors[k].SkipToDocument(target, &current[k]));
+        live[k] = has;
+        if (!has || current[k].id.document_id() > target) aligned = false;
+      }
+      if (!aligned) continue;  // frontier moved — recompute it
+
+      for (;;) {
+        size_t smallest = cursors.size();
+        for (size_t k = 0; k < cursors.size(); ++k) {
+          if (!live[k] || current[k].id.document_id() != target) continue;
+          if (smallest == cursors.size() ||
+              current[k].id < current[smallest].id) {
+            smallest = k;
+          }
+        }
+        if (smallest == cursors.size()) break;  // document fully merged
+        merger.Add(smallest, current[smallest]);
+        XRANK_ASSIGN_OR_RETURN(bool has,
+                               cursors[smallest].Next(&current[smallest]));
+        live[smallest] = has;
       }
     }
-    if (smallest == cursors.size()) break;  // all lists exhausted
-    merger.Add(smallest, current[smallest]);
-    XRANK_ASSIGN_OR_RETURN(bool has, cursors[smallest].Next(&current[smallest]));
-    live[smallest] = has;
+  } else {
+    // Exhaustive n-way merge by Dewey ID (Figure 5 lines 6-9): repeatedly
+    // consume the cursor holding the smallest next ID.
+    for (;;) {
+      size_t smallest = cursors.size();
+      for (size_t k = 0; k < cursors.size(); ++k) {
+        if (!live[k]) continue;
+        if (smallest == cursors.size() ||
+            current[k].id < current[smallest].id) {
+          smallest = k;
+        }
+      }
+      if (smallest == cursors.size()) break;  // all lists exhausted
+      merger.Add(smallest, current[smallest]);
+      XRANK_ASSIGN_OR_RETURN(bool has,
+                             cursors[smallest].Next(&current[smallest]));
+      live[smallest] = has;
+    }
   }
   merger.Flush();
 
   response.results = accumulator.TakeTop();
   response.stats.postings_scanned = merger.postings_consumed();
+  for (const PostingCursor& cursor : cursors) {
+    response.stats.pages_skipped += cursor.pages_skipped();
+  }
   response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
   FillIoStats(pool_->cost_model(), before, &response.stats);
   return response;

@@ -13,14 +13,22 @@ namespace xrank::query {
 
 // Single-pass DIL evaluation (paper Figure 5): merges the keyword inverted
 // lists in Dewey-ID order through the Dewey stack, computing the most
-// specific results and their ranks in one sequential scan of each list.
+// specific results and their ranks in one scan of each list. Under
+// conjunctive semantics the merge is document-at-a-time: whenever one list
+// has no posting for a document the others are skipped past it via the
+// lists' skip-block descriptors, which changes which pages are read but not
+// the produced results or their ranks (results never span documents).
 class DilQueryProcessor {
  public:
   // `pool` must wrap a DIL (or HDIL — the full lists are format-compatible)
   // index file; `lexicon` describes it. Both are borrowed.
+  // `use_skip_blocks` == false forces the exhaustive merge even for
+  // conjunctive queries (baseline for correctness tests); disjunctive
+  // queries always scan exhaustively regardless.
   DilQueryProcessor(storage::BufferPool* pool,
                     const index::Lexicon* lexicon,
-                    const ScoringOptions& scoring);
+                    const ScoringOptions& scoring,
+                    bool use_skip_blocks = true);
 
   // Keywords must already be analyzer-normalized. A keyword missing from
   // the lexicon yields an empty result (conjunctive semantics).
@@ -31,6 +39,7 @@ class DilQueryProcessor {
   storage::BufferPool* pool_;
   const index::Lexicon* lexicon_;
   ScoringOptions scoring_;
+  bool use_skip_blocks_;
 };
 
 }  // namespace xrank::query

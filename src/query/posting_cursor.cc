@@ -1,0 +1,46 @@
+#include "query/posting_cursor.h"
+
+#include <algorithm>
+
+namespace xrank::query {
+
+PostingCursor::PostingCursor(storage::BufferPool* pool,
+                             const index::TermInfo* info, bool use_skip_blocks)
+    : cursor_(pool, info->list, /*delta_encode_ids=*/true),
+      skips_(use_skip_blocks ? &info->skips : nullptr) {}
+
+Result<bool> PostingCursor::Next(index::Posting* out) {
+  return cursor_.Next(out);
+}
+
+Result<bool> PostingCursor::SkipToDocument(uint32_t doc, index::Posting* out) {
+  if (skips_ != nullptr && !skips_->empty()) {
+    // Last page whose first ID precedes document `doc`. Every earlier page
+    // holds only postings < that page's first ID <= all ids with document
+    // component < doc, so the target posting — if it exists — is on this
+    // page or later.
+    auto it = std::partition_point(
+        skips_->begin(), skips_->end(), [doc](const index::SkipEntry& skip) {
+          return skip.first_id.document_id() < doc;
+        });
+    if (it != skips_->begin()) {
+      uint32_t target_page = std::prev(it)->page_index;
+      uint32_t current_page = cursor_.current_page_index();
+      if (target_page > current_page) {
+        // Pages (current, target) are never decoded; the seek itself reads
+        // the target page through the pool like any other page.
+        pages_skipped_ += target_page - current_page - 1;
+        XRANK_RETURN_NOT_OK(cursor_.SeekToPage(target_page));
+      }
+    }
+  }
+  // Linear tail: within the landing page (and, when descriptors are absent
+  // or stale, across pages) until the document frontier is reached.
+  for (;;) {
+    XRANK_ASSIGN_OR_RETURN(bool has, cursor_.Next(out));
+    if (!has) return false;
+    if (out->id.document_id() >= doc) return true;
+  }
+}
+
+}  // namespace xrank::query

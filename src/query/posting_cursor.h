@@ -1,0 +1,59 @@
+#ifndef XRANK_QUERY_POSTING_CURSOR_H_
+#define XRANK_QUERY_POSTING_CURSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "index/lexicon.h"
+#include "index/posting.h"
+#include "storage/buffer_pool.h"
+
+namespace xrank::query {
+
+// Forward cursor over one term's Dewey-ordered inverted list, with
+// document-granularity skipping. Wraps the sequential PostingListCursor and
+// the list's build-time skip-block descriptors (one (first Dewey ID, page
+// index) pair per list page, TermInfo::skips): when the Dewey-stack merge
+// establishes that no result can start before document `d`, the cursor
+// binary-searches the descriptors and re-enters the list at the first page
+// that can contain `d`, never decoding the pages in between.
+//
+// Skipping whole documents is result-preserving only under conjunctive
+// semantics: document ids are the first Dewey component, so every result
+// (depth >= 1) and all of its rank contributions lie within a single
+// document, and a document missing any query keyword can contribute
+// nothing. Callers must construct with `use_skip_blocks == false` for
+// disjunctive evaluation.
+class PostingCursor {
+ public:
+  // `pool` and `info` are borrowed and must outlive the cursor. The list is
+  // `info->list` (delta-encoded Dewey order, the DIL/HDIL full-list
+  // format); skip descriptors are `info->skips` and may be empty, in which
+  // case SkipToDocument degrades to a linear scan.
+  PostingCursor(storage::BufferPool* pool, const index::TermInfo* info,
+                bool use_skip_blocks);
+
+  // Reads the next posting in list order; returns false at end of list.
+  Result<bool> Next(index::Posting* out);
+
+  // Advances to the first posting whose document id (first Dewey component)
+  // is >= `doc`, discarding everything before it without feeding it to the
+  // merge. Returns false if the list has no such posting. Forward-only:
+  // `doc` must be >= the document id last returned.
+  Result<bool> SkipToDocument(uint32_t doc, index::Posting* out);
+
+  // List pages the cursor jumped over without reading (skip efficacy).
+  uint64_t pages_skipped() const { return pages_skipped_; }
+
+  const index::ListExtent& extent() const { return cursor_.extent(); }
+
+ private:
+  index::PostingListCursor cursor_;
+  const std::vector<index::SkipEntry>* skips_;  // null = skipping disabled
+  uint64_t pages_skipped_ = 0;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_POSTING_CURSOR_H_

@@ -13,6 +13,7 @@ namespace xrank::query {
 // cost model attached to the buffer pool the processor runs against.
 struct QueryStats {
   uint64_t postings_scanned = 0;   // list entries decoded
+  uint64_t pages_skipped = 0;      // list pages jumped via skip blocks
   uint64_t btree_probes = 0;       // RDIL/HDIL index probes
   uint64_t hash_probes = 0;        // Naive-Rank index probes
   uint64_t rounds = 0;             // threshold-algorithm iterations
@@ -22,6 +23,7 @@ struct QueryStats {
   double wall_ms = 0.0;
   bool switched_to_dil = false;    // HDIL adaptivity outcome
   bool threshold_terminated = false;  // TA stopped before exhausting lists
+  bool result_cache_hit = false;   // served from the engine's top-k cache
 };
 
 struct QueryResponse {

@@ -1,7 +1,9 @@
 #ifndef XRANK_STORAGE_COST_MODEL_H_
 #define XRANK_STORAGE_COST_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "storage/page.h"
 
@@ -18,6 +20,13 @@ struct CostModelOptions {
   double random_read_cost = 50.0;
 };
 
+// Thread safety: a single CostModel is shared by every shard of a
+// BufferPool and hence by every concurrent query. The counters are atomic
+// (readable without a lock); the scan-stream table is guarded by a mutex.
+// Under concurrency the sequential/random split becomes best-effort (two
+// interleaved scans may break each other's streams), but the total read
+// count stays exact — single-threaded runs reproduce the original model
+// bit-for-bit.
 class CostModel {
  public:
   explicit CostModel(CostModelOptions options = {}) : options_(options) {}
@@ -27,15 +36,16 @@ class CostModel {
   // OS read-ahead, under which several concurrently merged list scans are
   // each sequential. Anything else is a seek.
   void RecordRead(PageId page) {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = 0; i < stream_count_; ++i) {
       if (page == streams_[i] + 1) {
-        ++sequential_reads_;
+        sequential_reads_.fetch_add(1, std::memory_order_relaxed);
         streams_[i] = page;
         MoveToFront(i);
         return;
       }
     }
-    ++random_reads_;
+    random_reads_.fetch_add(1, std::memory_order_relaxed);
     // Start (or replace the coldest) stream at this position.
     if (stream_count_ < kMaxStreams) ++stream_count_;
     for (size_t i = stream_count_; i-- > 1;) streams_[i] = streams_[i - 1];
@@ -43,20 +53,35 @@ class CostModel {
   }
 
   void Reset() {
-    sequential_reads_ = 0;
-    random_reads_ = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    sequential_reads_.store(0, std::memory_order_relaxed);
+    random_reads_.store(0, std::memory_order_relaxed);
     stream_count_ = 0;
   }
 
-  uint64_t sequential_reads() const { return sequential_reads_; }
-  uint64_t random_reads() const { return random_reads_; }
-  uint64_t total_reads() const { return sequential_reads_ + random_reads_; }
+  // Forgets the scan-stream state without touching the counters. Called at
+  // a cold-cache query boundary (together with BufferPool::DropCache) so a
+  // query's first list read is charged as a seek, exactly as it would be
+  // against a freshly constructed model — while the monotonic counters keep
+  // supporting concurrent before/after snapshots.
+  void ResetStreams() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream_count_ = 0;
+  }
+
+  uint64_t sequential_reads() const {
+    return sequential_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t random_reads() const {
+    return random_reads_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_reads() const { return sequential_reads() + random_reads(); }
 
   // Weighted cost in abstract units (sequential page reads).
   double TotalCost() const {
-    return static_cast<double>(sequential_reads_) *
+    return static_cast<double>(sequential_reads()) *
                options_.sequential_read_cost +
-           static_cast<double>(random_reads_) * options_.random_read_cost;
+           static_cast<double>(random_reads()) * options_.random_read_cost;
   }
 
   const CostModelOptions& options() const { return options_; }
@@ -73,8 +98,9 @@ class CostModel {
   }
 
   CostModelOptions options_;
-  uint64_t sequential_reads_ = 0;
-  uint64_t random_reads_ = 0;
+  std::mutex mutex_;
+  std::atomic<uint64_t> sequential_reads_{0};
+  std::atomic<uint64_t> random_reads_{0};
   PageId streams_[kMaxStreams] = {};
   size_t stream_count_ = 0;
 };

@@ -144,5 +144,87 @@ TEST(EngineUpdatesTest, DeleteAllDocumentsYieldsEmptyResults) {
   EXPECT_TRUE(after->results.empty());
 }
 
+TEST(EngineUpdatesTest, ResultCacheServesRepeatedQueries) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  auto first = (*engine)->Query("shared alpha", 20, IndexKind::kDil);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->stats.result_cache_hit);
+
+  auto second = (*engine)->Query("shared alpha", 20, IndexKind::kDil);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->stats.result_cache_hit);
+  ASSERT_EQ(second->results.size(), first->results.size());
+  for (size_t i = 0; i < second->results.size(); ++i) {
+    EXPECT_EQ(second->results[i].id, first->results[i].id);
+    EXPECT_NEAR(second->results[i].rank, first->results[i].rank, 1e-12);
+    EXPECT_EQ(second->results[i].document_uri,
+              first->results[i].document_uri);
+  }
+
+  // Different m, kind, or terms are distinct cache entries.
+  auto other_m = (*engine)->Query("shared alpha", 5, IndexKind::kDil);
+  ASSERT_TRUE(other_m.ok());
+  EXPECT_FALSE(other_m->stats.result_cache_hit);
+  auto other_kind = (*engine)->Query("shared alpha", 20, IndexKind::kHdil);
+  ASSERT_TRUE(other_kind.ok());
+  EXPECT_FALSE(other_kind->stats.result_cache_hit);
+  auto other_terms = (*engine)->Query("shared", 20, IndexKind::kDil);
+  ASSERT_TRUE(other_terms.ok());
+  EXPECT_FALSE(other_terms->stats.result_cache_hit);
+}
+
+TEST(EngineUpdatesTest, ResultCacheCanBeDisabled) {
+  EngineOptions options = AllIndexes();
+  options.result_cache_entries = 0;
+  auto engine = XRankEngine::Build(SmallCollection(), options);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 2; ++i) {
+    auto response = (*engine)->Query("shared alpha", 20, IndexKind::kDil);
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->stats.result_cache_hit);
+  }
+}
+
+TEST(EngineUpdatesTest, DeleteAndCompactionInvalidateResultCache) {
+  auto engine = XRankEngine::Build(SmallCollection(), AllIndexes());
+  ASSERT_TRUE(engine.ok());
+
+  auto warm = (*engine)->Query("shared alpha", 20, IndexKind::kHdil);
+  ASSERT_TRUE(warm.ok());
+  auto cached = (*engine)->Query("shared alpha", 20, IndexKind::kHdil);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(cached->stats.result_cache_hit);
+  EXPECT_GT(CountDocResults(*cached, "d2.xml"), 0u);
+
+  // Deletion must not leave stale entries behind: the next query re-executes
+  // and reflects the tombstone.
+  ASSERT_TRUE((*engine)->DeleteDocument("d2.xml").ok());
+  auto after_delete = (*engine)->Query("shared alpha", 20, IndexKind::kHdil);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_FALSE(after_delete->stats.result_cache_hit);
+  EXPECT_EQ(CountDocResults(*after_delete, "d2.xml"), 0u);
+
+  // The re-executed (filtered) response is cached again.
+  auto recached = (*engine)->Query("shared alpha", 20, IndexKind::kHdil);
+  ASSERT_TRUE(recached.ok());
+  EXPECT_TRUE(recached->stats.result_cache_hit);
+  EXPECT_EQ(CountDocResults(*recached, "d2.xml"), 0u);
+
+  // Compaction rebuilds the physical indexes — wholesale invalidation again.
+  ASSERT_TRUE((*engine)->CompactDeletions().ok());
+  auto after_compact = (*engine)->Query("shared alpha", 20, IndexKind::kHdil);
+  ASSERT_TRUE(after_compact.ok());
+  EXPECT_FALSE(after_compact->stats.result_cache_hit);
+  EXPECT_EQ(CountDocResults(*after_compact, "d2.xml"), 0u);
+  ASSERT_EQ(after_compact->results.size(), recached->results.size());
+  for (size_t i = 0; i < after_compact->results.size(); ++i) {
+    EXPECT_EQ(after_compact->results[i].id, recached->results[i].id);
+    EXPECT_NEAR(after_compact->results[i].rank, recached->results[i].rank,
+                1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace xrank

@@ -205,8 +205,87 @@ TEST_P(SemanticsPropertyTest, ProcessorsFullyAgree) {
   }
 }
 
+// The skip-block fast path (document-at-a-time merge over the DIL skip
+// descriptors) must be invisible in the results: same ids, same ranks, same
+// order as the exhaustive merge, for every query shape.
+TEST_P(SemanticsPropertyTest, SkipMergeMatchesExhaustiveMerge) {
+  auto corpus = BuildIndexedCorpus(RandomCorpus(GetParam() + 2000, 10));
+  datagen::Vocabulary vocab(8);
+  Random rng(GetParam() * 13 + 5);
+
+  query::DilQueryProcessor skipping(corpus->pool(IndexKind::kDil),
+                                    corpus->lexicon(IndexKind::kDil),
+                                    ScoringOptions{},
+                                    /*use_skip_blocks=*/true);
+  query::DilQueryProcessor exhaustive(corpus->pool(IndexKind::kDil),
+                                      corpus->lexicon(IndexKind::kDil),
+                                      ScoringOptions{},
+                                      /*use_skip_blocks=*/false);
+  for (int trial = 0; trial < 8; ++trial) {
+    size_t nk = 1 + rng.Uniform(3);
+    std::set<std::string> chosen;
+    while (chosen.size() < nk) chosen.insert(vocab.Word(rng.Uniform(8)));
+    std::vector<std::string> keywords(chosen.begin(), chosen.end());
+
+    for (size_t m : {3u, 10000u}) {
+      auto fast = skipping.Execute(keywords, m);
+      auto slow = exhaustive.Execute(keywords, m);
+      ASSERT_TRUE(fast.ok() && slow.ok());
+      ASSERT_EQ(fast->results.size(), slow->results.size())
+          << "keywords: " << keywords[0] << " m=" << m;
+      for (size_t i = 0; i < fast->results.size(); ++i) {
+        EXPECT_EQ(fast->results[i].id, slow->results[i].id);
+        EXPECT_NEAR(fast->results[i].rank, slow->results[i].rank, 1e-12);
+      }
+      EXPECT_EQ(slow->stats.pages_skipped, 0u);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsPropertyTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+// On a corpus where one keyword is rare and the other's list spans many
+// pages, the conjunctive merge must actually skip pages — and still produce
+// exactly the exhaustive merge's results.
+TEST(SkipBlockTest, SkipsPagesOnSparseConjunctiveQuery) {
+  std::vector<std::pair<std::string, std::string>> docs;
+  constexpr size_t kDocs = 400;
+  for (size_t d = 0; d < kDocs; ++d) {
+    std::string text = "<doc><t>";
+    for (int w = 0; w < 12; ++w) text += "common ";
+    if (d == 0 || d + 1 == kDocs) text += "rare ";
+    text += "</t></doc>";
+    docs.emplace_back(std::move(text), "doc" + std::to_string(d));
+  }
+  auto corpus = BuildIndexedCorpus(std::move(docs));
+
+  query::DilQueryProcessor skipping(corpus->pool(IndexKind::kDil),
+                                    corpus->lexicon(IndexKind::kDil),
+                                    ScoringOptions{},
+                                    /*use_skip_blocks=*/true);
+  query::DilQueryProcessor exhaustive(corpus->pool(IndexKind::kDil),
+                                      corpus->lexicon(IndexKind::kDil),
+                                      ScoringOptions{},
+                                      /*use_skip_blocks=*/false);
+  std::vector<std::string> keywords = {"common", "rare"};
+  auto fast = skipping.Execute(keywords, 100);
+  auto slow = exhaustive.Execute(keywords, 100);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(slow.ok()) << slow.status();
+
+  ASSERT_GT(slow->results.size(), 0u);
+  ASSERT_EQ(fast->results.size(), slow->results.size());
+  for (size_t i = 0; i < fast->results.size(); ++i) {
+    EXPECT_EQ(fast->results[i].id, slow->results[i].id);
+    EXPECT_NEAR(fast->results[i].rank, slow->results[i].rank, 1e-12);
+  }
+  // The 'common' list spans many pages; only its first and last documents
+  // can produce results, so the fast path must leap over the middle.
+  EXPECT_GT(fast->stats.pages_skipped, 0u);
+  EXPECT_LT(fast->stats.postings_scanned, slow->stats.postings_scanned);
+  EXPECT_EQ(slow->stats.pages_skipped, 0u);
+}
 
 }  // namespace
 }  // namespace xrank

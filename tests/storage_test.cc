@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/cost_model.h"
@@ -165,6 +168,97 @@ TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(pool.misses(), misses);
   ASSERT_TRUE(pool.Read(1, &page).ok());  // was evicted
   EXPECT_EQ(pool.misses(), misses + 1);
+}
+
+TEST(BufferPoolTest, ShardCountSelection) {
+  auto file = PageFile::CreateInMemory();
+  CostModel model;
+  // Small pools stay single-sharded (the deterministic eviction order above
+  // relies on one CLOCK ring); big pools stripe automatically, capped.
+  EXPECT_EQ(BufferPool(file.get(), 16, &model).shard_count(), 1u);
+  EXPECT_EQ(BufferPool(file.get(), 512, &model).shard_count(), 4u);
+  EXPECT_EQ(BufferPool(file.get(), 1 << 20, &model).shard_count(), 16u);
+  // An explicit shard count wins but never exceeds the capacity.
+  EXPECT_EQ(BufferPool(file.get(), 64, &model, 8).shard_count(), 8u);
+  EXPECT_EQ(BufferPool(file.get(), 2, &model, 8).shard_count(), 2u);
+}
+
+// The canonical content of a page in the concurrency stress test below:
+// any reader can verify a page without coordinating with other threads.
+uint32_t PageStamp(PageId page) { return page * 2654435761u; }
+
+TEST(BufferPoolTest, ConcurrentShardedAccess) {
+  // The engine's serving pattern: many reader threads on a shared sharded
+  // pool, cache drops interleaved (cold-cache mode), plus a writer touching
+  // pages the readers never read (page files are not internally
+  // synchronized, so read/write sets must be disjoint — as they are in the
+  // engine, where queries only read). Run under TSan via
+  // tools/run_sanitized_tests.sh.
+  constexpr PageId kReaderPages = 192;
+  constexpr PageId kWriterPages = 8;
+  auto file = PageFile::CreateInMemory();
+  for (PageId p = 0; p < kReaderPages + kWriterPages; ++p) {
+    ASSERT_TRUE(file->Allocate().ok());
+    Page page{};
+    page.WriteU32(0, PageStamp(p));
+    ASSERT_TRUE(file->Write(p, page).ok());
+  }
+  CostModel model;
+  BufferPool pool(file.get(), 64, &model, 8);
+  ASSERT_EQ(pool.shard_count(), 8u);
+
+  constexpr int kReaders = 6;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(t + 1);
+      uint64_t reads = 0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        PageId p = static_cast<PageId>((state >> 33) % kReaderPages);
+        Page page{};
+        ++reads;
+        if (!pool.Read(p, &page).ok() || page.ReadU32(0) != PageStamp(p)) {
+          errors.fetch_add(1);
+        }
+      }
+      total_reads.fetch_add(reads);
+    });
+  }
+  // A writer hammers the shards through the write-through path.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      PageId p = kReaderPages + static_cast<PageId>(i % kWriterPages);
+      Page page{};
+      page.WriteU32(0, PageStamp(p));
+      if (!pool.Write(p, page).ok()) errors.fetch_add(1);
+    }
+  });
+  // A dropper forces misses mid-flight, as cold-cache queries do.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) {
+      pool.DropCache();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  // Every Read is accounted as exactly one hit or miss (Write counts as
+  // neither), and the pool never exceeds its capacity.
+  EXPECT_EQ(pool.hits() + pool.misses(), total_reads.load());
+  EXPECT_GT(pool.misses(), 0u);
+  EXPECT_LE(pool.cached_pages(), 64u);
+
+  // After the dust settles the cache still serves correct bytes.
+  for (PageId p = 0; p < kReaderPages + kWriterPages; ++p) {
+    Page page{};
+    ASSERT_TRUE(pool.Read(p, &page).ok());
+    EXPECT_EQ(page.ReadU32(0), PageStamp(p));
+  }
 }
 
 TEST(BufferPoolTest, WriteThroughUpdatesCache) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Serving-fast-path perf gate: builds Release, runs the scaling benchmark
+# with a JSON report, and fails if 8 concurrent clients deliver less query
+# throughput than a single client (i.e. the sharded pool + result cache
+# stopped paying for their synchronization).
+#
+#   tools/check_perf.sh [build-dir]
+#
+# The threshold is deliberately lax (1.0x): it catches concurrency
+# regressions, not host-to-host variance. BENCH_scaling.json in the repo
+# root records the trajectory on the reference host.
+
+set -euo pipefail
+
+DIR="${1:-build-perf}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$DIR" -j "$(nproc)" --target bench_scaling
+
+JSON="$DIR/check_perf_scaling.json"
+"$DIR/bench/bench_scaling" --json "$JSON"
+
+awk '
+  /"dblp\/query\/clients=1\/qps"/  { gsub(/[",]/, ""); base = $2 }
+  /"dblp\/query\/clients=8\/throughput_x"/ { gsub(/[",]/, ""); tx = $2 }
+  END {
+    if (base == "" || tx == "") {
+      print "check_perf: FAIL — dblp query metrics missing from " FILENAME
+      exit 2
+    }
+    printf "check_perf: dblp 1-client %.1f QPS, 8-client throughput %.2fx\n", base, tx
+    if (tx + 0 < 1.0) {
+      print "check_perf: FAIL — 8-client throughput below the 1-client baseline"
+      exit 1
+    }
+    print "check_perf: OK"
+  }
+' "$JSON"
