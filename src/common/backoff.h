@@ -1,0 +1,61 @@
+#ifndef XRANK_COMMON_BACKOFF_H_
+#define XRANK_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/status.h"
+
+namespace xrank {
+
+// Bounded exponential backoff for transient I/O failures. The disk
+// PageFile wraps each syscall in RetryWithBackoff so short-lived faults
+// (EINTR, injected transients from the failpoint registry, a briefly
+// overloaded device) are absorbed instead of failing the whole build or
+// query; persistent faults still surface after `max_attempts` tries, so
+// the worst-case added latency is bounded and small.
+struct BackoffPolicy {
+  int max_attempts = 4;  // total attempts, including the first
+  std::chrono::microseconds initial_delay{100};
+  double multiplier = 4.0;
+  std::chrono::microseconds max_delay{5000};
+};
+
+// Calls `op` (returning Status) up to `policy.max_attempts` times, sleeping
+// between attempts, while `retryable(status)` holds. Returns the first
+// success or the last failure.
+template <typename Op, typename RetryablePred>
+Status RetryWithBackoff(const BackoffPolicy& policy, const Op& op,
+                        const RetryablePred& retryable) {
+  std::chrono::microseconds delay = policy.initial_delay;
+  Status status;
+  for (int attempt = 0; attempt < std::max(policy.max_attempts, 1);
+       ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(delay);
+      delay = std::min(
+          policy.max_delay,
+          std::chrono::microseconds(static_cast<int64_t>(
+              static_cast<double>(delay.count()) * policy.multiplier)));
+    }
+    status = op();
+    if (status.ok() || !retryable(status)) return status;
+  }
+  return status;
+}
+
+// Default predicate: only plain I/O errors are worth retrying — corruption
+// and out-of-range reads are deterministic and fail identically every time.
+inline bool IsTransientIoError(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+template <typename Op>
+Status RetryWithBackoff(const BackoffPolicy& policy, const Op& op) {
+  return RetryWithBackoff(policy, op, IsTransientIoError);
+}
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_BACKOFF_H_

@@ -1,0 +1,135 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define XRANK_CRC32_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define XRANK_CRC32_ARM 1
+#include <arm_acle.h>
+#endif
+
+namespace xrank {
+
+namespace {
+
+// Slicing-by-8 tables for the reflected Castagnoli polynomial. Table 0 is
+// the classic byte-at-a-time table; table k advances a byte that is k
+// positions deeper in the 8-byte word.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+uint32_t Crc32cSoftware(const uint8_t* p, size_t size, uint32_t crc) {
+  const Tables& tables = GetTables();
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    word ^= crc;  // little-endian: low 4 bytes absorb the running crc
+    crc = tables.t[7][word & 0xFF] ^ tables.t[6][(word >> 8) & 0xFF] ^
+          tables.t[5][(word >> 16) & 0xFF] ^ tables.t[4][(word >> 24) & 0xFF] ^
+          tables.t[3][(word >> 32) & 0xFF] ^ tables.t[2][(word >> 40) & 0xFF] ^
+          tables.t[1][(word >> 48) & 0xFF] ^ tables.t[0][(word >> 56) & 0xFF];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = tables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(XRANK_CRC32_X86)
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const uint8_t* p,
+                                                          size_t size,
+                                                          uint32_t crc) {
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (size-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+bool HardwareAvailable() { return __builtin_cpu_supports("sse4.2"); }
+
+#elif defined(XRANK_CRC32_ARM)
+
+uint32_t Crc32cHardware(const uint8_t* p, size_t size, uint32_t crc) {
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    crc = __crc32cd(crc, word);
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return crc;
+}
+
+bool HardwareAvailable() { return true; }
+
+#else
+
+uint32_t Crc32cHardware(const uint8_t* p, size_t size, uint32_t crc) {
+  return Crc32cSoftware(p, size, crc);
+}
+
+bool HardwareAvailable() { return false; }
+
+#endif
+
+}  // namespace
+
+bool Crc32cHardwareAccelerated() {
+  static const bool available = HardwareAvailable();
+  return available;
+}
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;  // pre-invert; seed 0 starts the standard 0xFFFFFFFF
+  crc = Crc32cHardwareAccelerated() ? Crc32cHardware(p, size, crc)
+                                    : Crc32cSoftware(p, size, crc);
+  return ~crc;
+}
+
+}  // namespace xrank

@@ -1,0 +1,31 @@
+#ifndef XRANK_COMMON_CRC32_H_
+#define XRANK_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xrank {
+
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum used by every on-disk page header and by the index MANIFEST.
+// Uses the SSE4.2 / ARMv8 CRC instructions when the target supports them
+// and a slicing-by-8 table otherwise; both produce identical values.
+//
+// `seed` chains incremental computation: Crc32c(b, Crc32c(a)) equals
+// Crc32c(a+b). The seed is the *finalized* CRC of the preceding bytes (the
+// pre/post inversion is handled internally), so 0 is the correct seed for
+// the first chunk.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+// True when this build dispatches to a hardware CRC instruction (exposed so
+// tests can assert the two paths agree on machines that have both).
+bool Crc32cHardwareAccelerated();
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_CRC32_H_

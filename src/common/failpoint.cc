@@ -1,0 +1,93 @@
+#include "common/failpoint.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace xrank::fail {
+
+struct FailPoints::Impl {
+  struct Point {
+    FailPointSpec spec;
+    Random rng{0};
+    uint64_t hits = 0;
+    uint64_t triggers = 0;
+  };
+  mutable std::mutex mutex;
+  std::map<std::string, Point, std::less<>> points;
+};
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints instance;
+  return instance;
+}
+
+FailPoints::Impl* FailPoints::impl() const {
+  static Impl impl;
+  return &impl;
+}
+
+void FailPoints::Arm(std::string_view name, const FailPointSpec& spec) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  Impl::Point& point = i->points[std::string(name)];
+  point.spec = spec;
+  point.rng = Random(spec.seed);
+  point.hits = 0;
+  point.triggers = 0;
+  armed_.store(i->points.size(), std::memory_order_release);
+}
+
+void FailPoints::Disarm(std::string_view name) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  auto it = i->points.find(name);
+  if (it != i->points.end()) i->points.erase(it);
+  armed_.store(i->points.size(), std::memory_order_release);
+}
+
+void FailPoints::DisarmAll() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  i->points.clear();
+  armed_.store(0, std::memory_order_release);
+}
+
+std::optional<FailPointHit> FailPoints::Evaluate(std::string_view name) {
+  // Production fast path: one relaxed load when no point is armed.
+  if (armed_.load(std::memory_order_acquire) == 0) return std::nullopt;
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  auto it = i->points.find(name);
+  if (it == i->points.end()) return std::nullopt;
+  Impl::Point& point = it->second;
+  ++point.hits;
+  if (point.hits <= point.spec.skip) return std::nullopt;
+  if (point.spec.max_triggers >= 0 &&
+      point.triggers >= static_cast<uint64_t>(point.spec.max_triggers)) {
+    return std::nullopt;
+  }
+  if (point.spec.probability < 1.0 &&
+      !point.rng.Bernoulli(point.spec.probability)) {
+    return std::nullopt;
+  }
+  ++point.triggers;
+  return FailPointHit{point.spec.action, point.rng.Next64()};
+}
+
+uint64_t FailPoints::hits(std::string_view name) const {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  auto it = i->points.find(name);
+  return it == i->points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::triggers(std::string_view name) const {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  auto it = i->points.find(name);
+  return it == i->points.end() ? 0 : it->second.triggers;
+}
+
+}  // namespace xrank::fail

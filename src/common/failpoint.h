@@ -1,0 +1,92 @@
+#ifndef XRANK_COMMON_FAILPOINT_H_
+#define XRANK_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xrank::fail {
+
+// What an armed failpoint injects at the instrumented call site. The site
+// decides how to realize the action (return an error Status, tear a write,
+// flip a bit); the registry only decides *whether* this hit triggers.
+enum class Action {
+  kError,     // the operation reports a failure without side effects
+  kTornWrite, // a write persists only a prefix of the payload
+  kBitFlip,   // the payload is silently corrupted by one flipped bit
+};
+
+// Trigger schedule of one failpoint. Scripted control comes from
+// `skip` (ignore the first N hits) and `max_triggers` (then stop firing —
+// this is how tests model transient faults that a retry policy must
+// absorb); probabilistic control from `probability` with a seeded
+// per-point RNG, so sweeps are reproducible.
+struct FailPointSpec {
+  Action action = Action::kError;
+  uint64_t skip = 0;           // ignore this many hits first
+  int64_t max_triggers = -1;   // fire at most this often; -1 = unlimited
+  double probability = 1.0;    // per-hit trigger probability after `skip`
+  uint64_t seed = 0x5EEDF417;  // RNG stream for `probability` and kBitFlip
+};
+
+// Returned to the call site when a failpoint fires.
+struct FailPointHit {
+  Action action;
+  uint64_t random;  // per-trigger random value (bit/byte selection)
+};
+
+// Process-wide failpoint registry (RocksDB SyncPoint / kernel failpoint
+// idiom). Call sites are strings like "page_file.read"; tests arm them
+// with a spec and production code pays one relaxed atomic load per site
+// when nothing is armed.
+//
+// Thread safety: all methods may be called concurrently.
+class FailPoints {
+ public:
+  static FailPoints& Instance();
+
+  // Arms (or re-arms, resetting hit counts) the named point.
+  void Arm(std::string_view name, const FailPointSpec& spec);
+  // Disarms one point / every point. Disarming clears counters.
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  // Evaluated by instrumented code: nullopt when the point is unarmed or
+  // its schedule does not fire on this hit.
+  std::optional<FailPointHit> Evaluate(std::string_view name);
+
+  // Observability for tests: how often the named point was hit/fired.
+  uint64_t hits(std::string_view name) const;
+  uint64_t triggers(std::string_view name) const;
+
+ private:
+  FailPoints() = default;
+  struct Impl;
+  Impl* impl() const;
+  // Fast path: number of armed points; 0 means Evaluate returns instantly.
+  std::atomic<uint64_t> armed_{0};
+};
+
+// RAII arming for tests: disarms (and clears counters) on scope exit.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string name, const FailPointSpec& spec)
+      : name_(std::move(name)) {
+    FailPoints::Instance().Arm(name_, spec);
+  }
+  ~ScopedFailPoint() { FailPoints::Instance().Disarm(name_); }
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  uint64_t triggers() const { return FailPoints::Instance().triggers(name_); }
+  uint64_t hits() const { return FailPoints::Instance().hits(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace xrank::fail
+
+#endif  // XRANK_COMMON_FAILPOINT_H_

@@ -21,6 +21,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name, e.g. "ParseError".
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

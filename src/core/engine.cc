@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
 #include "core/result_cache.h"
 #include "index/dil_index.h"
+#include "index/manifest.h"
 #include "index/naive_index.h"
 #include "index/rdil_index.h"
 #include "query/dil_query.h"
@@ -15,13 +17,20 @@ namespace xrank::core {
 
 namespace {
 
+std::string IndexFileName(index::IndexKind kind) {
+  return std::string(index::IndexKindName(kind)) + ".xrank";
+}
+
+// Disk-backed builders write to `<name>.xrank.tmp`; CommitToDisk renames
+// the temp files to their final names and seals them in the MANIFEST, so a
+// crash mid-build never leaves a half-written file under a committed name.
 Result<std::unique_ptr<storage::PageFile>> MakePageFile(
     const EngineOptions& options, index::IndexKind kind) {
   if (options.disk_dir.empty()) {
     return storage::PageFile::CreateInMemory();
   }
-  std::string path = options.disk_dir + "/" +
-                     std::string(index::IndexKindName(kind)) + ".xrank";
+  std::string path =
+      options.disk_dir + "/" + IndexFileName(kind) + ".tmp";
   return storage::PageFile::CreateOnDisk(path);
 }
 
@@ -35,32 +44,38 @@ Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
   return Build(std::move(documents), {}, options);
 }
 
-Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
-    std::vector<xml::Document> documents,
-    std::vector<xml::Document> html_documents, const EngineOptions& options) {
-  auto engine = std::unique_ptr<XRankEngine>(new XRankEngine());
-  engine->options_ = options;
-  engine->analyzer_ = index::Analyzer(options.extraction.analyzer);
-  if (options.result_cache_entries > 0) {
-    engine->result_cache_ =
-        std::make_unique<ResultCache>(options.result_cache_entries);
+Status XRankEngine::PrepareBase(
+    const std::vector<xml::Document>& documents,
+    const std::vector<xml::Document>& html_documents) {
+  analyzer_ = index::Analyzer(options_.extraction.analyzer);
+  if (options_.result_cache_entries > 0) {
+    result_cache_ = std::make_unique<ResultCache>(
+        options_.result_cache_entries);
   }
 
   // 1. Graph construction (Section 2.1 data model).
-  graph::GraphBuilder builder(options.graph);
+  graph::GraphBuilder builder(options_.graph);
   for (const xml::Document& doc : documents) {
     XRANK_RETURN_NOT_OK(builder.AddDocument(doc));
   }
   for (const xml::Document& doc : html_documents) {
     XRANK_RETURN_NOT_OK(builder.AddHtmlDocument(doc));
   }
-  XRANK_ASSIGN_OR_RETURN(engine->graph_, std::move(builder).Finalize());
+  XRANK_ASSIGN_OR_RETURN(graph_, std::move(builder).Finalize());
 
   // 2. ElemRank computation (Section 3).
-  XRANK_ASSIGN_OR_RETURN(
-      engine->elem_rank_result_,
-      rank::ComputeElemRank(engine->graph_, options.elem_rank));
-  engine->elem_ranks_ = engine->elem_rank_result_.ranks;
+  XRANK_ASSIGN_OR_RETURN(elem_rank_result_,
+                         rank::ComputeElemRank(graph_, options_.elem_rank));
+  elem_ranks_ = elem_rank_result_.ranks;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
+    std::vector<xml::Document> documents,
+    std::vector<xml::Document> html_documents, const EngineOptions& options) {
+  auto engine = std::unique_ptr<XRankEngine>(new XRankEngine());
+  engine->options_ = options;
+  XRANK_RETURN_NOT_OK(engine->PrepareBase(documents, html_documents));
 
   // 3. Posting extraction (shared by every physical index).
   bool need_naive = false;
@@ -75,11 +90,123 @@ Result<std::unique_ptr<XRankEngine>> XRankEngine::Build(
       index::ExtractPostings(engine->graph_, engine->elem_ranks_, extraction));
   engine->ordinal_to_dewey_ = std::move(extracted.ordinal_to_dewey);
 
-  // 4. Physical index construction (Section 4).
+  // 4. Physical index construction (Section 4), into temp files when
+  // disk-backed.
   for (index::IndexKind kind : options.indexes) {
     XRANK_ASSIGN_OR_RETURN(IndexInstance instance,
                            engine->BuildInstance(kind, extracted));
     engine->indexes_.emplace(kind, std::move(instance));
+  }
+
+  // 5. Crash-safe commit: rename temp files and seal them in the MANIFEST.
+  XRANK_RETURN_NOT_OK(engine->CommitToDisk());
+  return engine;
+}
+
+Status XRankEngine::CommitToDisk() {
+  if (options_.disk_dir.empty()) return Status::OK();
+  auto& failpoints = fail::FailPoints::Instance();
+
+  // Make every temp file durable before exposing it under its final name.
+  for (auto& [kind, instance] : indexes_) {
+    XRANK_RETURN_NOT_OK(instance.built.file->Sync());
+  }
+  if (failpoints.Evaluate("index_commit.before_rename")) {
+    return Status::IOError(
+        "injected crash before index rename: temp files written, nothing "
+        "committed");
+  }
+  index::Manifest manifest;
+  for (auto& [kind, instance] : indexes_) {
+    std::string name = IndexFileName(kind);
+    XRANK_RETURN_NOT_OK(
+        index::RenameFile(options_.disk_dir + "/" + name + ".tmp",
+                          options_.disk_dir + "/" + name));
+    index::ManifestEntry entry;
+    entry.file = std::move(name);
+    entry.kind = kind;
+    entry.page_count = instance.built.file->page_count();
+    // Reading back through the disk page file re-verifies every page's own
+    // header checksum while computing the whole-file CRC.
+    XRANK_ASSIGN_OR_RETURN(entry.crc,
+                           index::ChecksumPageFile(*instance.built.file));
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (failpoints.Evaluate("index_commit.before_manifest")) {
+    return Status::IOError(
+        "injected crash before MANIFEST write: index files renamed but not "
+        "committed");
+  }
+  // The MANIFEST rename inside is the atomic commit point; it also fsyncs
+  // the directory, making the data-file renames above durable.
+  return index::WriteManifestFile(options_.disk_dir, manifest);
+}
+
+Result<std::unique_ptr<XRankEngine>> XRankEngine::Open(
+    std::vector<xml::Document> documents, const EngineOptions& options) {
+  if (options.disk_dir.empty()) {
+    return Status::InvalidArgument("Open requires a disk_dir");
+  }
+  auto engine = std::unique_ptr<XRankEngine>(new XRankEngine());
+  engine->options_ = options;
+  XRANK_RETURN_NOT_OK(engine->PrepareBase(documents, {}));
+
+  XRANK_ASSIGN_OR_RETURN(index::Manifest manifest,
+                         index::ReadManifestFile(options.disk_dir));
+  if (manifest.entries.empty()) {
+    return Status::Corruption("MANIFEST in '" + options.disk_dir +
+                              "' lists no index files");
+  }
+
+  bool need_naive = false;
+  engine->options_.indexes.clear();
+  for (const index::ManifestEntry& entry : manifest.entries) {
+    if (options.verify_on_open) {
+      storage::PageId first_bad = storage::kInvalidPage;
+      Status verified =
+          index::VerifyManifestEntry(options.disk_dir, entry, &first_bad);
+      if (!verified.ok()) return verified;
+    }
+    std::string path = options.disk_dir + "/" + entry.file;
+    XRANK_ASSIGN_OR_RETURN(std::unique_ptr<storage::PageFile> file,
+                           storage::PageFile::OpenOnDisk(path));
+    if (file->page_count() != entry.page_count) {
+      return Status::Corruption(
+          "'" + path + "' has " + std::to_string(file->page_count()) +
+          " pages, MANIFEST expects " + std::to_string(entry.page_count));
+    }
+    XRANK_ASSIGN_OR_RETURN(index::BuiltIndex built,
+                           index::OpenIndex(std::move(file)));
+    if (built.kind != entry.kind) {
+      return Status::Corruption(
+          "'" + path + "' holds a " +
+          std::string(index::IndexKindName(built.kind)) +
+          " index, MANIFEST expects " +
+          std::string(index::IndexKindName(entry.kind)));
+    }
+    IndexInstance instance;
+    instance.built = std::move(built);
+    instance.cost_model =
+        std::make_unique<storage::CostModel>(options.cost);
+    instance.pool = std::make_unique<storage::BufferPool>(
+        instance.built.file.get(), options.buffer_pool_pages,
+        instance.cost_model.get(), options.buffer_pool_shards);
+    need_naive = need_naive || entry.kind == index::IndexKind::kNaiveId ||
+                 entry.kind == index::IndexKind::kNaiveRank;
+    engine->options_.indexes.push_back(entry.kind);
+    engine->indexes_.emplace(entry.kind, std::move(instance));
+  }
+
+  // Naive result IDs are element ordinals; re-derive the ordinal map from
+  // the graph (it is not persisted). Non-naive engines skip the pass.
+  if (need_naive) {
+    index::ExtractionOptions extraction = engine->options_.extraction;
+    extraction.build_naive = true;
+    XRANK_ASSIGN_OR_RETURN(
+        index::ExtractionResult extracted,
+        index::ExtractPostings(engine->graph_, engine->elem_ranks_,
+                               extraction));
+    engine->ordinal_to_dewey_ = std::move(extracted.ordinal_to_dewey);
   }
   return engine;
 }
@@ -172,7 +299,10 @@ Status XRankEngine::CompactDeletions() {
   // Cached stats (and naive ordinal mappings) refer to the old physical
   // indexes.
   if (result_cache_ != nullptr) result_cache_->Clear();
-  return Status::OK();
+  // Re-commit so the on-disk MANIFEST matches the compacted files. A crash
+  // before the new MANIFEST rename leaves a checksum mismatch that Open
+  // reports instead of serving torn state.
+  return CommitToDisk();
 }
 
 bool XRankEngine::has_index(index::IndexKind kind) const {
@@ -258,6 +388,12 @@ Result<EngineResponse> XRankEngine::Decorate(query::QueryResponse response,
 Result<EngineResponse> XRankEngine::QueryKeywords(
     const std::vector<std::string>& keywords, size_t m,
     index::IndexKind kind) {
+  return QueryKeywords(keywords, m, kind, options_.query);
+}
+
+Result<EngineResponse> XRankEngine::QueryKeywords(
+    const std::vector<std::string>& keywords, size_t m, index::IndexKind kind,
+    const query::QueryOptions& query_options) {
   // Shared against DeleteDocument/CompactDeletions; concurrent queries all
   // hold the lock in shared mode and proceed in parallel.
   std::shared_lock<std::shared_mutex> state_lock(state_mutex_);
@@ -309,45 +445,51 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
   // results (bounded approximation until CompactDeletions runs).
   size_t fetch_m = deleted_documents_.empty() ? m : m * 2 + 64;
 
-  query::QueryResponse response;
   const index::Lexicon* lexicon = &instance.built.lexicon;
-  switch (kind) {
-    case index::IndexKind::kDil: {
-      query::DilQueryProcessor processor(pool, lexicon, options_.scoring);
-      XRANK_ASSIGN_OR_RETURN(response,
-                             processor.Execute(normalized, fetch_m));
-      break;
-    }
-    case index::IndexKind::kRdil: {
-      query::RdilQueryProcessor processor(pool, lexicon, options_.scoring);
-      XRANK_ASSIGN_OR_RETURN(response,
-                             processor.Execute(normalized, fetch_m));
-      break;
-    }
-    case index::IndexKind::kHdil: {
-      query::HdilQueryProcessor processor(pool, lexicon, options_.scoring,
-                                          options_.hdil_strategy);
-      XRANK_ASSIGN_OR_RETURN(response,
-                             processor.Execute(normalized, fetch_m));
-      break;
-    }
-    case index::IndexKind::kNaiveId: {
-      query::NaiveIdQueryProcessor processor(pool, lexicon, options_.scoring);
-      XRANK_ASSIGN_OR_RETURN(response,
-                             processor.Execute(normalized, fetch_m));
-      break;
-    }
-    case index::IndexKind::kNaiveRank: {
-      query::NaiveRankQueryProcessor processor(pool, lexicon,
+  auto run = [&]() -> Result<query::QueryResponse> {
+    switch (kind) {
+      case index::IndexKind::kDil: {
+        query::DilQueryProcessor processor(pool, lexicon, options_.scoring);
+        return processor.Execute(normalized, fetch_m, query_options);
+      }
+      case index::IndexKind::kRdil: {
+        query::RdilQueryProcessor processor(pool, lexicon, options_.scoring);
+        return processor.Execute(normalized, fetch_m, query_options);
+      }
+      case index::IndexKind::kHdil: {
+        query::HdilQueryProcessor processor(pool, lexicon, options_.scoring,
+                                            options_.hdil_strategy);
+        return processor.Execute(normalized, fetch_m, query_options);
+      }
+      case index::IndexKind::kNaiveId: {
+        query::NaiveIdQueryProcessor processor(pool, lexicon,
                                                options_.scoring);
-      XRANK_ASSIGN_OR_RETURN(response,
-                             processor.Execute(normalized, fetch_m));
-      break;
+        return processor.Execute(normalized, fetch_m, query_options);
+      }
+      case index::IndexKind::kNaiveRank: {
+        query::NaiveRankQueryProcessor processor(pool, lexicon,
+                                                 options_.scoring);
+        return processor.Execute(normalized, fetch_m, query_options);
+      }
     }
+    return Status::Internal("unreachable index kind");
+  };
+  Result<query::QueryResponse> executed = run();
+  if (!executed.ok()) {
+    if (executed.status().code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_queries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return executed.status();
+  }
+  query::QueryResponse response = std::move(executed).value();
+  if (response.stats.partial) {
+    partial_result_queries_.fetch_add(1, std::memory_order_relaxed);
   }
   XRANK_ASSIGN_OR_RETURN(EngineResponse decorated,
                          Decorate(std::move(response), kind, m));
-  if (result_cache_ != nullptr) {
+  // A partial response reflects this query's budget, not the index: caching
+  // it would serve truncated results to later unconstrained queries.
+  if (result_cache_ != nullptr && !decorated.stats.partial) {
     result_cache_->Insert(cache_key, decorated);
   }
   return decorated;
@@ -366,6 +508,10 @@ XRankEngine::ServingCounters XRankEngine::serving_counters(
     counters.result_cache_hits = result_cache_->hits();
     counters.result_cache_lookups = result_cache_->lookups();
   }
+  counters.deadline_exceeded_queries =
+      deadline_exceeded_queries_.load(std::memory_order_relaxed);
+  counters.partial_result_queries =
+      partial_result_queries_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -401,6 +547,12 @@ Result<EngineResponse> XRankEngine::QueryWithPath(
 
 Result<EngineResponse> XRankEngine::Query(std::string_view query_text,
                                           size_t m, index::IndexKind kind) {
+  return Query(query_text, m, kind, options_.query);
+}
+
+Result<EngineResponse> XRankEngine::Query(
+    std::string_view query_text, size_t m, index::IndexKind kind,
+    const query::QueryOptions& query_options) {
   std::vector<std::string> keywords;
   uint32_t position = 0;
   for (index::Analyzer::Token& token :
@@ -410,7 +562,7 @@ Result<EngineResponse> XRankEngine::Query(std::string_view query_text,
   if (keywords.empty()) {
     return Status::InvalidArgument("query contains no keywords");
   }
-  return QueryKeywords(keywords, m, kind);
+  return QueryKeywords(keywords, m, kind, query_options);
 }
 
 }  // namespace xrank::core

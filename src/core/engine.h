@@ -1,6 +1,7 @@
 #ifndef XRANK_CORE_ENGINE_H_
 #define XRANK_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,17 @@ struct EngineOptions {
   // DeleteDocument and CompactDeletions.
   size_t result_cache_entries = 256;
 
+  // Engine-wide default per-query limits (deadline, cancellation, partial
+  // results — see query::QueryOptions); overridable per call through the
+  // Query/QueryKeywords overloads.
+  query::QueryOptions query;
+
+  // When re-opening a committed index directory (Open), re-read every page
+  // and compare the whole-file checksums against the MANIFEST before
+  // serving anything. Slower startup, but at-rest corruption is reported
+  // up front (with the first bad page) instead of mid-query.
+  bool verify_on_open = true;
+
   // Non-empty: only elements with these tags may be returned (the
   // "answer node" mechanism of Section 2.2); a result is mapped to its
   // nearest ancestor-or-self answer node. Empty: all elements qualify.
@@ -109,15 +121,36 @@ class XRankEngine {
       std::vector<xml::Document> documents,
       std::vector<xml::Document> html_documents, const EngineOptions& options);
 
+  // Re-opens the committed on-disk indexes under `options.disk_dir`
+  // (written by a previous disk-backed Build over the same documents).
+  // The graph and ElemRanks are re-derived in memory — they are not
+  // persisted — but physical index construction is skipped: the committed
+  // files are validated against the MANIFEST and served as-is. A directory
+  // with no MANIFEST (crash before the commit point), a torn MANIFEST, or
+  // files whose length/checksum disagree with it is refused with a precise
+  // error naming the file (and first bad page when verify_on_open is set).
+  static Result<std::unique_ptr<XRankEngine>> Open(
+      std::vector<xml::Document> documents, const EngineOptions& options);
+
   // Evaluates a free-text conjunctive keyword query, returning the top m
-  // results via the given index. The index kind must have been built.
+  // results via the given index. The index kind must have been built. The
+  // three-argument forms run under the engine default QueryOptions
+  // (EngineOptions::query); the four-argument forms override them per call
+  // — a deadline expiry returns Status::DeadlineExceeded, or the partial
+  // top-k with stats.partial set when allow_partial_results is on.
   Result<EngineResponse> Query(std::string_view query_text, size_t m,
                                index::IndexKind kind);
+  Result<EngineResponse> Query(std::string_view query_text, size_t m,
+                               index::IndexKind kind,
+                               const query::QueryOptions& query_options);
 
-  // Pre-tokenized variant.
+  // Pre-tokenized variants.
   Result<EngineResponse> QueryKeywords(
       const std::vector<std::string>& keywords, size_t m,
       index::IndexKind kind);
+  Result<EngineResponse> QueryKeywords(
+      const std::vector<std::string>& keywords, size_t m,
+      index::IndexKind kind, const query::QueryOptions& query_options);
 
   // Keyword query restricted to elements whose ancestor tag chain ends
   // with `path` — e.g. path {"paper", "title"} keeps only <title> elements
@@ -164,6 +197,9 @@ class XRankEngine {
     uint64_t pool_misses = 0;
     uint64_t result_cache_hits = 0;
     uint64_t result_cache_lookups = 0;
+    // Engine-wide (not per-kind): queries that hit their deadline/cancel.
+    uint64_t deadline_exceeded_queries = 0;  // returned DeadlineExceeded
+    uint64_t partial_result_queries = 0;     // served a partial top-k
   };
   ServingCounters serving_counters(index::IndexKind kind) const;
 
@@ -195,11 +231,21 @@ class XRankEngine {
   // Builds one physical index of the given kind over extracted postings.
   Result<IndexInstance> BuildInstance(index::IndexKind kind,
                                       const index::ExtractionResult& extracted);
+  // Shared by Build and Open: graph construction + ElemRank (steps 1-2).
+  Status PrepareBase(const std::vector<xml::Document>& documents,
+                     const std::vector<xml::Document>& html_documents);
+  // Disk-backed engines only: renames the freshly built `<kind>.xrank.tmp`
+  // files to their final names and commits them through a durable MANIFEST
+  // (see index/manifest.h for the protocol). No-op for in-memory engines.
+  Status CommitToDisk();
 
   std::map<index::IndexKind, IndexInstance> indexes_;
   std::set<uint32_t> deleted_documents_;
   // Null when EngineOptions::result_cache_entries == 0.
   std::unique_ptr<ResultCache> result_cache_;
+  // Deadline outcomes, incremented under the shared lock.
+  mutable std::atomic<uint64_t> deadline_exceeded_queries_{0};
+  mutable std::atomic<uint64_t> partial_result_queries_{0};
   // Readers: Query paths. Writers: DeleteDocument / CompactDeletions.
   mutable std::shared_mutex state_mutex_;
 };

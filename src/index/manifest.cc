@@ -1,0 +1,243 @@
+#include "index/manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace xrank::index {
+
+namespace {
+
+constexpr char kManifestHeader[] = "xrank-manifest v1";
+
+Result<uint64_t> ParseU64(std::string_view token, const char* what) {
+  uint64_t value = 0;
+  if (token.empty()) return Status::Corruption(std::string(what) + " missing");
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption("bad " + std::string(what) + " '" +
+                                std::string(token) + "' in MANIFEST");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string SerializeManifest(const Manifest& manifest) {
+  std::string out(kManifestHeader);
+  out += "\n";
+  for (const ManifestEntry& entry : manifest.entries) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "file %s kind %u pages %u crc %u\n",
+                  entry.file.c_str(), static_cast<unsigned>(entry.kind),
+                  entry.page_count, entry.crc);
+    out += line;
+  }
+  char commit[64];
+  std::snprintf(commit, sizeof(commit), "commit %u\n", Crc32c(out));
+  out += commit;
+  return out;
+}
+
+Result<Manifest> ParseManifest(std::string_view text) {
+  // The trailer CRC covers everything before the "commit " line; find it
+  // first so a torn or bit-rotted manifest is rejected wholesale.
+  size_t commit_pos = text.rfind("\ncommit ");
+  if (commit_pos == std::string_view::npos) {
+    return Status::Corruption("MANIFEST has no commit trailer");
+  }
+  std::string_view body = text.substr(0, commit_pos + 1);
+  std::string_view trailer = text.substr(commit_pos + 1);
+  // trailer: "commit <u32>\n"
+  if (!StartsWith(trailer, "commit ") || trailer.back() != '\n') {
+    return Status::Corruption("malformed MANIFEST commit trailer");
+  }
+  XRANK_ASSIGN_OR_RETURN(
+      uint64_t stored_crc,
+      ParseU64(trailer.substr(7, trailer.size() - 8), "commit crc"));
+  uint32_t computed = Crc32c(body);
+  if (stored_crc != computed) {
+    return Status::Corruption("MANIFEST checksum mismatch (stored " +
+                              std::to_string(stored_crc) + ", computed " +
+                              std::to_string(computed) + ")");
+  }
+
+  Manifest manifest;
+  bool saw_header = false;
+  for (std::string_view line : SplitString(body, "\n")) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kManifestHeader) {
+        return Status::Corruption("bad MANIFEST header '" + std::string(line) +
+                                  "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string_view> tokens = SplitString(line, " ");
+    if (tokens.size() != 8 || tokens[0] != "file" || tokens[2] != "kind" ||
+        tokens[4] != "pages" || tokens[6] != "crc") {
+      return Status::Corruption("malformed MANIFEST line '" +
+                                std::string(line) + "'");
+    }
+    ManifestEntry entry;
+    entry.file = std::string(tokens[1]);
+    XRANK_ASSIGN_OR_RETURN(uint64_t kind, ParseU64(tokens[3], "index kind"));
+    if (kind < 1 || kind > 5) {
+      return Status::Corruption("bad index kind " + std::to_string(kind) +
+                                " in MANIFEST");
+    }
+    entry.kind = static_cast<IndexKind>(kind);
+    XRANK_ASSIGN_OR_RETURN(uint64_t pages, ParseU64(tokens[5], "page count"));
+    entry.page_count = static_cast<uint32_t>(pages);
+    XRANK_ASSIGN_OR_RETURN(uint64_t crc, ParseU64(tokens[7], "file crc"));
+    entry.crc = static_cast<uint32_t>(crc);
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (!saw_header) return Status::Corruption("empty MANIFEST");
+  return manifest;
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (fail::FailPoints::Instance().Evaluate("manifest.rename")) {
+    return Status::IOError("injected rename failure '" + from + "' -> '" +
+                           to + "'");
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError("rename '" + from + "' -> '" + to +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory '" + dir +
+                           "': " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IOError("fsync of directory '" + dir +
+                                    "' failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteManifestFile(const std::string& dir, const Manifest& manifest) {
+  std::string blob = SerializeManifest(manifest);
+  std::string tmp_path = dir + "/" + kManifestFileName + ".tmp";
+  std::string final_path = dir + "/" + kManifestFileName;
+
+  int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create '" + tmp_path +
+                           "': " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < blob.size()) {
+    ssize_t n = ::write(fd, blob.data() + written, blob.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IOError("write of '" + tmp_path +
+                                      "' failed: " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IOError("fsync of '" + tmp_path +
+                                    "' failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  XRANK_RETURN_NOT_OK(RenameFile(tmp_path, final_path));
+  return SyncDirectory(dir);
+}
+
+Result<Manifest> ReadManifestFile(const std::string& dir) {
+  std::string path = dir + "/" + kManifestFileName;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(
+          "no MANIFEST in '" + dir +
+          "': the index directory was never committed (or a crash "
+          "interrupted the build before its commit point)");
+    }
+    return Status::IOError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string blob;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IOError("read of '" + path +
+                                      "' failed: " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseManifest(blob);
+}
+
+Result<uint32_t> ChecksumPageFile(const storage::PageFile& file) {
+  uint32_t crc = 0;
+  storage::Page page;
+  for (storage::PageId p = 0; p < file.page_count(); ++p) {
+    XRANK_RETURN_NOT_OK(file.Read(p, &page));
+    crc = Crc32c(page.data.data(), storage::kPageSize, crc);
+  }
+  return crc;
+}
+
+Status VerifyManifestEntry(const std::string& dir, const ManifestEntry& entry,
+                           storage::PageId* first_bad_page) {
+  if (first_bad_page != nullptr) *first_bad_page = storage::kInvalidPage;
+  std::string path = dir + "/" + entry.file;
+  XRANK_ASSIGN_OR_RETURN(std::unique_ptr<storage::PageFile> file,
+                         storage::PageFile::OpenOnDisk(path));
+  if (file->page_count() != entry.page_count) {
+    return Status::Corruption(
+        "'" + path + "' has " + std::to_string(file->page_count()) +
+        " pages, MANIFEST expects " + std::to_string(entry.page_count));
+  }
+  uint32_t crc = 0;
+  storage::Page page;
+  for (storage::PageId p = 0; p < file->page_count(); ++p) {
+    Status status = file->Read(p, &page);
+    if (!status.ok()) {
+      if (first_bad_page != nullptr) *first_bad_page = p;
+      return status;
+    }
+    crc = Crc32c(page.data.data(), storage::kPageSize, crc);
+  }
+  if (crc != entry.crc) {
+    return Status::Corruption("'" + path + "' content checksum " +
+                              std::to_string(crc) +
+                              " does not match MANIFEST (" +
+                              std::to_string(entry.crc) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace xrank::index

@@ -1,0 +1,70 @@
+#ifndef XRANK_INDEX_MANIFEST_H_
+#define XRANK_INDEX_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/index_builder.h"
+#include "storage/page_file.h"
+
+namespace xrank::index {
+
+// Crash-safe commit protocol for an on-disk index directory.
+//
+// Builders write every index to `<name>.xrank.tmp`, fsync it, and then
+// commit the directory in one pass:
+//   1. rename each `<name>.xrank.tmp` -> `<name>.xrank`
+//   2. write MANIFEST.tmp (per-file page count + CRC32C + kind, with a
+//      trailing whole-manifest CRC), fsync it
+//   3. rename MANIFEST.tmp -> MANIFEST  (the atomic commit point)
+//   4. fsync the directory
+// A crash anywhere before step 3 leaves no MANIFEST (or the previous one);
+// open refuses the directory with a precise error instead of serving
+// partial state. A crash after step 3 is a completed commit.
+constexpr char kManifestFileName[] = "MANIFEST";
+
+struct ManifestEntry {
+  std::string file;  // basename within the index directory
+  IndexKind kind = IndexKind::kDil;
+  uint32_t page_count = 0;
+  uint32_t crc = 0;  // CRC32C over the logical page payloads, in order
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+};
+
+// Text round-trip (format: "xrank-manifest v1" header, one "file ..." line
+// per entry, "commit <crc>" trailer covering all preceding bytes).
+std::string SerializeManifest(const Manifest& manifest);
+Result<Manifest> ParseManifest(std::string_view text);
+
+// Durably writes `<dir>/MANIFEST` via MANIFEST.tmp + fsync + rename +
+// directory fsync.
+Status WriteManifestFile(const std::string& dir, const Manifest& manifest);
+
+// Reads and validates `<dir>/MANIFEST`. NotFound when the directory was
+// never committed (or a commit was torn before its rename).
+Result<Manifest> ReadManifestFile(const std::string& dir);
+
+// CRC32C over every logical page payload of `file`, in page order. Reading
+// through the disk backend also re-verifies each page's own checksum.
+Result<uint32_t> ChecksumPageFile(const storage::PageFile& file);
+
+// Full integrity check of one committed file: page count, per-page header
+// checksums, and the whole-file CRC against the manifest entry. On
+// corruption `first_bad_page` (when non-null) reports the first damaged
+// page, or kInvalidPage when the mismatch is file-level.
+Status VerifyManifestEntry(const std::string& dir, const ManifestEntry& entry,
+                           storage::PageId* first_bad_page = nullptr);
+
+// Renames `from` -> `to` (same filesystem), with strerror detail.
+Status RenameFile(const std::string& from, const std::string& to);
+
+// fsyncs a directory so committed renames survive power loss.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_MANIFEST_H_

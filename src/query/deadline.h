@@ -1,0 +1,72 @@
+#ifndef XRANK_QUERY_DEADLINE_H_
+#define XRANK_QUERY_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace xrank::query {
+
+// Cooperative per-query budget: a wall-clock deadline, an external
+// cancellation flag, or both. Processors call Check() from their merge
+// loops (and PostingCursor from its skip scan); the clock is only
+// consulted every kStride calls so the check is cheap enough for
+// per-posting call sites, while the cancellation flag — a single relaxed
+// atomic load — is honored on every call.
+//
+// One QueryDeadline is threaded through an entire query, including the
+// HDIL->DIL fallback, so the total budget covers the whole evaluation
+// rather than restarting at the switch.
+class QueryDeadline {
+ public:
+  // No deadline, no cancellation: Check() always succeeds.
+  QueryDeadline() = default;
+
+  explicit QueryDeadline(const QueryOptions& options)
+      : cancel_(options.cancel), deadline_ms_(options.deadline_ms) {
+    if (deadline_ms_ > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms_);
+    }
+  }
+
+  Status Check() {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      expired_ = true;
+      return Status::DeadlineExceeded("query cancelled by caller");
+    }
+    if (deadline_ms_ <= 0) return Status::OK();
+    if (expired_) return Expired();
+    if (++calls_ % kStride != 0) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      expired_ = true;
+      return Expired();
+    }
+    return Status::OK();
+  }
+
+  bool expired() const { return expired_; }
+
+ private:
+  static constexpr uint64_t kStride = 64;
+
+  Status Expired() const {
+    return Status::DeadlineExceeded("query deadline of " +
+                                    std::to_string(deadline_ms_) +
+                                    " ms exceeded");
+  }
+
+  const std::atomic<bool>* cancel_ = nullptr;
+  int64_t deadline_ms_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t calls_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace xrank::query
+
+#endif  // XRANK_QUERY_DEADLINE_H_

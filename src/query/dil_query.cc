@@ -48,7 +48,15 @@ DilQueryProcessor::DilQueryProcessor(storage::BufferPool* pool,
       use_skip_blocks_(use_skip_blocks) {}
 
 Result<QueryResponse> DilQueryProcessor::Execute(
-    const std::vector<std::string>& keywords, size_t m) {
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options) {
+  QueryDeadline deadline(options);
+  return Execute(keywords, m, options, &deadline);
+}
+
+Result<QueryResponse> DilQueryProcessor::Execute(
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options, QueryDeadline* deadline) {
   if (keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -71,6 +79,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
       return response;
     }
     cursors.emplace_back(pool_, info, skipping);
+    cursors.back().set_deadline(deadline);
   }
 
   TopKAccumulator accumulator(m);
@@ -82,75 +91,91 @@ Result<QueryResponse> DilQueryProcessor::Execute(
 
   std::vector<index::Posting> current(cursors.size());
   std::vector<bool> live(cursors.size(), false);
-  for (size_t k = 0; k < cursors.size(); ++k) {
-    XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
-    live[k] = has;
-  }
 
-  if (skipping) {
-    // Document-at-a-time merge. The frontier is the largest current
-    // document id across the cursors: no earlier document can hold all the
-    // keywords, so the lagging cursors leap to it through the skip blocks.
-    // Once every cursor stands on the frontier document, its postings are
-    // fed in global Dewey order — exactly the subsequence of the exhaustive
-    // merge that can produce results — and one exhausted cursor ends the
-    // query.
-    for (;;) {
-      bool any_dead = false;
-      uint32_t target = 0;
-      for (size_t k = 0; k < cursors.size(); ++k) {
-        if (!live[k]) {
-          any_dead = true;
-          break;
-        }
-        target = std::max(target, current[k].id.document_id());
-      }
-      if (any_dead) break;
+  // The merge runs inside a lambda so a DeadlineExceeded from any depth —
+  // the per-iteration checks here or the skip scan inside PostingCursor —
+  // unwinds to one place where the partial-results decision is made.
+  Status merge_status = [&]() -> Status {
+    for (size_t k = 0; k < cursors.size(); ++k) {
+      XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
+      live[k] = has;
+    }
 
-      bool aligned = true;
-      for (size_t k = 0; k < cursors.size(); ++k) {
-        if (current[k].id.document_id() >= target) continue;
-        XRANK_ASSIGN_OR_RETURN(bool has,
-                               cursors[k].SkipToDocument(target, &current[k]));
-        live[k] = has;
-        if (!has || current[k].id.document_id() > target) aligned = false;
-      }
-      if (!aligned) continue;  // frontier moved — recompute it
-
+    if (skipping) {
+      // Document-at-a-time merge. The frontier is the largest current
+      // document id across the cursors: no earlier document can hold all
+      // the keywords, so the lagging cursors leap to it through the skip
+      // blocks. Once every cursor stands on the frontier document, its
+      // postings are fed in global Dewey order — exactly the subsequence of
+      // the exhaustive merge that can produce results — and one exhausted
+      // cursor ends the query.
       for (;;) {
+        XRANK_RETURN_NOT_OK(deadline->Check());
+        bool any_dead = false;
+        uint32_t target = 0;
+        for (size_t k = 0; k < cursors.size(); ++k) {
+          if (!live[k]) {
+            any_dead = true;
+            break;
+          }
+          target = std::max(target, current[k].id.document_id());
+        }
+        if (any_dead) break;
+
+        bool aligned = true;
+        for (size_t k = 0; k < cursors.size(); ++k) {
+          if (current[k].id.document_id() >= target) continue;
+          XRANK_ASSIGN_OR_RETURN(
+              bool has, cursors[k].SkipToDocument(target, &current[k]));
+          live[k] = has;
+          if (!has || current[k].id.document_id() > target) aligned = false;
+        }
+        if (!aligned) continue;  // frontier moved — recompute it
+
+        for (;;) {
+          size_t smallest = cursors.size();
+          for (size_t k = 0; k < cursors.size(); ++k) {
+            if (!live[k] || current[k].id.document_id() != target) continue;
+            if (smallest == cursors.size() ||
+                current[k].id < current[smallest].id) {
+              smallest = k;
+            }
+          }
+          if (smallest == cursors.size()) break;  // document fully merged
+          merger.Add(smallest, current[smallest]);
+          XRANK_ASSIGN_OR_RETURN(bool has,
+                                 cursors[smallest].Next(&current[smallest]));
+          live[smallest] = has;
+        }
+      }
+    } else {
+      // Exhaustive n-way merge by Dewey ID (Figure 5 lines 6-9): repeatedly
+      // consume the cursor holding the smallest next ID.
+      for (;;) {
+        XRANK_RETURN_NOT_OK(deadline->Check());
         size_t smallest = cursors.size();
         for (size_t k = 0; k < cursors.size(); ++k) {
-          if (!live[k] || current[k].id.document_id() != target) continue;
+          if (!live[k]) continue;
           if (smallest == cursors.size() ||
               current[k].id < current[smallest].id) {
             smallest = k;
           }
         }
-        if (smallest == cursors.size()) break;  // document fully merged
+        if (smallest == cursors.size()) break;  // all lists exhausted
         merger.Add(smallest, current[smallest]);
         XRANK_ASSIGN_OR_RETURN(bool has,
                                cursors[smallest].Next(&current[smallest]));
         live[smallest] = has;
       }
     }
-  } else {
-    // Exhaustive n-way merge by Dewey ID (Figure 5 lines 6-9): repeatedly
-    // consume the cursor holding the smallest next ID.
-    for (;;) {
-      size_t smallest = cursors.size();
-      for (size_t k = 0; k < cursors.size(); ++k) {
-        if (!live[k]) continue;
-        if (smallest == cursors.size() ||
-            current[k].id < current[smallest].id) {
-          smallest = k;
-        }
-      }
-      if (smallest == cursors.size()) break;  // all lists exhausted
-      merger.Add(smallest, current[smallest]);
-      XRANK_ASSIGN_OR_RETURN(bool has,
-                             cursors[smallest].Next(&current[smallest]));
-      live[smallest] = has;
+    return Status::OK();
+  }();
+  if (!merge_status.ok()) {
+    if (merge_status.code() != StatusCode::kDeadlineExceeded ||
+        !options.allow_partial_results) {
+      return merge_status;
     }
+    response.stats.partial = true;  // serve the top-k gathered so far
   }
   merger.Flush();
 

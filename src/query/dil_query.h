@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "index/lexicon.h"
+#include "query/deadline.h"
 #include "query/query.h"
 #include "storage/buffer_pool.h"
 
@@ -32,8 +33,17 @@ class DilQueryProcessor {
 
   // Keywords must already be analyzer-normalized. A keyword missing from
   // the lexicon yields an empty result (conjunctive semantics).
+  // `options` bounds the scan (deadline / cancellation / partial results —
+  // see QueryOptions).
   Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
-                                size_t m);
+                                size_t m, const QueryOptions& options = {});
+
+  // Variant used by the HDIL fallback: evaluates against an already-running
+  // budget so the total (RDIL phase + DIL rescan) stays within one
+  // deadline. `deadline` is borrowed and must outlive the call.
+  Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
+                                size_t m, const QueryOptions& options,
+                                QueryDeadline* deadline);
 
  private:
   storage::BufferPool* pool_;

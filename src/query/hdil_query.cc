@@ -112,13 +112,15 @@ HdilQueryProcessor::HdilQueryProcessor(storage::BufferPool* pool,
       strategy_(strategy) {}
 
 Result<QueryResponse> HdilQueryProcessor::ExecuteDil(
-    const std::vector<std::string>& keywords, size_t m) {
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options, QueryDeadline* deadline) {
   DilQueryProcessor dil(pool_, lexicon_, scoring_);
-  return dil.Execute(keywords, m);
+  return dil.Execute(keywords, m, options, deadline);
 }
 
 Result<QueryResponse> HdilQueryProcessor::Execute(
-    const std::vector<std::string>& keywords, size_t m) {
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options) {
   if (keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -184,12 +186,20 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   };
 
   // --- RDIL mode over the rank-ordered prefix lists ---
+  QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
   size_t next_list = 0;
   bool switch_to_dil = false;
   bool done = false;
+  bool expired = false;
 
   while (!done && !switch_to_dil) {
+    Status tick = deadline.Check();
+    if (!tick.ok()) {
+      if (!options.allow_partial_results) return tick;
+      expired = true;  // serve RDIL's accumulator; never start the rescan
+      break;
+    }
     size_t k = next_list;
     next_list = (next_list + 1) % n;
 
@@ -274,12 +284,18 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     }
   }
 
-  if (switch_to_dil) {
+  if (expired) {
+    response.stats.partial = true;
+    response.results = accumulator.TakeTop();
+  } else if (switch_to_dil) {
+    // The fallback rescans under the SAME deadline object, so the overall
+    // budget is honored even when the switch happens late.
     XRANK_ASSIGN_OR_RETURN(QueryResponse dil_response,
-                           ExecuteDil(keywords, m));
+                           ExecuteDil(keywords, m, options, &deadline));
     response.results = std::move(dil_response.results);
     response.stats.postings_scanned += dil_response.stats.postings_scanned;
     response.stats.switched_to_dil = true;
+    response.stats.partial = dil_response.stats.partial;
   } else {
     response.results = accumulator.TakeTop();
   }

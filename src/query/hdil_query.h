@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "index/lexicon.h"
+#include "query/deadline.h"
 #include "query/query.h"
 #include "storage/buffer_pool.h"
 
@@ -41,12 +42,15 @@ class HdilQueryProcessor {
                      const ScoringOptions& scoring,
                      const HdilStrategyOptions& strategy = {});
 
+  // `options` bounds the whole evaluation: one deadline covers both the
+  // RDIL phase and a potential DIL fallback rescan.
   Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
-                                size_t m);
+                                size_t m, const QueryOptions& options = {});
 
  private:
   Result<QueryResponse> ExecuteDil(const std::vector<std::string>& keywords,
-                                   size_t m);
+                                   size_t m, const QueryOptions& options,
+                                   QueryDeadline* deadline);
 
   storage::BufferPool* pool_;
   const index::Lexicon* lexicon_;

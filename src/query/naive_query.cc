@@ -64,7 +64,8 @@ NaiveIdQueryProcessor::NaiveIdQueryProcessor(storage::BufferPool* pool,
     : pool_(pool), lexicon_(lexicon), scoring_(scoring) {}
 
 Result<QueryResponse> NaiveIdQueryProcessor::Execute(
-    const std::vector<std::string>& keywords, size_t m) {
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options) {
   if (keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -100,7 +101,14 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
 
   // Equality merge join on the element ordinal: advance the smallest; when
   // all heads agree the element contains every keyword.
+  QueryDeadline deadline(options);
   for (;;) {
+    Status tick = deadline.Check();
+    if (!tick.ok()) {
+      if (!options.allow_partial_results) return tick;
+      response.stats.partial = true;
+      break;
+    }
     bool any_dead = false;
     for (size_t k = 0; k < n; ++k) any_dead = any_dead || !live[k];
     if (any_dead) break;
@@ -146,7 +154,8 @@ NaiveRankQueryProcessor::NaiveRankQueryProcessor(
     : pool_(pool), lexicon_(lexicon), scoring_(scoring) {}
 
 Result<QueryResponse> NaiveRankQueryProcessor::Execute(
-    const std::vector<std::string>& keywords, size_t m) {
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options) {
   if (keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -173,12 +182,19 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
   }
 
   TopKAccumulator accumulator(m);
+  QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
   std::vector<bool> exhausted(n, false);
   size_t next_list = 0;
   bool done = false;
 
   while (!done) {
+    Status tick = deadline.Check();
+    if (!tick.ok()) {
+      if (!options.allow_partial_results) return tick;
+      response.stats.partial = true;
+      break;
+    }
     size_t k = n;
     for (size_t step = 0; step < n; ++step) {
       size_t candidate = (next_list + step) % n;

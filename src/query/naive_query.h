@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "index/lexicon.h"
+#include "query/deadline.h"
 #include "query/query.h"
 #include "storage/buffer_pool.h"
 
@@ -26,7 +27,7 @@ class NaiveIdQueryProcessor {
                         const ScoringOptions& scoring);
 
   Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
-                                size_t m);
+                                size_t m, const QueryOptions& options = {});
 
  private:
   storage::BufferPool* pool_;
@@ -44,7 +45,7 @@ class NaiveRankQueryProcessor {
                           const ScoringOptions& scoring);
 
   Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
-                                size_t m);
+                                size_t m, const QueryOptions& options = {});
 
  private:
   storage::BufferPool* pool_;

@@ -37,6 +37,7 @@ Result<bool> PostingCursor::SkipToDocument(uint32_t doc, index::Posting* out) {
   // Linear tail: within the landing page (and, when descriptors are absent
   // or stale, across pages) until the document frontier is reached.
   for (;;) {
+    if (deadline_ != nullptr) XRANK_RETURN_NOT_OK(deadline_->Check());
     XRANK_ASSIGN_OR_RETURN(bool has, cursor_.Next(out));
     if (!has) return false;
     if (out->id.document_id() >= doc) return true;

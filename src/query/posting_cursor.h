@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "index/lexicon.h"
 #include "index/posting.h"
+#include "query/deadline.h"
 #include "storage/buffer_pool.h"
 
 namespace xrank::query {
@@ -48,9 +49,15 @@ class PostingCursor {
 
   const index::ListExtent& extent() const { return cursor_.extent(); }
 
+  // Attaches a cooperative budget: SkipToDocument's linear tail scan — the
+  // only unbounded loop inside the cursor — checks it per posting and
+  // aborts with DeadlineExceeded on expiry. Borrowed; may be null.
+  void set_deadline(QueryDeadline* deadline) { deadline_ = deadline; }
+
  private:
   index::PostingListCursor cursor_;
   const std::vector<index::SkipEntry>* skips_;  // null = skipping disabled
+  QueryDeadline* deadline_ = nullptr;
   uint64_t pages_skipped_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #ifndef XRANK_QUERY_QUERY_H_
 #define XRANK_QUERY_QUERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,6 +9,23 @@
 #include "query/scoring.h"
 
 namespace xrank::query {
+
+// Per-query execution limits, checked cooperatively inside the merge
+// loops and posting cursors (see query/deadline.h).
+struct QueryOptions {
+  // Wall-clock budget in milliseconds; 0 disables the deadline. On expiry
+  // Execute returns Status::DeadlineExceeded — unless
+  // `allow_partial_results` is set, in which case the top-k accumulated so
+  // far is returned with `QueryStats::partial` true. Partial results are
+  // a correct ranking of what was scanned, but lower-ranked true results
+  // may be missing.
+  int64_t deadline_ms = 0;
+  bool allow_partial_results = false;
+  // Cooperative cancellation: when non-null, the query aborts (with the
+  // same partial/DeadlineExceeded semantics as the deadline) as soon as a
+  // check observes the flag set. The pointee must outlive the query.
+  const std::atomic<bool>* cancel = nullptr;
+};
 
 // Execution statistics common to all processors. I/O counts come from the
 // cost model attached to the buffer pool the processor runs against.
@@ -24,6 +42,7 @@ struct QueryStats {
   bool switched_to_dil = false;    // HDIL adaptivity outcome
   bool threshold_terminated = false;  // TA stopped before exhausting lists
   bool result_cache_hit = false;   // served from the engine's top-k cache
+  bool partial = false;            // deadline/cancel cut the scan short
 };
 
 struct QueryResponse {

@@ -45,7 +45,8 @@ RdilQueryProcessor::RdilQueryProcessor(storage::BufferPool* pool,
     : pool_(pool), lexicon_(lexicon), scoring_(scoring) {}
 
 Result<QueryResponse> RdilQueryProcessor::Execute(
-    const std::vector<std::string>& keywords, size_t m) {
+    const std::vector<std::string>& keywords, size_t m,
+    const QueryOptions& options) {
   if (keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }
@@ -121,11 +122,20 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
   };
 
   // Round-robin over the rank-ordered lists (Figure 7 lines 7-10).
+  QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
   std::vector<bool> exhausted(n, false);
   size_t next_list = 0;
   bool done = false;
   while (!done) {
+    // One check per threshold round bounds the overrun to a single round's
+    // work (a handful of B+-tree probes plus one subtree verification).
+    Status tick = deadline.Check();
+    if (!tick.ok()) {
+      if (!options.allow_partial_results) return tick;
+      response.stats.partial = true;
+      break;
+    }
     // Pick the next non-exhausted list.
     size_t k = n;
     for (size_t step = 0; step < n; ++step) {

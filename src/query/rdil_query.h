@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "index/lexicon.h"
+#include "query/deadline.h"
 #include "query/query.h"
 #include "storage/buffer_pool.h"
 
@@ -23,8 +24,9 @@ class RdilQueryProcessor {
                      const index::Lexicon* lexicon,
                      const ScoringOptions& scoring);
 
+  // `options` bounds the scan (deadline / cancellation / partial results).
   Result<QueryResponse> Execute(const std::vector<std::string>& keywords,
-                                size_t m);
+                                size_t m, const QueryOptions& options = {});
 
  private:
   storage::BufferPool* pool_;

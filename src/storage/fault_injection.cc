@@ -1,0 +1,85 @@
+#include "storage/fault_injection.h"
+
+#include <cstring>
+#include <utility>
+
+namespace xrank::storage {
+
+FaultInjectionPageFile::FaultInjectionPageFile(std::unique_ptr<PageFile> inner,
+                                               std::string site)
+    : inner_(std::move(inner)),
+      site_(std::move(site)),
+      read_site_(site_ + ".read"),
+      write_site_(site_ + ".write"),
+      sync_site_(site_ + ".sync"),
+      allocate_site_(site_ + ".allocate") {}
+
+Result<PageId> FaultInjectionPageFile::Allocate() {
+  if (fail::FailPoints::Instance().Evaluate(allocate_site_)) {
+    return Status::IOError("injected allocation failure at '" + site_ + "'");
+  }
+  return inner_->Allocate();
+}
+
+Status FaultInjectionPageFile::Read(PageId page, Page* out) const {
+  if (auto hit = fail::FailPoints::Instance().Evaluate(read_site_)) {
+    if (hit->action == fail::Action::kError) {
+      return Status::IOError("injected read error on page " +
+                             std::to_string(page) + " at '" + site_ + "'");
+    }
+    if (hit->action == fail::Action::kBitFlip) {
+      XRANK_RETURN_NOT_OK(inner_->Read(page, out));
+      size_t bit = hit->random % (kPageSize * 8);
+      out->data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      return Status::OK();
+    }
+  }
+  return inner_->Read(page, out);
+}
+
+Status FaultInjectionPageFile::Write(PageId page, const Page& page_data) {
+  if (auto hit = fail::FailPoints::Instance().Evaluate(write_site_)) {
+    switch (hit->action) {
+      case fail::Action::kError:
+        return Status::IOError("injected write error on page " +
+                               std::to_string(page) + " at '" + site_ + "'");
+      case fail::Action::kTornWrite: {
+        // Persist only a prefix of the payload (rest of the logical page
+        // keeps its previous bytes — zero for a fresh allocation), then
+        // fail as if the process died mid-write.
+        Page torn;
+        Status read_status = inner_->Read(page, &torn);
+        if (!read_status.ok()) torn = Page{};
+        size_t keep = hit->random % kPageSize;
+        std::memcpy(torn.data.data(), page_data.data.data(), keep);
+        (void)inner_->Write(page, torn);
+        return Status::IOError("injected torn write on page " +
+                               std::to_string(page) + " at '" + site_ + "'");
+      }
+      case fail::Action::kBitFlip: {
+        Page flipped = page_data;
+        size_t bit = hit->random % (kPageSize * 8);
+        flipped.data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        return inner_->Write(page, flipped);
+      }
+    }
+  }
+  return inner_->Write(page, page_data);
+}
+
+uint32_t FaultInjectionPageFile::page_count() const {
+  return inner_->page_count();
+}
+
+Status FaultInjectionPageFile::Sync() {
+  if (fail::FailPoints::Instance().Evaluate(sync_site_)) {
+    return Status::IOError("injected fsync error at '" + site_ + "'");
+  }
+  return inner_->Sync();
+}
+
+const std::string& FaultInjectionPageFile::path() const {
+  return inner_->path();
+}
+
+}  // namespace xrank::storage

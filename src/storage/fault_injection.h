@@ -1,0 +1,56 @@
+#ifndef XRANK_STORAGE_FAULT_INJECTION_H_
+#define XRANK_STORAGE_FAULT_INJECTION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/failpoint.h"
+#include "storage/page_file.h"
+
+namespace xrank::storage {
+
+// A PageFile decorator that injects faults from the process-wide failpoint
+// registry at every call site, independent of the backing (memory or
+// disk). Each wrapper instance consults sites derived from its `site`
+// prefix:
+//
+//   <site>.read      — kError: the read fails with IOError;
+//                      kBitFlip: the read succeeds but one bit of the
+//                      returned payload is flipped (models corruption
+//                      *above* the checksummed storage layer: bus/DRAM —
+//                      decoders must degrade to Status, never crash)
+//   <site>.write     — kError: the write fails without side effects;
+//                      kTornWrite: only a prefix of the payload is
+//                      applied, then IOError (crash mid-write);
+//                      kBitFlip: the write silently persists one flipped
+//                      bit
+//   <site>.sync      — kError: Sync fails with IOError
+//   <site>.allocate  — kError: Allocate fails with IOError
+//
+// Tests arm e.g. {"fipf.read", {Action::kError, .max_triggers = 2}} and
+// prove that build/open/query paths return clean Status errors (or absorb
+// transients via the disk file's retry policy) for every schedule.
+class FaultInjectionPageFile final : public PageFile {
+ public:
+  // Wraps (and owns) `inner`. `site` defaults to "fipf".
+  explicit FaultInjectionPageFile(std::unique_ptr<PageFile> inner,
+                                  std::string site = "fipf");
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId page, Page* out) const override;
+  Status Write(PageId page, const Page& page_data) override;
+  uint32_t page_count() const override;
+  Status Sync() override;
+  const std::string& path() const override;
+
+  PageFile* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<PageFile> inner_;
+  std::string site_;
+  std::string read_site_, write_site_, sync_site_, allocate_site_;
+};
+
+}  // namespace xrank::storage
+
+#endif  // XRANK_STORAGE_FAULT_INJECTION_H_

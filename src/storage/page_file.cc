@@ -7,9 +7,37 @@
 #include <cstring>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
+
 namespace xrank::storage {
 
 namespace {
+
+// Physical record: [header | payload]. Header layout (little-endian):
+//   u32 magic, u16 version, u16 reserved, u32 page id, u32 crc32c(payload)
+constexpr size_t kRecordSize = kDiskPageHeaderSize + kPageSize;
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kVersionOffset = 4;
+constexpr size_t kPageIdOffset = 8;
+constexpr size_t kCrcOffset = 12;
+
+// `n` is the pread/pwrite return value: negative means a syscall error
+// (errno holds the cause), short means an unexpected partial transfer —
+// errno is meaningless then and must not be reported.
+std::string IoErrorMessage(const char* op, const std::string& path,
+                           PageId page, ssize_t n, size_t expected) {
+  std::string msg = std::string(op) + " failed on page " +
+                    std::to_string(page) + " of '" + path + "': ";
+  if (n < 0) {
+    msg += std::strerror(errno);
+  } else {
+    msg += "short transfer (" + std::to_string(n) + " of " +
+           std::to_string(expected) + " bytes)";
+  }
+  return msg;
+}
 
 class MemPageFile final : public PageFile {
  public:
@@ -58,7 +86,7 @@ class DiskPageFile final : public PageFile {
   Result<PageId> Allocate() override {
     static const Page kZeroPage{};
     PageId page = page_count_;
-    XRANK_RETURN_NOT_OK(WriteAt(page, kZeroPage));
+    XRANK_RETURN_NOT_OK(WriteWithRetry(page, kZeroPage));
     ++page_count_;
     return page;
   }
@@ -68,13 +96,7 @@ class DiskPageFile final : public PageFile {
       return Status::OutOfRange("read of unallocated page " +
                                 std::to_string(page));
     }
-    ssize_t n = ::pread(fd_, out->data.data(), kPageSize,
-                        static_cast<off_t>(page) * kPageSize);
-    if (n != static_cast<ssize_t>(kPageSize)) {
-      return Status::IOError("pread failed on '" + path_ +
-                             "': " + std::strerror(errno));
-    }
-    return Status::OK();
+    return RetryWithBackoff(retry_, [&] { return ReadOnce(page, out); });
   }
 
   Status Write(PageId page, const Page& page_data) override {
@@ -82,25 +104,120 @@ class DiskPageFile final : public PageFile {
       return Status::OutOfRange("write of unallocated page " +
                                 std::to_string(page));
     }
-    return WriteAt(page, page_data);
+    return WriteWithRetry(page, page_data);
   }
 
   uint32_t page_count() const override { return page_count_; }
 
   Status Sync() override {
-    if (::fsync(fd_) != 0) {
-      return Status::IOError("fsync failed on '" + path_ +
-                             "': " + std::strerror(errno));
+    return RetryWithBackoff(retry_, [&] { return SyncOnce(); });
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  Status ReadOnce(PageId page, Page* out) const {
+    if (auto hit = fail::FailPoints::Instance().Evaluate("page_file.read")) {
+      (void)hit;
+      return Status::IOError("injected read error on page " +
+                             std::to_string(page) + " of '" + path_ + "'");
+    }
+    char record[kRecordSize];
+    ssize_t n = ::pread(fd_, record, kRecordSize,
+                        static_cast<off_t>(page) * kRecordSize);
+    if (n != static_cast<ssize_t>(kRecordSize)) {
+      return Status::IOError(
+          IoErrorMessage("pread", path_, page, n, kRecordSize));
+    }
+    XRANK_RETURN_NOT_OK(VerifyRecord(page, record));
+    std::memcpy(out->data.data(), record + kDiskPageHeaderSize, kPageSize);
+    return Status::OK();
+  }
+
+  Status VerifyRecord(PageId page, const char* record) const {
+    uint32_t magic, stored_page, stored_crc;
+    uint16_t version;
+    std::memcpy(&magic, record + kMagicOffset, sizeof(magic));
+    std::memcpy(&version, record + kVersionOffset, sizeof(version));
+    std::memcpy(&stored_page, record + kPageIdOffset, sizeof(stored_page));
+    std::memcpy(&stored_crc, record + kCrcOffset, sizeof(stored_crc));
+    std::string where = "page " + std::to_string(page) + " of '" + path_ + "'";
+    if (magic != kDiskPageMagic) {
+      return Status::Corruption("bad page magic on " + where +
+                                " (torn or foreign write)");
+    }
+    if (version != kDiskFormatVersion) {
+      return Status::Corruption("unsupported page format version " +
+                                std::to_string(version) + " on " + where);
+    }
+    if (stored_page != page) {
+      return Status::Corruption("misdirected page: " + where + " claims id " +
+                                std::to_string(stored_page));
+    }
+    uint32_t computed = Crc32c(record + kDiskPageHeaderSize, kPageSize);
+    if (computed != stored_crc) {
+      return Status::Corruption("checksum mismatch on " + where);
     }
     return Status::OK();
   }
 
- private:
-  Status WriteAt(PageId page, const Page& page_data) {
-    ssize_t n = ::pwrite(fd_, page_data.data.data(), kPageSize,
-                         static_cast<off_t>(page) * kPageSize);
-    if (n != static_cast<ssize_t>(kPageSize)) {
-      return Status::IOError("pwrite failed on '" + path_ +
+  Status WriteWithRetry(PageId page, const Page& page_data) {
+    return RetryWithBackoff(retry_, [&] { return WriteOnce(page, page_data); });
+  }
+
+  Status WriteOnce(PageId page, const Page& page_data) {
+    auto& failpoints = fail::FailPoints::Instance();
+    if (failpoints.Evaluate("page_file.write")) {
+      return Status::IOError("injected write error on page " +
+                             std::to_string(page) + " of '" + path_ + "'");
+    }
+    char record[kRecordSize];
+    uint32_t crc = Crc32c(page_data.data.data(), kPageSize);
+    std::memcpy(record + kMagicOffset, &kDiskPageMagic, sizeof(uint32_t));
+    std::memcpy(record + kVersionOffset, &kDiskFormatVersion,
+                sizeof(uint16_t));
+    uint16_t reserved = 0;
+    std::memcpy(record + kVersionOffset + sizeof(uint16_t), &reserved,
+                sizeof(uint16_t));
+    std::memcpy(record + kPageIdOffset, &page, sizeof(uint32_t));
+    std::memcpy(record + kCrcOffset, &crc, sizeof(uint32_t));
+    std::memcpy(record + kDiskPageHeaderSize, page_data.data.data(),
+                kPageSize);
+
+    size_t write_len = kRecordSize;
+    if (auto hit = failpoints.Evaluate("page_file.torn_write")) {
+      // A crash mid-write: only a prefix of the record reaches the medium.
+      // The header's CRC no longer matches the stored payload, which is
+      // exactly what the read-side verification exists to catch.
+      write_len = kDiskPageHeaderSize +
+                  static_cast<size_t>(hit->random % (kPageSize - 1));
+    } else if (auto flip = failpoints.Evaluate("page_file.corrupt_write")) {
+      // Silent media corruption: one payload bit flips after the CRC was
+      // computed. The write "succeeds"; the damage is caught on read.
+      size_t bit = flip->random % (kPageSize * 8);
+      record[kDiskPageHeaderSize + bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+    ssize_t n = ::pwrite(fd_, record, write_len,
+                         static_cast<off_t>(page) * kRecordSize);
+    if (n != static_cast<ssize_t>(write_len)) {
+      return Status::IOError(
+          IoErrorMessage("pwrite", path_, page, n, write_len));
+    }
+    if (write_len != kRecordSize) {
+      // The torn write is not retryable by design — the simulated process
+      // died; Corruption is deterministic so the retry loop stops here.
+      return Status::Corruption("injected torn write on page " +
+                                std::to_string(page) + " of '" + path_ + "'");
+    }
+    return Status::OK();
+  }
+
+  Status SyncOnce() {
+    if (fail::FailPoints::Instance().Evaluate("page_file.sync")) {
+      return Status::IOError("injected fsync error on '" + path_ + "'");
+    }
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync failed on '" + path_ +
                              "': " + std::strerror(errno));
     }
     return Status::OK();
@@ -109,9 +226,15 @@ class DiskPageFile final : public PageFile {
   int fd_;
   std::string path_;
   uint32_t page_count_;
+  BackoffPolicy retry_;
 };
 
 }  // namespace
+
+const std::string& PageFile::path() const {
+  static const std::string kEmpty;
+  return kEmpty;
+}
 
 std::unique_ptr<PageFile> PageFile::CreateInMemory() {
   return std::make_unique<MemPageFile>();
@@ -135,12 +258,14 @@ Result<std::unique_ptr<PageFile>> PageFile::OpenOnDisk(
                            "': " + std::strerror(errno));
   }
   off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0 || size % static_cast<off_t>(kPageSize) != 0) {
+  if (size < 0 || size % static_cast<off_t>(kRecordSize) != 0) {
     ::close(fd);
-    return Status::Corruption("'" + path + "' is not page-aligned");
+    return Status::Corruption(
+        "'" + path + "' is not page-aligned (size " + std::to_string(size) +
+        ", record size " + std::to_string(kRecordSize) + ")");
   }
   return std::unique_ptr<PageFile>(new DiskPageFile(
-      fd, path, static_cast<uint32_t>(size / static_cast<off_t>(kPageSize))));
+      fd, path, static_cast<uint32_t>(size / static_cast<off_t>(kRecordSize))));
 }
 
 }  // namespace xrank::storage

@@ -9,10 +9,30 @@
 
 namespace xrank::storage {
 
+// --- on-disk page format ---
+//
+// Each logical page of `kPageSize` payload bytes is stored as one physical
+// record of `kDiskPageHeaderSize + kPageSize` bytes: a header carrying a
+// magic, the format version, the page's own id, and a CRC32C of the
+// payload, followed by the payload. The header catches torn writes, bit
+// rot, and misdirected reads/writes at the storage boundary, so decoders
+// above the buffer pool never see silently poisoned bytes — a damaged
+// page surfaces as Status::Corruption naming the page and file. Memory
+// backing stores bare payloads (there is no device to corrupt them).
+inline constexpr size_t kDiskPageHeaderSize = 16;
+inline constexpr uint32_t kDiskPageMagic = 0x58504731;  // "XPG1"
+inline constexpr uint16_t kDiskFormatVersion = 1;
+
 // A growable array of pages, backed either by a real file (pread/pwrite) or
 // by memory. Memory backing keeps unit tests and small experiments fast; the
 // benchmark harnesses use file backing plus a cold buffer pool to model the
 // paper's cold-OS-cache setup.
+//
+// Fault model of the disk backing: every syscall consults the failpoint
+// registry (sites "page_file.read", "page_file.write", "page_file.sync",
+// "page_file.torn_write", "page_file.corrupt_write") and wraps the
+// operation in a bounded retry-with-backoff, so transient faults are
+// absorbed and persistent ones return a descriptive Status.
 class PageFile {
  public:
   virtual ~PageFile() = default;
@@ -35,6 +55,10 @@ class PageFile {
 
   // Flushes to stable storage (no-op for memory backing).
   virtual Status Sync() = 0;
+
+  // Backing path; empty for the memory backend. Error messages and the
+  // index MANIFEST use this to name the damaged file.
+  virtual const std::string& path() const;
 };
 
 }  // namespace xrank::storage

@@ -87,6 +87,104 @@ TEST(CorruptionTest, LexiconDecoderNeverCrashes) {
   });
 }
 
+TEST(CorruptionTest, TermInfoWithSkipsAndHashFieldsNeverCrashes) {
+  // A lexicon entry exercising every optional TermInfo field: rank list,
+  // B+-tree root, hash-index descriptor, and skip-block descriptors. The
+  // varint decoder must survive arbitrary damage to any of them.
+  index::Lexicon lexicon;
+  index::TermInfo info;
+  info.list = index::ListExtent{3, 4, 123, 8192};
+  info.rank_list = index::ListExtent{7, 1, 12, 200};
+  info.btree_root = storage::MakeNodeRef(9, 64);
+  info.hash_first_page = 11;
+  info.hash_page_count = 2;
+  info.hash_slot_count = 97;
+  info.hash_offset = 128;
+  info.skips.push_back(index::SkipEntry{3, dewey::DeweyId({0, 1, 2})});
+  info.skips.push_back(index::SkipEntry{4, dewey::DeweyId({5, 0})});
+  info.skips.push_back(index::SkipEntry{5, dewey::DeweyId({9, 3, 1, 4})});
+  info.skips.push_back(
+      index::SkipEntry{6, dewey::DeweyId({1000000, 2, 2, 2, 2, 2})});
+  lexicon.Add("gamma", info);
+  lexicon.Add("delta", info);
+  std::string blob;
+  lexicon.Serialize(&blob);
+  Torture(blob, 6, [](const std::string& data) {
+    auto lex = index::Lexicon::Deserialize(data);
+    if (!lex.ok()) return;
+    // A successfully decoded (possibly silently corrupted) lexicon must at
+    // least be safely traversable.
+    for (const auto& [term, decoded] : lex->terms()) {
+      for (const index::SkipEntry& skip : decoded.skips) {
+        (void)skip.first_id.depth();
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, BuiltIndexLexiconBlobNeverCrashes) {
+  // The real thing: serialize the lexicon of an actually built HDIL index
+  // (which carries skip descriptors and rank-list extents) and torture the
+  // decoder with it. Catches field-interaction bugs a synthetic TermInfo
+  // cannot.
+  auto corpus =
+      testutil::BuildIndexedCorpus({{testutil::Figure1Xml(), "f"}});
+  const index::BuiltIndex& built =
+      corpus->indexes.at(index::IndexKind::kHdil).built;
+  bool has_skips = false;
+  for (const auto& [term, info] : built.lexicon.terms()) {
+    has_skips = has_skips || !info.skips.empty();
+  }
+  ASSERT_TRUE(has_skips) << "HDIL build should have produced skip entries";
+  std::string blob;
+  built.lexicon.Serialize(&blob);
+  Torture(blob, 7, [](const std::string& data) {
+    auto lex = index::Lexicon::Deserialize(data);
+    (void)lex;
+  });
+}
+
+TEST(CorruptionTest, CorruptSkipDescriptorsDoNotCrashSkipMerge) {
+  // Skip descriptors steer the document-at-a-time merge. Scramble them
+  // (wrong pages, wrong IDs, out-of-range pages) and run skipping queries:
+  // the cursor must degrade to Status or a scan, never crash or hang.
+  auto corpus =
+      testutil::BuildIndexedCorpus({{testutil::Figure1Xml(), "f"}});
+  index::BuiltIndex& built = corpus->indexes.at(index::IndexKind::kDil).built;
+
+  Random rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    index::Lexicon scrambled;
+    for (const auto& [term, original] : built.lexicon.terms()) {
+      index::TermInfo info = original;
+      for (index::SkipEntry& skip : info.skips) {
+        switch (rng.Uniform(4)) {
+          case 0:
+            skip.page_index = static_cast<uint32_t>(rng.Next64());
+            break;
+          case 1:
+            skip.first_id = dewey::DeweyId(
+                {static_cast<uint32_t>(rng.Uniform(10)),
+                 static_cast<uint32_t>(rng.Uniform(10))});
+            break;
+          case 2:
+            skip.first_id = dewey::DeweyId({});
+            break;
+          default:
+            break;  // leave intact
+        }
+      }
+      scrambled.Add(term, std::move(info));
+    }
+    storage::BufferPool pool(built.file.get(), 64, nullptr);
+    query::DilQueryProcessor processor(&pool, &scrambled,
+                                       query::ScoringOptions{},
+                                       /*use_skip_blocks=*/true);
+    auto response = processor.Execute({"xql", "language"}, 5);
+    (void)response;  // ok() either way; just must not crash or hang
+  }
+}
+
 TEST(CorruptionTest, IndexOpenRejectsCorruptedPages) {
   // Build a real DIL index, then flip bytes in its pages and reopen/query.
   auto corpus =

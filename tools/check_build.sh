@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure with warnings-as-errors (-Wall -Wextra
 # -Werror), build everything, and run the full test suite. Fails on any
-# compiler warning or test failure.
+# compiler warning or test failure. Set XRANK_CHECK_ROBUSTNESS=1 to also
+# run the sanitized fault-injection/corruption gate (check_robustness.sh).
 #
 #   tools/check_build.sh [build-dir]
 
@@ -13,5 +14,8 @@ cd "$ROOT"
 
 cmake -B "$DIR" -S . -DXRANK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$DIR" -j "$(nproc)"
-cd "$DIR"
-ctest --output-on-failure -j "$(nproc)"
+(cd "$DIR" && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${XRANK_CHECK_ROBUSTNESS:-0}" == "1" ]]; then
+  tools/check_robustness.sh
+fi

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Robustness gate: runs the fault-injection and corruption suites under
+# AddressSanitizer and UndefinedBehaviorSanitizer. Injected faults must
+# never produce a crash, hang, out-of-bounds access, or UB — only clean
+# Status errors (or retried success) — and the sanitizers enforce exactly
+# that over every failpoint schedule the tests drive.
+#
+#   tools/check_robustness.sh [extra ctest args...]
+#
+# Reuses run_sanitized_tests.sh (XRANK_SANITIZE build dirs build-asan /
+# build-ubsan), filtered to the failure-path suites.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+FILTER='CorruptionTest|FaultInjectionTest'
+
+for SAN in address undefined; do
+  echo "=== robustness suites under ${SAN} sanitizer ==="
+  tools/run_sanitized_tests.sh "$SAN" -R "$FILTER" --output-on-failure "$@"
+done
+
+echo "robustness check OK"

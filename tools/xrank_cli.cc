@@ -9,6 +9,11 @@
 //     --answer-nodes=tag1,tag2,...                (Section 2.2 answer nodes)
 //     --query="..."                               (one-shot; else REPL)
 //
+//   xrank_cli verify [--disk-dir=]<index-dir>
+//     Offline integrity check of a committed index directory: validates the
+//     MANIFEST, then every file's page count, per-page checksums, and
+//     whole-file CRC. Reports the first bad page of each damaged file.
+//
 // Example:
 //   ./build/tools/xrank_cli --top=5 corpus/*.xml
 //   > xql language
@@ -21,6 +26,7 @@
 
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "index/manifest.h"
 #include "xml/parser.h"
 
 namespace {
@@ -111,16 +117,81 @@ void PrintResponse(const EngineResponse& response) {
               response.stats.switched_to_dil ? ", switched to DIL" : "");
 }
 
+// `xrank_cli verify <dir>`: offline integrity check of a committed index
+// directory. Exit 0 when every file matches the MANIFEST, 1 on any damage
+// (reporting the first bad page per file), 2 on usage errors.
+int RunVerify(int argc, char** argv) {
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (xrank::StartsWith(arg, "--disk-dir=")) {
+      dir = arg.substr(11);
+    } else if (!xrank::StartsWith(arg, "--") && dir.empty()) {
+      dir = arg;
+    } else {
+      dir.clear();
+      break;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: %s verify [--disk-dir=]<index-dir>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto manifest = xrank::index::ReadManifestFile(dir);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s: %s\n", dir.c_str(),
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: MANIFEST lists %zu committed file(s)\n", dir.c_str(),
+              manifest->entries.size());
+  int damaged = 0;
+  for (const auto& entry : manifest->entries) {
+    xrank::storage::PageId first_bad = xrank::storage::kInvalidPage;
+    xrank::Status status =
+        xrank::index::VerifyManifestEntry(dir, entry, &first_bad);
+    if (status.ok()) {
+      std::printf("  %-16s %-10s %6u pages  crc %08x  OK\n",
+                  entry.file.c_str(),
+                  std::string(xrank::index::IndexKindName(entry.kind)).c_str(),
+                  entry.page_count, entry.crc);
+      continue;
+    }
+    ++damaged;
+    if (first_bad != xrank::storage::kInvalidPage) {
+      std::printf("  %-16s DAMAGED (first bad page %u): %s\n",
+                  entry.file.c_str(), first_bad,
+                  status.ToString().c_str());
+    } else {
+      std::printf("  %-16s DAMAGED: %s\n", entry.file.c_str(),
+                  status.ToString().c_str());
+    }
+  }
+  if (damaged > 0) {
+    std::printf("verification FAILED: %d of %zu file(s) damaged\n", damaged,
+                manifest->entries.size());
+    return 1;
+  }
+  std::printf("verification OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
+    return RunVerify(argc, argv);
+  }
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) {
     std::fprintf(stderr,
                  "usage: %s [--index=dil|rdil|hdil|naive-id|naive-rank] "
                  "[--top=N] [--disjunctive] [--tfidf] "
-                 "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n",
-                 argv[0]);
+                 "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
+                 "       %s verify [--disk-dir=]<index-dir>\n",
+                 argv[0], argv[0]);
     return 2;
   }
 
