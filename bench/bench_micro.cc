@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "dewey/codec.h"
 #include "index/analyzer.h"
@@ -200,13 +202,40 @@ BENCHMARK(BM_DeweyStackMerge);
 }  // namespace
 }  // namespace xrank
 
+// Splices `,"xrank_metrics": {...}` (a metrics-registry snapshot) before
+// the final '}' of the google-benchmark JSON file, so perf artifacts carry
+// the counter/histogram context without fighting the library for the
+// reporter.
+static void AppendRegistryToJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  size_t close = content.find_last_of('}');
+  if (close == std::string::npos) return;
+  std::string registry = xrank::metrics::RenderJson(
+      xrank::metrics::Registry::Instance().Snapshot());
+  content.insert(close, ",\n\"xrank_metrics\": " + registry + "\n");
+  f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+}
+
 // Custom main so `--json <path>` (the flag shared by the bench binaries)
 // maps onto google-benchmark's JSON reporter.
 int main(int argc, char** argv) {
   std::vector<std::string> arg_storage;
   std::vector<char*> args;
+  std::string json_path;
   for (int i = 0; i < argc; ++i) {
     if (i + 1 < argc && std::string(argv[i]) == "--json") {
+      json_path = argv[i + 1];
       arg_storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
       arg_storage.push_back("--benchmark_out_format=json");
       ++i;
@@ -223,5 +252,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty()) AppendRegistryToJson(json_path);
   return 0;
 }

@@ -240,5 +240,7 @@ int main(int argc, char** argv) {
     PrintRule();
   }
 
+  report.SetRegistrySnapshot(
+      metrics::RenderJson(metrics::Registry::Instance().Snapshot()));
   return report.Write() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "datagen/dblp_gen.h"
 #include "datagen/workload.h"
@@ -168,6 +169,13 @@ class JsonReport {
     metrics_.emplace_back(name, value);
   }
 
+  // Attaches a process-wide metrics-registry snapshot (the RenderJson
+  // output) to the report, written as a "registry" section so perf runs
+  // carry their counter/histogram context alongside the headline numbers.
+  void SetRegistrySnapshot(std::string registry_json) {
+    registry_json_ = std::move(registry_json);
+  }
+
   // Consumes a `--json <path>` argument pair from argv (in place) and
   // remembers the path. Returns argc with the pair removed. Call before
   // handing argv to any other flag parser. Exits with an error if --json
@@ -208,7 +216,12 @@ class JsonReport {
       std::fprintf(f, "    \"%s\": %.6f%s\n", metrics_[i].first.c_str(),
                    metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
     }
-    std::fprintf(f, "  }\n}\n");
+    if (registry_json_.empty()) {
+      std::fprintf(f, "  }\n}\n");
+    } else {
+      std::fprintf(f, "  },\n  \"registry\": %s\n}\n",
+                   registry_json_.c_str());
+    }
     std::fclose(f);
     std::printf("JSON report written to %s\n", path_.c_str());
     return true;
@@ -218,6 +231,7 @@ class JsonReport {
   std::string bench_name_;
   std::string path_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::string registry_json_;
 };
 
 }  // namespace xrank::bench

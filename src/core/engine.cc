@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 #include "core/result_cache.h"
 #include "index/dil_index.h"
 #include "index/manifest.h"
@@ -32,6 +34,84 @@ Result<std::unique_ptr<storage::PageFile>> MakePageFile(
   std::string path =
       options.disk_dir + "/" + IndexFileName(kind) + ".tmp";
   return storage::PageFile::CreateOnDisk(path);
+}
+
+// Registry handles for the serving path, resolved once per process (the
+// registry outlives every engine). These aggregate what the per-engine /
+// per-pool counters attribute: the registry is the process-wide view.
+struct EngineMetrics {
+  metrics::Counter* queries = nullptr;
+  metrics::Counter* errors = nullptr;
+  metrics::Counter* deadline_exceeded = nullptr;
+  metrics::Counter* partial = nullptr;
+  metrics::Counter* cache_hit = nullptr;
+  metrics::Counter* postings_scanned = nullptr;
+  metrics::Counter* pages_skipped = nullptr;
+  metrics::Counter* btree_probes = nullptr;
+  metrics::Counter* hash_probes = nullptr;
+  metrics::Counter* rounds = nullptr;
+  metrics::Counter* switched_to_dil = nullptr;
+  metrics::Counter* sequential_reads = nullptr;
+  metrics::Counter* random_reads = nullptr;
+  metrics::Counter* slow_queries = nullptr;
+  metrics::Gauge* slow_query_log_size = nullptr;
+  metrics::Histogram* latency_us = nullptr;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics* m = [] {
+      auto& registry = metrics::Registry::Instance();
+      auto* em = new EngineMetrics();
+      em->queries = registry.GetCounter("query.count");
+      em->errors = registry.GetCounter("query.errors");
+      em->deadline_exceeded = registry.GetCounter("query.deadline_exceeded");
+      em->partial = registry.GetCounter("query.partial");
+      em->cache_hit = registry.GetCounter("query.result_cache_hit");
+      em->postings_scanned = registry.GetCounter("query.postings_scanned");
+      em->pages_skipped = registry.GetCounter("query.pages_skipped");
+      em->btree_probes = registry.GetCounter("query.btree_probes");
+      em->hash_probes = registry.GetCounter("query.hash_probes");
+      em->rounds = registry.GetCounter("query.rounds");
+      em->switched_to_dil = registry.GetCounter("query.switched_to_dil");
+      em->sequential_reads = registry.GetCounter("query.sequential_reads");
+      em->random_reads = registry.GetCounter("query.random_reads");
+      em->slow_queries = registry.GetCounter("engine.slow_queries");
+      em->slow_query_log_size =
+          registry.GetGauge("engine.slow_query_log_entries");
+      em->latency_us = registry.GetHistogram("query.latency_us");
+      return em;
+    }();
+    return *m;
+  }
+};
+
+// Folds one finished query's stats into the registry. This is the "one
+// source of truth" bridge: QueryStats keeps its per-query API, and every
+// field also lands here so a registry snapshot diff reproduces it.
+void RecordQueryMetrics(const query::QueryStats& stats) {
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.queries->Increment();
+  m.postings_scanned->Increment(stats.postings_scanned);
+  m.pages_skipped->Increment(stats.pages_skipped);
+  m.btree_probes->Increment(stats.btree_probes);
+  m.hash_probes->Increment(stats.hash_probes);
+  m.rounds->Increment(stats.rounds);
+  m.sequential_reads->Increment(stats.sequential_reads);
+  m.random_reads->Increment(stats.random_reads);
+  if (stats.switched_to_dil) m.switched_to_dil->Increment();
+  if (stats.partial) m.partial->Increment();
+  if (stats.result_cache_hit) m.cache_hit->Increment();
+  m.latency_us->Observe(static_cast<uint64_t>(stats.wall_ms * 1e3));
+}
+
+// Feeds each trace span into its per-stage latency histogram
+// (query.stage.<name>_us). Only runs for traced queries; the name lookup
+// takes the registry mutex, which is fine off the hot path.
+void RecordStageMetrics(const query::QueryTrace& trace) {
+  auto& registry = metrics::Registry::Instance();
+  for (const query::QueryTrace::Span& span : trace.spans()) {
+    registry.GetHistogram("query.stage." + span.name + "_us")
+        ->Observe(static_cast<uint64_t>(span.duration_us));
+  }
 }
 
 }  // namespace
@@ -394,6 +474,7 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
 Result<EngineResponse> XRankEngine::QueryKeywords(
     const std::vector<std::string>& keywords, size_t m, index::IndexKind kind,
     const query::QueryOptions& query_options) {
+  WallTimer wall;
   // Shared against DeleteDocument/CompactDeletions; concurrent queries all
   // hold the lock in shared mode and proceed in parallel.
   std::shared_lock<std::shared_mutex> state_lock(state_mutex_);
@@ -415,11 +496,33 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
     normalized.push_back(std::move(term));
   }
 
+  // With the slow-query log armed and no caller-supplied trace, trace the
+  // query internally so the log always has a per-stage breakdown.
+  query::QueryTrace* trace = query_options.trace;
+  std::unique_ptr<query::QueryTrace> local_trace;
+  if (trace == nullptr && options_.slow_query_ms != 0) {
+    local_trace = std::make_unique<query::QueryTrace>();
+    trace = local_trace.get();
+  }
+  if (trace != nullptr) {
+    std::string text;
+    for (const std::string& term : normalized) {
+      if (!text.empty()) text += ' ';
+      text += term;
+    }
+    trace->set_query_text(std::move(text));
+    trace->set_index_kind(std::string(index::IndexKindName(kind)));
+  }
+  query::QueryOptions exec_options = query_options;
+  exec_options.trace = trace;
+  const EngineMetrics& metrics = EngineMetrics::Get();
+
   // Fast path: a repeated (terms, m, kind) query is answered from the
   // result cache without touching the index. Writers invalidate the cache
   // under the exclusive lock, so anything found here is current.
   std::string cache_key;
   if (result_cache_ != nullptr) {
+    query::ScopedSpan cache_span(trace, "cache");
     cache_key = ResultCache::MakeKey(normalized, m, kind);
     EngineResponse cached;
     if (result_cache_->Lookup(cache_key, &cached)) {
@@ -427,6 +530,9 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
       // misleading here.
       cached.stats = query::QueryStats{};
       cached.stats.result_cache_hit = true;
+      cache_span.End();
+      RecordQueryMetrics(cached.stats);
+      if (trace != nullptr) RecordStageMetrics(*trace);
       return cached;
     }
   }
@@ -450,34 +556,37 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
     switch (kind) {
       case index::IndexKind::kDil: {
         query::DilQueryProcessor processor(pool, lexicon, options_.scoring);
-        return processor.Execute(normalized, fetch_m, query_options);
+        return processor.Execute(normalized, fetch_m, exec_options);
       }
       case index::IndexKind::kRdil: {
         query::RdilQueryProcessor processor(pool, lexicon, options_.scoring);
-        return processor.Execute(normalized, fetch_m, query_options);
+        return processor.Execute(normalized, fetch_m, exec_options);
       }
       case index::IndexKind::kHdil: {
         query::HdilQueryProcessor processor(pool, lexicon, options_.scoring,
                                             options_.hdil_strategy);
-        return processor.Execute(normalized, fetch_m, query_options);
+        return processor.Execute(normalized, fetch_m, exec_options);
       }
       case index::IndexKind::kNaiveId: {
         query::NaiveIdQueryProcessor processor(pool, lexicon,
                                                options_.scoring);
-        return processor.Execute(normalized, fetch_m, query_options);
+        return processor.Execute(normalized, fetch_m, exec_options);
       }
       case index::IndexKind::kNaiveRank: {
         query::NaiveRankQueryProcessor processor(pool, lexicon,
                                                  options_.scoring);
-        return processor.Execute(normalized, fetch_m, query_options);
+        return processor.Execute(normalized, fetch_m, exec_options);
       }
     }
     return Status::Internal("unreachable index kind");
   };
   Result<query::QueryResponse> executed = run();
   if (!executed.ok()) {
+    metrics.queries->Increment();
+    metrics.errors->Increment();
     if (executed.status().code() == StatusCode::kDeadlineExceeded) {
       deadline_exceeded_queries_.fetch_add(1, std::memory_order_relaxed);
+      metrics.deadline_exceeded->Increment();
     }
     return executed.status();
   }
@@ -485,14 +594,65 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
   if (response.stats.partial) {
     partial_result_queries_.fetch_add(1, std::memory_order_relaxed);
   }
-  XRANK_ASSIGN_OR_RETURN(EngineResponse decorated,
-                         Decorate(std::move(response), kind, m));
+  Result<EngineResponse> decorate_result = [&] {
+    query::ScopedSpan span(trace, "decorate");
+    return Decorate(std::move(response), kind, m);
+  }();
+  XRANK_RETURN_NOT_OK(decorate_result.status());
+  EngineResponse decorated = std::move(decorate_result).value();
   // A partial response reflects this query's budget, not the index: caching
   // it would serve truncated results to later unconstrained queries.
   if (result_cache_ != nullptr && !decorated.stats.partial) {
     result_cache_->Insert(cache_key, decorated);
   }
+  RecordQueryMetrics(decorated.stats);
+  if (trace != nullptr) RecordStageMetrics(*trace);
+
+  double wall_ms = wall.ElapsedSeconds() * 1e3;
+  if (options_.slow_query_ms != 0 && trace != nullptr &&
+      wall_ms >= static_cast<double>(options_.slow_query_ms)) {
+    SlowQueryEntry entry;
+    entry.query = trace->query_text();
+    entry.kind = kind;
+    entry.wall_ms = wall_ms;
+    // Copy, not move: a caller-supplied trace stays theirs to render.
+    entry.trace = *trace;
+    RecordSlowQuery(std::move(entry));
+  }
   return decorated;
+}
+
+void XRankEngine::RecordSlowQuery(SlowQueryEntry entry) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  std::lock_guard<std::mutex> lock(slow_query_mutex_);
+  if (options_.slow_query_log_entries == 0) return;
+  if (slow_query_ring_.size() < options_.slow_query_log_entries) {
+    slow_query_ring_.push_back(std::move(entry));
+  } else {
+    slow_query_ring_[slow_query_next_] = std::move(entry);
+    slow_query_next_ = (slow_query_next_ + 1) % slow_query_ring_.size();
+  }
+  ++slow_query_total_;
+  metrics.slow_queries->Increment();
+  metrics.slow_query_log_size->Set(
+      static_cast<int64_t>(slow_query_ring_.size()));
+}
+
+std::vector<XRankEngine::SlowQueryEntry> XRankEngine::slow_queries() const {
+  std::lock_guard<std::mutex> lock(slow_query_mutex_);
+  std::vector<SlowQueryEntry> out;
+  out.reserve(slow_query_ring_.size());
+  // slow_query_next_ is the oldest entry once the ring has wrapped.
+  for (size_t i = 0; i < slow_query_ring_.size(); ++i) {
+    out.push_back(
+        slow_query_ring_[(slow_query_next_ + i) % slow_query_ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t XRankEngine::slow_query_count() const {
+  std::lock_guard<std::mutex> lock(slow_query_mutex_);
+  return slow_query_total_;
 }
 
 XRankEngine::ServingCounters XRankEngine::serving_counters(
@@ -554,10 +714,13 @@ Result<EngineResponse> XRankEngine::Query(
     std::string_view query_text, size_t m, index::IndexKind kind,
     const query::QueryOptions& query_options) {
   std::vector<std::string> keywords;
-  uint32_t position = 0;
-  for (index::Analyzer::Token& token :
-       analyzer_.Tokenize(query_text, &position)) {
-    keywords.push_back(std::move(token.term));
+  {
+    query::ScopedSpan span(query_options.trace, "parse");
+    uint32_t position = 0;
+    for (index::Analyzer::Token& token :
+         analyzer_.Tokenize(query_text, &position)) {
+      keywords.push_back(std::move(token.term));
+    }
   }
   if (keywords.empty()) {
     return Status::InvalidArgument("query contains no keywords");

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "graph/builder.h"
+#include "query/trace.h"
 #include "graph/graph.h"
 #include "index/hdil_index.h"
 #include "index/index_builder.h"
@@ -68,6 +69,16 @@ struct EngineOptions {
   // results — see query::QueryOptions); overridable per call through the
   // Query/QueryKeywords overloads.
   query::QueryOptions query;
+
+  // Queries at least this slow (end-to-end wall-clock, milliseconds) are
+  // recorded with their full trace — per-stage spans and per-term counters
+  // — into a ring buffer of the last `slow_query_log_entries` offenders
+  // (XRankEngine::slow_queries). When the caller did not attach its own
+  // trace, the engine traces such queries internally, so the log always has
+  // a breakdown. 0 disables the log; a negative threshold logs every query
+  // (deterministic test hook).
+  int64_t slow_query_ms = 0;
+  size_t slow_query_log_entries = 64;
 
   // When re-opening a committed index directory (Open), re-read every page
   // and compare the whole-file checksums against the MANIFEST before
@@ -203,6 +214,17 @@ class XRankEngine {
   };
   ServingCounters serving_counters(index::IndexKind kind) const;
 
+  // --- slow-query log (EngineOptions::slow_query_ms) ---
+  struct SlowQueryEntry {
+    std::string query;       // space-joined normalized keywords
+    index::IndexKind kind;
+    double wall_ms = 0.0;    // end-to-end, including decoration
+    query::QueryTrace trace;
+  };
+  // Snapshot of the ring buffer, oldest first.
+  std::vector<SlowQueryEntry> slow_queries() const;
+  uint64_t slow_query_count() const;  // total recorded, including evicted
+
  private:
   XRankEngine() = default;
 
@@ -246,6 +268,14 @@ class XRankEngine {
   // Deadline outcomes, incremented under the shared lock.
   mutable std::atomic<uint64_t> deadline_exceeded_queries_{0};
   mutable std::atomic<uint64_t> partial_result_queries_{0};
+  // Slow-query ring buffer: fills to capacity, then overwrites the oldest
+  // entry (slow_query_next_). Guarded by its own mutex — recording a slow
+  // query must not serialize concurrent fast queries.
+  void RecordSlowQuery(SlowQueryEntry entry);
+  mutable std::mutex slow_query_mutex_;
+  std::vector<SlowQueryEntry> slow_query_ring_;
+  size_t slow_query_next_ = 0;
+  uint64_t slow_query_total_ = 0;
   // Readers: Query paths. Writers: DeleteDocument / CompactDeletions.
   mutable std::shared_mutex state_mutex_;
 };

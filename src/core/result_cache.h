@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 
 namespace xrank::core {
@@ -72,6 +73,10 @@ class ResultCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> lookups_{0};
+  // Process-wide aggregates mirroring the per-cache atomics above.
+  metrics::Counter* registry_hits_;
+  metrics::Counter* registry_lookups_;
+  metrics::Counter* registry_insertions_;
 };
 
 }  // namespace xrank::core

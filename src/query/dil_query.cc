@@ -6,6 +6,7 @@
 #include "query/dewey_stack.h"
 #include "query/posting_cursor.h"
 #include "query/result_heap.h"
+#include "query/trace.h"
 
 namespace xrank::query {
 
@@ -63,6 +64,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   WallTimer timer;
   CostSnapshot before = TakeSnapshot(pool_->cost_model());
   QueryResponse response;
+  QueryTrace* trace = options.trace;
 
   // Skipping a document is only sound when a document missing one keyword
   // can contribute nothing — i.e. under conjunctive semantics.
@@ -70,16 +72,27 @@ Result<QueryResponse> DilQueryProcessor::Execute(
       use_skip_blocks_ && scoring_.semantics == QuerySemantics::kConjunctive;
 
   // A keyword absent from the collection makes the conjunction empty.
-  std::vector<PostingCursor> cursors;
-  cursors.reserve(keywords.size());
-  for (const std::string& keyword : keywords) {
-    const index::TermInfo* info = lexicon_->Find(keyword);
-    if (info == nullptr) {
-      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
-      return response;
+  std::vector<const index::TermInfo*> infos;
+  infos.reserve(keywords.size());
+  {
+    ScopedSpan span(trace, "lexicon");
+    for (const std::string& keyword : keywords) {
+      const index::TermInfo* info = lexicon_->Find(keyword);
+      if (info == nullptr) {
+        response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+        return response;
+      }
+      infos.push_back(info);
     }
-    cursors.emplace_back(pool_, info, skipping);
-    cursors.back().set_deadline(deadline);
+  }
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(infos.size());
+  {
+    ScopedSpan span(trace, "cursor_open");
+    for (const index::TermInfo* info : infos) {
+      cursors.emplace_back(pool_, info, skipping);
+      cursors.back().set_deadline(deadline);
+    }
   }
 
   TopKAccumulator accumulator(m);
@@ -95,6 +108,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   // The merge runs inside a lambda so a DeadlineExceeded from any depth —
   // the per-iteration checks here or the skip scan inside PostingCursor —
   // unwinds to one place where the partial-results decision is made.
+  ScopedSpan merge_span(trace, "merge");
   Status merge_status = [&]() -> Status {
     for (size_t k = 0; k < cursors.size(); ++k) {
       XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
@@ -170,6 +184,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
     }
     return Status::OK();
   }();
+  merge_span.End();
   if (!merge_status.ok()) {
     if (merge_status.code() != StatusCode::kDeadlineExceeded ||
         !options.allow_partial_results) {
@@ -177,12 +192,21 @@ Result<QueryResponse> DilQueryProcessor::Execute(
     }
     response.stats.partial = true;  // serve the top-k gathered so far
   }
-  merger.Flush();
-
-  response.results = accumulator.TakeTop();
+  {
+    ScopedSpan span(trace, "rank");
+    merger.Flush();
+    response.results = accumulator.TakeTop();
+  }
   response.stats.postings_scanned = merger.postings_consumed();
-  for (const PostingCursor& cursor : cursors) {
-    response.stats.pages_skipped += cursor.pages_skipped();
+  for (size_t k = 0; k < cursors.size(); ++k) {
+    response.stats.pages_skipped += cursors[k].pages_skipped();
+    if (trace != nullptr) {
+      QueryTrace::TermStats term;
+      term.term = keywords[k];
+      term.postings_read = cursors[k].postings_read();
+      term.pages_skipped = cursors[k].pages_skipped();
+      trace->AddTermStats(std::move(term));
+    }
   }
   response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
   FillIoStats(pool_->cost_model(), before, &response.stats);

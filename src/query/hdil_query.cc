@@ -8,6 +8,7 @@
 #include "query/dewey_stack.h"
 #include "query/dil_query.h"
 #include "query/result_heap.h"
+#include "query/trace.h"
 #include "storage/btree.h"
 
 namespace xrank::query {
@@ -133,26 +134,36 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   const storage::CostModel* model = pool_->cost_model();
   CostSnapshot before = TakeSnapshot(model);
   QueryResponse response;
+  QueryTrace* trace = options.trace;
   size_t n = keywords.size();
 
   std::vector<const index::TermInfo*> infos(n);
+  {
+    ScopedSpan span(trace, "lexicon");
+    for (size_t k = 0; k < n; ++k) {
+      infos[k] = lexicon_->Find(keywords[k]);
+      if (infos[k] == nullptr) {
+        response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+        return response;
+      }
+    }
+  }
   std::vector<index::PostingListCursor> rank_cursors;
   rank_cursors.reserve(n);
   double dil_cost_estimate = 0.0;
-  for (size_t k = 0; k < n; ++k) {
-    infos[k] = lexicon_->Find(keywords[k]);
-    if (infos[k] == nullptr) {
-      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
-      return response;
+  {
+    ScopedSpan span(trace, "cursor_open");
+    for (size_t k = 0; k < n; ++k) {
+      rank_cursors.emplace_back(pool_, infos[k]->rank_list,
+                                /*delta_encode_ids=*/false);
+      // DIL's cost is predictable a priori: a full sequential scan of each
+      // keyword's inverted list (paper Section 4.4.2).
+      double seq_cost =
+          model != nullptr ? model->options().sequential_read_cost : 1.0;
+      dil_cost_estimate += seq_cost * infos[k]->list.page_count;
     }
-    rank_cursors.emplace_back(pool_, infos[k]->rank_list,
-                              /*delta_encode_ids=*/false);
-    // DIL's cost is predictable a priori: a full sequential scan of each
-    // keyword's inverted list (paper Section 4.4.2).
-    double seq_cost =
-        model != nullptr ? model->options().sequential_read_cost : 1.0;
-    dil_cost_estimate += seq_cost * infos[k]->list.page_count;
   }
+  std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
 
@@ -163,11 +174,15 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     };
     std::vector<Hit> hits;
     for (size_t k = 0; k < n; ++k) {
+      size_t before_scan = hits.size();
       XRANK_RETURN_NOT_OK(HdilScanPrefix(
           pool_, *infos[k], lcp, [&](const index::Posting& posting) {
             hits.push_back(Hit{k, posting});
             return true;
           }));
+      if (trace != nullptr) {
+        term_stats[k].postings_read += hits.size() - before_scan;
+      }
     }
     response.stats.postings_scanned += hits.size();
     std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
@@ -186,6 +201,7 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   };
 
   // --- RDIL mode over the rank-ordered prefix lists ---
+  ScopedSpan merge_span(trace, "merge");
   QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
   size_t next_list = 0;
@@ -214,6 +230,7 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     }
     ++response.stats.postings_scanned;
     ++response.stats.rounds;
+    if (trace != nullptr) ++term_stats[k].postings_read;
     last_rank[k] = entry.elem_rank;
 
     size_t lcp_len = entry.id.depth();
@@ -223,6 +240,7 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
                              HdilLongestCommonPrefix(pool_, *infos[j],
                                                      entry.id));
       ++response.stats.btree_probes;
+      if (trace != nullptr) ++term_stats[j].btree_probes;
       lcp_len = std::min(lcp_len, cpl);
     }
     if (lcp_len >= 1) {
@@ -284,19 +302,33 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     }
   }
 
+  merge_span.End();
+  // The per-term stats of the TA phase are recorded whether or not the
+  // query falls back: the fallback's DIL cursors append their own rows.
+  if (trace != nullptr) {
+    for (size_t k = 0; k < n; ++k) {
+      term_stats[k].term = keywords[k];
+      trace->AddTermStats(std::move(term_stats[k]));
+    }
+  }
   if (expired) {
     response.stats.partial = true;
+    ScopedSpan span(trace, "rank");
     response.results = accumulator.TakeTop();
   } else if (switch_to_dil) {
     // The fallback rescans under the SAME deadline object, so the overall
-    // budget is honored even when the switch happens late.
+    // budget is honored even when the switch happens late. Its spans nest
+    // under dil_fallback in the trace.
+    ScopedSpan span(trace, "dil_fallback");
     XRANK_ASSIGN_OR_RETURN(QueryResponse dil_response,
                            ExecuteDil(keywords, m, options, &deadline));
     response.results = std::move(dil_response.results);
     response.stats.postings_scanned += dil_response.stats.postings_scanned;
+    response.stats.pages_skipped += dil_response.stats.pages_skipped;
     response.stats.switched_to_dil = true;
     response.stats.partial = dil_response.stats.partial;
   } else {
+    ScopedSpan span(trace, "rank");
     response.results = accumulator.TakeTop();
   }
   response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;

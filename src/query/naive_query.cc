@@ -8,6 +8,7 @@
 #include "index/naive_index.h"
 #include "query/proximity.h"
 #include "query/result_heap.h"
+#include "query/trace.h"
 
 namespace xrank::query {
 
@@ -77,26 +78,41 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
   WallTimer timer;
   CostSnapshot before = TakeSnapshot(pool_->cost_model());
   QueryResponse response;
+  QueryTrace* trace = options.trace;
   size_t n = keywords.size();
 
+  std::vector<const index::TermInfo*> infos(n);
+  {
+    ScopedSpan span(trace, "lexicon");
+    for (size_t k = 0; k < n; ++k) {
+      infos[k] = lexicon_->Find(keywords[k]);
+      if (infos[k] == nullptr) {
+        response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+        return response;
+      }
+    }
+  }
   std::vector<index::PostingListCursor> cursors;
   cursors.reserve(n);
-  for (const std::string& keyword : keywords) {
-    const index::TermInfo* info = lexicon_->Find(keyword);
-    if (info == nullptr) {
-      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
-      return response;
+  {
+    ScopedSpan span(trace, "cursor_open");
+    for (size_t k = 0; k < n; ++k) {
+      cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
     }
-    cursors.emplace_back(pool_, info->list, /*delta_encode_ids=*/false);
   }
+  std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
   std::vector<index::Posting> current(n);
   std::vector<bool> live(n, false);
+  ScopedSpan merge_span(trace, "merge");
   for (size_t k = 0; k < n; ++k) {
     XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
     live[k] = has;
-    if (has) ++response.stats.postings_scanned;
+    if (has) {
+      ++response.stats.postings_scanned;
+      if (trace != nullptr) ++term_stats[k].postings_read;
+    }
   }
 
   // Equality merge join on the element ordinal: advance the smallest; when
@@ -129,7 +145,10 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
       for (size_t k = 0; k < n; ++k) {
         XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
         live[k] = has;
-        if (has) ++response.stats.postings_scanned;
+        if (has) {
+          ++response.stats.postings_scanned;
+          if (trace != nullptr) ++term_stats[k].postings_read;
+        }
       }
       continue;
     }
@@ -137,12 +156,25 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
       while (live[k] && current[k].id.component(0) < max_ordinal) {
         XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
         live[k] = has;
-        if (has) ++response.stats.postings_scanned;
+        if (has) {
+          ++response.stats.postings_scanned;
+          if (trace != nullptr) ++term_stats[k].postings_read;
+        }
       }
     }
   }
 
-  response.results = accumulator.TakeTop();
+  merge_span.End();
+  {
+    ScopedSpan span(trace, "rank");
+    response.results = accumulator.TakeTop();
+  }
+  if (trace != nullptr) {
+    for (size_t k = 0; k < n; ++k) {
+      term_stats[k].term = keywords[k];
+      trace->AddTermStats(std::move(term_stats[k]));
+    }
+  }
   response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
   FillIoStats(pool_->cost_model(), before, &response.stats);
   return response;
@@ -167,21 +199,32 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
   WallTimer timer;
   CostSnapshot before = TakeSnapshot(pool_->cost_model());
   QueryResponse response;
+  QueryTrace* trace = options.trace;
   size_t n = keywords.size();
 
   std::vector<const index::TermInfo*> infos(n);
+  {
+    ScopedSpan span(trace, "lexicon");
+    for (size_t k = 0; k < n; ++k) {
+      infos[k] = lexicon_->Find(keywords[k]);
+      if (infos[k] == nullptr) {
+        response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+        return response;
+      }
+    }
+  }
   std::vector<index::PostingListCursor> cursors;
   cursors.reserve(n);
-  for (size_t k = 0; k < n; ++k) {
-    infos[k] = lexicon_->Find(keywords[k]);
-    if (infos[k] == nullptr) {
-      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
-      return response;
+  {
+    ScopedSpan span(trace, "cursor_open");
+    for (size_t k = 0; k < n; ++k) {
+      cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
     }
-    cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
   }
+  std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
+  ScopedSpan merge_span(trace, "merge");
   QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
   std::vector<bool> exhausted(n, false);
@@ -214,6 +257,7 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
     }
     ++response.stats.postings_scanned;
     ++response.stats.rounds;
+    if (trace != nullptr) ++term_stats[k].postings_read;
     last_rank[k] = entry.elem_rank;
 
     if (!accumulator.Contains(entry.id)) {
@@ -227,6 +271,7 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
       for (size_t j = 0; j < n && in_all; ++j) {
         if (j == k) continue;
         ++response.stats.hash_probes;
+        if (trace != nullptr) ++term_stats[j].hash_probes;
         XRANK_ASSIGN_OR_RETURN(
             std::optional<index::PostingLocation> loc,
             index::HashIndexLookup(pool_, *infos[j], ordinal));
@@ -239,6 +284,7 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
             index::ReadPostingAt(pool_, infos[j]->list, *loc,
                                  /*delta_encode_ids=*/false));
         ++response.stats.postings_scanned;
+        if (trace != nullptr) ++term_stats[j].postings_read;
       }
       if (in_all) {
         accumulator.Add(entry.id, NaiveScore(postings, scoring_));
@@ -262,7 +308,17 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
     }
   }
 
-  response.results = accumulator.TakeTop();
+  merge_span.End();
+  {
+    ScopedSpan span(trace, "rank");
+    response.results = accumulator.TakeTop();
+  }
+  if (trace != nullptr) {
+    for (size_t k = 0; k < n; ++k) {
+      term_stats[k].term = keywords[k];
+      trace->AddTermStats(std::move(term_stats[k]));
+    }
+  }
   response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
   FillIoStats(pool_->cost_model(), before, &response.stats);
   return response;

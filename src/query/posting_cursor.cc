@@ -10,7 +10,9 @@ PostingCursor::PostingCursor(storage::BufferPool* pool,
       skips_(use_skip_blocks ? &info->skips : nullptr) {}
 
 Result<bool> PostingCursor::Next(index::Posting* out) {
-  return cursor_.Next(out);
+  XRANK_ASSIGN_OR_RETURN(bool has, cursor_.Next(out));
+  if (has) ++postings_read_;
+  return has;
 }
 
 Result<bool> PostingCursor::SkipToDocument(uint32_t doc, index::Posting* out) {
@@ -40,6 +42,7 @@ Result<bool> PostingCursor::SkipToDocument(uint32_t doc, index::Posting* out) {
     if (deadline_ != nullptr) XRANK_RETURN_NOT_OK(deadline_->Check());
     XRANK_ASSIGN_OR_RETURN(bool has, cursor_.Next(out));
     if (!has) return false;
+    ++postings_read_;
     if (out->id.document_id() >= doc) return true;
   }
 }

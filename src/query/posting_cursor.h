@@ -47,6 +47,10 @@ class PostingCursor {
   // List pages the cursor jumped over without reading (skip efficacy).
   uint64_t pages_skipped() const { return pages_skipped_; }
 
+  // List entries decoded through this cursor, including those discarded by
+  // SkipToDocument's tail scan (per-term trace counter).
+  uint64_t postings_read() const { return postings_read_; }
+
   const index::ListExtent& extent() const { return cursor_.extent(); }
 
   // Attaches a cooperative budget: SkipToDocument's linear tail scan — the
@@ -59,6 +63,7 @@ class PostingCursor {
   const std::vector<index::SkipEntry>* skips_;  // null = skipping disabled
   QueryDeadline* deadline_ = nullptr;
   uint64_t pages_skipped_ = 0;
+  uint64_t postings_read_ = 0;
 };
 
 }  // namespace xrank::query

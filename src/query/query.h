@@ -10,6 +10,8 @@
 
 namespace xrank::query {
 
+class QueryTrace;
+
 // Per-query execution limits, checked cooperatively inside the merge
 // loops and posting cursors (see query/deadline.h).
 struct QueryOptions {
@@ -25,6 +27,11 @@ struct QueryOptions {
   // same partial/DeadlineExceeded semantics as the deadline) as soon as a
   // check observes the flag set. The pointee must outlive the query.
   const std::atomic<bool>* cancel = nullptr;
+  // When non-null, the processors record per-stage spans (lexicon lookup,
+  // cursor open, merge, rank) and per-term posting/skip counters into this
+  // trace (see query/trace.h). Borrowed; must outlive the query. Null (the
+  // default) disables tracing at zero hot-path cost.
+  QueryTrace* trace = nullptr;
 };
 
 // Execution statistics common to all processors. I/O counts come from the

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "query/dewey_stack.h"
 #include "query/result_heap.h"
+#include "query/trace.h"
 #include "storage/btree.h"
 
 namespace xrank::query {
@@ -58,22 +59,32 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
   WallTimer timer;
   CostSnapshot before = TakeSnapshot(pool_->cost_model());
   QueryResponse response;
+  QueryTrace* trace = options.trace;
   size_t n = keywords.size();
 
   std::vector<const index::TermInfo*> infos(n);
+  {
+    ScopedSpan span(trace, "lexicon");
+    for (size_t k = 0; k < n; ++k) {
+      infos[k] = lexicon_->Find(keywords[k]);
+      if (infos[k] == nullptr) {
+        response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+        return response;
+      }
+    }
+  }
   std::vector<index::PostingListCursor> cursors;
   std::vector<storage::BtreeReader> btrees;
   cursors.reserve(n);
   btrees.reserve(n);
-  for (size_t k = 0; k < n; ++k) {
-    infos[k] = lexicon_->Find(keywords[k]);
-    if (infos[k] == nullptr) {
-      response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
-      return response;
+  {
+    ScopedSpan span(trace, "cursor_open");
+    for (size_t k = 0; k < n; ++k) {
+      cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
+      btrees.emplace_back(pool_, infos[k]->btree_root);
     }
-    cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
-    btrees.emplace_back(pool_, infos[k]->btree_root);
   }
+  std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
 
@@ -101,6 +112,7 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
                                  index::DecodePostingLocation(loc),
                                  /*delta_encode_ids=*/false));
         ++response.stats.postings_scanned;
+        if (trace != nullptr) ++term_stats[k].postings_read;
         hits.push_back(Hit{k, std::move(posting)});
       }
     }
@@ -122,6 +134,7 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
   };
 
   // Round-robin over the rank-ordered lists (Figure 7 lines 7-10).
+  ScopedSpan merge_span(trace, "merge");
   QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());
   std::vector<bool> exhausted(n, false);
@@ -156,6 +169,7 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
     }
     ++response.stats.postings_scanned;
     ++response.stats.rounds;
+    if (trace != nullptr) ++term_stats[k].postings_read;
     last_rank[k] = entry.elem_rank;
 
     // Deepest common prefix across all keywords (lines 11-16): probe each
@@ -166,6 +180,7 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
       XRANK_ASSIGN_OR_RETURN(size_t cpl,
                              btrees[j].LongestCommonPrefixWith(entry.id));
       ++response.stats.btree_probes;
+      if (trace != nullptr) ++term_stats[j].btree_probes;
       lcp_len = std::min(lcp_len, cpl);
     }
     if (lcp_len >= 1) {
@@ -191,7 +206,17 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
     }
   }
 
-  response.results = accumulator.TakeTop();
+  merge_span.End();
+  {
+    ScopedSpan span(trace, "rank");
+    response.results = accumulator.TakeTop();
+  }
+  if (trace != nullptr) {
+    for (size_t k = 0; k < n; ++k) {
+      term_stats[k].term = keywords[k];
+      trace->AddTermStats(std::move(term_stats[k]));
+    }
+  }
   response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
   FillIoStats(pool_->cost_model(), before, &response.stats);
   return response;

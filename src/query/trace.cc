@@ -1,0 +1,129 @@
+#include "query/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace xrank::query {
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  int n = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, std::min<size_t>(n, sizeof(buffer) - 1));
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+size_t QueryTrace::BeginSpan(std::string_view name) {
+  Span span;
+  span.name = std::string(name);
+  span.depth = static_cast<int>(open_stack_.size());
+  span.start_us = ElapsedUs();
+  span.open = true;
+  size_t handle = spans_.size();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(handle);
+  return handle;
+}
+
+void QueryTrace::EndSpan(size_t handle) {
+  if (handle >= spans_.size() || !spans_[handle].open) return;
+  Span& span = spans_[handle];
+  span.duration_us = ElapsedUs() - span.start_us;
+  span.open = false;
+  // Normal case: the span being closed is the innermost open one. Tolerate
+  // out-of-order closes by popping through it.
+  auto it = std::find(open_stack_.begin(), open_stack_.end(), handle);
+  if (it != open_stack_.end()) open_stack_.erase(it, open_stack_.end());
+}
+
+std::string QueryTrace::FormatTable() const {
+  std::string out;
+  if (!query_text_.empty()) {
+    AppendF(&out, "trace for \"%s\"", query_text_.c_str());
+    if (!index_kind_.empty()) AppendF(&out, " (%s)", index_kind_.c_str());
+    out += ":\n";
+  }
+  AppendF(&out, "  %-32s %12s %12s\n", "span", "start (us)", "dur (us)");
+  for (const Span& span : spans_) {
+    std::string label(static_cast<size_t>(span.depth) * 2, ' ');
+    label += span.name;
+    if (span.open) label += " (open)";
+    AppendF(&out, "  %-32s %12" PRId64 " %12" PRId64 "\n", label.c_str(),
+            span.start_us, span.duration_us);
+  }
+  if (!terms_.empty()) {
+    AppendF(&out, "  %-20s %10s %10s %8s %8s\n", "term", "postings",
+            "pg-skip", "btree", "hash");
+    for (const TermStats& term : terms_) {
+      AppendF(&out,
+              "  %-20s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %8" PRIu64
+              "\n",
+              term.term.c_str(), term.postings_read, term.pages_skipped,
+              term.btree_probes, term.hash_probes);
+    }
+  }
+  return out;
+}
+
+std::string QueryTrace::FormatJson() const {
+  std::string out = "{\"query\": ";
+  AppendJsonString(&out, query_text_);
+  out += ", \"kind\": ";
+  AppendJsonString(&out, index_kind_);
+  out += ", \"spans\": [";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": ";
+    AppendJsonString(&out, span.name);
+    AppendF(&out,
+            ", \"depth\": %d, \"start_us\": %" PRId64
+            ", \"duration_us\": %" PRId64 "}",
+            span.depth, span.start_us, span.duration_us);
+  }
+  out += "], \"terms\": [";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    const TermStats& term = terms_[i];
+    if (i > 0) out += ", ";
+    out += "{\"term\": ";
+    AppendJsonString(&out, term.term);
+    AppendF(&out,
+            ", \"postings_read\": %" PRIu64 ", \"pages_skipped\": %" PRIu64
+            ", \"btree_probes\": %" PRIu64 ", \"hash_probes\": %" PRIu64 "}",
+            term.postings_read, term.pages_skipped, term.btree_probes,
+            term.hash_probes);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xrank::query

@@ -24,7 +24,12 @@ size_t ResolveShardCount(size_t capacity_pages, size_t num_shards) {
 
 BufferPool::BufferPool(PageFile* file, size_t capacity_pages,
                        CostModel* cost_model, size_t num_shards)
-    : file_(file), capacity_(capacity_pages), cost_model_(cost_model) {
+    : file_(file),
+      capacity_(capacity_pages),
+      cost_model_(cost_model),
+      registry_hits_(metrics::Registry::Instance().GetCounter("pool.hits")),
+      registry_misses_(
+          metrics::Registry::Instance().GetCounter("pool.misses")) {
   XRANK_CHECK(file != nullptr, "BufferPool needs a file");
   XRANK_CHECK(capacity_pages > 0, "BufferPool capacity must be positive");
   size_t shards = ResolveShardCount(capacity_pages, num_shards);
@@ -61,12 +66,14 @@ Status BufferPool::Read(PageId page, Page* out) {
   auto it = shard.index.find(page);
   if (it != shard.index.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    registry_hits_->Increment();
     Frame& frame = shard.frames[it->second];
     frame.referenced = true;
     *out = frame.data;
     return Status::OK();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  registry_misses_->Increment();
   if (cost_model_ != nullptr) cost_model_->RecordRead(page);
   XRANK_RETURN_NOT_OK(file_->Read(page, out));
   size_t slot = ClaimFrame(&shard);

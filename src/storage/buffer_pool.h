@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "storage/cost_model.h"
 #include "storage/page_file.h"
@@ -81,6 +82,10 @@ class BufferPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  // Process-wide aggregates; the member atomics above stay the per-pool
+  // view that ServingCounters attributes to one index.
+  metrics::Counter* registry_hits_;
+  metrics::Counter* registry_misses_;
 };
 
 }  // namespace xrank::storage

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "storage/page.h"
 
 namespace xrank::storage {
@@ -29,7 +30,12 @@ struct CostModelOptions {
 // bit-for-bit.
 class CostModel {
  public:
-  explicit CostModel(CostModelOptions options = {}) : options_(options) {}
+  explicit CostModel(CostModelOptions options = {})
+      : options_(options),
+        io_sequential_(
+            metrics::Registry::Instance().GetCounter("io.sequential_reads")),
+        io_random_(
+            metrics::Registry::Instance().GetCounter("io.random_reads")) {}
 
   // Records a physical page read. A read is sequential if it extends one of
   // the recently active scan streams (page == stream tail + 1); this models
@@ -40,12 +46,14 @@ class CostModel {
     for (size_t i = 0; i < stream_count_; ++i) {
       if (page == streams_[i] + 1) {
         sequential_reads_.fetch_add(1, std::memory_order_relaxed);
+        io_sequential_->Increment();
         streams_[i] = page;
         MoveToFront(i);
         return;
       }
     }
     random_reads_.fetch_add(1, std::memory_order_relaxed);
+    io_random_->Increment();
     // Start (or replace the coldest) stream at this position.
     if (stream_count_ < kMaxStreams) ++stream_count_;
     for (size_t i = stream_count_; i-- > 1;) streams_[i] = streams_[i - 1];
@@ -98,6 +106,11 @@ class CostModel {
   }
 
   CostModelOptions options_;
+  // Process-wide registry aggregates alongside the per-model counters
+  // (which benches diff per query). Reset() clears only the per-model view;
+  // registry counters are monotonic for the process lifetime.
+  metrics::Counter* io_sequential_;
+  metrics::Counter* io_random_;
   std::mutex mutex_;
   std::atomic<uint64_t> sequential_reads_{0};
   std::atomic<uint64_t> random_reads_{0};

@@ -1,21 +1,83 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure with warnings-as-errors (-Wall -Wextra
-# -Werror), build everything, and run the full test suite. Fails on any
-# compiler warning or test failure. Set XRANK_CHECK_ROBUSTNESS=1 to also
-# run the sanitized fault-injection/corruption gate (check_robustness.sh).
+# Tier-1 verification driver: configure with warnings-as-errors (-Wall
+# -Wextra -Werror), build everything, and run the full test suite — plus
+# the optional gates CI runs as separate jobs. Every gate reports one
+# PASS/FAIL/SKIP line in the summary, later gates still run after a
+# failure, and the script exits non-zero if ANY gate failed (an earlier
+# version stopped at the first sub-script and could mask its exit code).
 #
 #   tools/check_build.sh [build-dir]
+#
+# Environment:
+#   XRANK_BUILD_TYPE=...        CMake build type (default RelWithDebInfo)
+#   XRANK_CHECK_FORMAT=1        also run the clang-format gate
+#   XRANK_CHECK_ROBUSTNESS=1    also run the sanitized fault-injection/
+#                               corruption gate (check_robustness.sh)
 
-set -euo pipefail
+set -uo pipefail
 
 DIR="${1:-build-check}"
+BUILD_TYPE="${XRANK_BUILD_TYPE:-RelWithDebInfo}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-cmake -B "$DIR" -S . -DXRANK_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$DIR" -j "$(nproc)"
-(cd "$DIR" && ctest --output-on-failure -j "$(nproc)")
+SUMMARY=()
+FAILED=0
+BUILD_OK=1
+
+run_gate() {
+  local name="$1"
+  shift
+  echo "=== gate: $name ==="
+  "$@"
+  local status=$?
+  if [[ $status -eq 0 ]]; then
+    SUMMARY+=("PASS  $name")
+  else
+    SUMMARY+=("FAIL  $name (exit $status)")
+    FAILED=1
+  fi
+  return $status
+}
+
+skip_gate() {
+  SUMMARY+=("SKIP  $1 ($2)")
+}
+
+if [[ "${XRANK_CHECK_FORMAT:-0}" == "1" ]]; then
+  run_gate format tools/check_format.sh
+else
+  skip_gate format "set XRANK_CHECK_FORMAT=1 to enable"
+fi
+
+run_gate configure cmake -B "$DIR" -S . -DXRANK_WERROR=ON \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" || BUILD_OK=0
+
+if [[ $BUILD_OK -eq 1 ]]; then
+  run_gate build cmake --build "$DIR" -j "$(nproc)" || BUILD_OK=0
+else
+  skip_gate build "configure failed"
+fi
+
+if [[ $BUILD_OK -eq 1 ]]; then
+  run_gate test bash -c "cd '$DIR' && ctest --output-on-failure -j \"\$(nproc)\""
+else
+  skip_gate test "build failed"
+fi
 
 if [[ "${XRANK_CHECK_ROBUSTNESS:-0}" == "1" ]]; then
-  tools/check_robustness.sh
+  run_gate robustness tools/check_robustness.sh
+else
+  skip_gate robustness "set XRANK_CHECK_ROBUSTNESS=1 to enable"
 fi
+
+echo
+echo "=== check_build summary ==="
+for line in "${SUMMARY[@]}"; do
+  echo "  $line"
+done
+if [[ $FAILED -ne 0 ]]; then
+  echo "check_build: FAIL"
+  exit 1
+fi
+echo "check_build: OK"

@@ -17,7 +17,15 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$DIR" -j "$(nproc)" --target bench_scaling
+cmake --build "$DIR" -j "$(nproc)" --target bench_scaling --target bench_micro
+
+# Micro-benchmark JSON (google-benchmark format + spliced metrics-registry
+# snapshot) rides along as a CI artifact for throughput trajectory tracking;
+# the gate below only reads the scaling report.
+# Plain-double min_time: the "0.05s" suffix form needs google-benchmark
+# >= 1.8, while the bare double parses everywhere.
+"$DIR/bench/bench_micro" --json "$DIR/check_perf_micro.json" \
+  --benchmark_min_time=0.05 > /dev/null
 
 JSON="$DIR/check_perf_scaling.json"
 "$DIR/bench/bench_scaling" --json "$JSON"

@@ -1,6 +1,6 @@
 // xrank_cli — index XML files and run interactive ranked keyword queries.
 //
-//   xrank_cli [options] <file.xml ...>
+//   xrank_cli [query] [options] <file.xml ...>
 //     --index=dil|rdil|hdil|naive-id|naive-rank   (default hdil)
 //     --top=N                                     (default 10)
 //     --disjunctive                               (OR semantics, DIL only)
@@ -8,6 +8,16 @@
 //                                                  instead of ElemRank)
 //     --answer-nodes=tag1,tag2,...                (Section 2.2 answer nodes)
 //     --query="..."                               (one-shot; else REPL)
+//     --trace                                     (per-stage timings and
+//                                                  per-term counters after
+//                                                  each query's results)
+//     --json                                      (with --trace: emit the
+//                                                  trace as JSON)
+//
+//   xrank_cli stats [--json] [options] <file.xml ...>
+//     Builds the index (running --query first if given) and dumps the
+//     process-wide metrics registry — query/IO/cache counters and latency
+//     histograms — as a table, or as strict JSON with --json.
 //
 //   xrank_cli verify [--disk-dir=]<index-dir>
 //     Offline integrity check of a committed index directory: validates the
@@ -24,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/engine.h"
 #include "index/manifest.h"
+#include "query/trace.h"
 #include "xml/parser.h"
 
 namespace {
@@ -41,6 +53,8 @@ struct CliOptions {
   size_t top = 10;
   bool disjunctive = false;
   bool tfidf = false;
+  bool trace = false;
+  bool json = false;
   std::vector<std::string> answer_nodes;
   std::string one_shot_query;
   std::vector<std::string> files;
@@ -63,8 +77,8 @@ bool ParseIndexKind(const std::string& name, IndexKind* kind) {
   return true;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
+bool ParseArgs(int argc, char** argv, CliOptions* options, int first = 1) {
+  for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (xrank::StartsWith(arg, "--index=")) {
       if (!ParseIndexKind(arg.substr(8), &options->kind)) {
@@ -78,6 +92,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->disjunctive = true;
     } else if (arg == "--tfidf") {
       options->tfidf = true;
+    } else if (arg == "--trace") {
+      options->trace = true;
+    } else if (arg == "--json") {
+      options->json = true;
     } else if (xrank::StartsWith(arg, "--answer-nodes=")) {
       for (auto piece : xrank::SplitString(arg.substr(15), ",")) {
         options->answer_nodes.emplace_back(piece);
@@ -178,71 +196,130 @@ int RunVerify(int argc, char** argv) {
   return 0;
 }
 
+// Shared by the query and stats subcommands: parse the files and build the
+// engine. Progress goes to stderr when `quiet` (stats --json keeps stdout
+// strictly JSON).
+xrank::Result<std::unique_ptr<XRankEngine>> BuildEngineFromCli(
+    CliOptions* cli, bool quiet) {
+  std::vector<xrank::xml::Document> docs;
+  for (const std::string& path : cli->files) {
+    auto doc = xrank::xml::ParseFile(path);
+    if (!doc.ok()) {
+      return xrank::Status(doc.status().code(),
+                           path + ": " + std::string(doc.status().message()));
+    }
+    docs.push_back(std::move(doc).value());
+  }
+
+  EngineOptions options;
+  options.indexes = {cli->kind};
+  options.answer_node_tags = cli->answer_nodes;
+  if (cli->disjunctive) {
+    options.scoring.semantics = xrank::query::QuerySemantics::kDisjunctive;
+    if (cli->kind != IndexKind::kDil) {
+      std::fprintf(stderr,
+                   "note: --disjunctive requires --index=dil; switching\n");
+      options.indexes = {IndexKind::kDil};
+      cli->kind = IndexKind::kDil;
+    }
+  }
+  if (cli->tfidf) {
+    options.extraction.rank_source = xrank::index::RankSource::kTfIdf;
+  }
+
+  auto engine = XRankEngine::Build(std::move(docs), options);
+  if (!engine.ok()) return engine.status();
+  std::fprintf(quiet ? stderr : stdout,
+               "indexed %zu documents, %zu elements, %zu hyperlinks "
+               "(%s, %s ranks)\n",
+               (*engine)->graph().document_count(),
+               (*engine)->graph().element_count(),
+               (*engine)->graph().total_hyperlink_count(),
+               std::string(xrank::index::IndexKindName(cli->kind)).c_str(),
+               cli->tfidf ? "tf-idf" : "ElemRank");
+  return engine;
+}
+
+void PrintUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [query] [--index=dil|rdil|hdil|naive-id|naive-rank] "
+               "[--top=N] [--disjunctive] [--tfidf] [--trace] [--json] "
+               "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
+               "       %s stats [--json] [options] <file.xml ...>\n"
+               "       %s verify [--disk-dir=]<index-dir>\n",
+               prog, prog, prog);
+}
+
+// `xrank_cli stats`: build the index, optionally run --query against it,
+// then dump the process-wide metrics registry.
+int RunStats(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli, 2)) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+  auto engine = BuildEngineFromCli(&cli, /*quiet=*/cli.json);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  if (!cli.one_shot_query.empty()) {
+    auto response = (*engine)->Query(cli.one_shot_query, cli.top, cli.kind);
+    if (!response.ok()) {
+      std::fprintf(stderr, "query error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto snapshot = xrank::metrics::Registry::Instance().Snapshot();
+  if (cli.json) {
+    std::printf("%s\n", xrank::metrics::RenderJson(snapshot).c_str());
+  } else {
+    std::printf("%s", xrank::metrics::RenderTable(snapshot).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "verify") == 0) {
     return RunVerify(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
+    return RunStats(argc, argv);
+  }
+  int first_arg = 1;
+  if (argc >= 2 && std::strcmp(argv[1], "query") == 0) first_arg = 2;
   CliOptions cli;
-  if (!ParseArgs(argc, argv, &cli)) {
-    std::fprintf(stderr,
-                 "usage: %s [--index=dil|rdil|hdil|naive-id|naive-rank] "
-                 "[--top=N] [--disjunctive] [--tfidf] "
-                 "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
-                 "       %s verify [--disk-dir=]<index-dir>\n",
-                 argv[0], argv[0]);
+  if (!ParseArgs(argc, argv, &cli, first_arg)) {
+    PrintUsage(argv[0]);
     return 2;
   }
 
-  std::vector<xrank::xml::Document> docs;
-  for (const std::string& path : cli.files) {
-    auto doc = xrank::xml::ParseFile(path);
-    if (!doc.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   doc.status().ToString().c_str());
-      return 1;
-    }
-    docs.push_back(std::move(doc).value());
-  }
-
-  EngineOptions options;
-  options.indexes = {cli.kind};
-  options.answer_node_tags = cli.answer_nodes;
-  if (cli.disjunctive) {
-    options.scoring.semantics = xrank::query::QuerySemantics::kDisjunctive;
-    if (cli.kind != IndexKind::kDil) {
-      std::fprintf(stderr,
-                   "note: --disjunctive requires --index=dil; switching\n");
-      options.indexes = {IndexKind::kDil};
-      cli.kind = IndexKind::kDil;
-    }
-  }
-  if (cli.tfidf) {
-    options.extraction.rank_source = xrank::index::RankSource::kTfIdf;
-  }
-
-  auto engine = XRankEngine::Build(std::move(docs), options);
+  auto engine = BuildEngineFromCli(&cli, /*quiet=*/false);
   if (!engine.ok()) {
     std::fprintf(stderr, "index build failed: %s\n",
                  engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("indexed %zu documents, %zu elements, %zu hyperlinks "
-              "(%s, %s ranks)\n",
-              (*engine)->graph().document_count(),
-              (*engine)->graph().element_count(),
-              (*engine)->graph().total_hyperlink_count(),
-              std::string(xrank::index::IndexKindName(cli.kind)).c_str(),
-              cli.tfidf ? "tf-idf" : "ElemRank");
 
   auto run = [&](const std::string& query) {
-    auto response = (*engine)->Query(query, cli.top, cli.kind);
+    xrank::query::QueryTrace trace;
+    xrank::query::QueryOptions query_options;
+    if (cli.trace) query_options.trace = &trace;
+    auto response =
+        (*engine)->Query(query, cli.top, cli.kind, query_options);
     if (!response.ok()) {
       std::printf("  error: %s\n", response.status().ToString().c_str());
       return;
     }
     PrintResponse(*response);
+    if (cli.trace) {
+      std::printf("%s", cli.json ? (trace.FormatJson() + "\n").c_str()
+                                 : trace.FormatTable().c_str());
+    }
   };
 
   if (!cli.one_shot_query.empty()) {
