@@ -13,10 +13,16 @@
 #include "common/random.h"
 #include "dewey/codec.h"
 #include "index/analyzer.h"
+#include "index/block_cache.h"
+#include "index/lexicon.h"
 #include "index/posting.h"
 #include "query/dewey_stack.h"
+#include "query/dil_query.h"
 #include "query/proximity.h"
 #include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/cost_model.h"
+#include "storage/page_file.h"
 
 namespace xrank {
 namespace {
@@ -198,6 +204,86 @@ void BM_DeweyStackMerge(benchmark::State& state) {
                           static_cast<int64_t>(ids.size()));
 }
 BENCHMARK(BM_DeweyStackMerge);
+
+// Two-term conjunctive corpus with skewed ElemRanks: both terms occur in
+// every document (document-at-a-time skipping cannot help), the first few
+// documents carry large ranks and the long tail is tiny — the regime where
+// block-max pruning pays. Built once and shared across iterations.
+struct SkewedIndex {
+  std::unique_ptr<storage::PageFile> file;
+  std::unique_ptr<storage::CostModel> cost_model;
+  std::unique_ptr<storage::BufferPool> pool;
+  index::Lexicon lexicon;
+};
+
+SkewedIndex* GetSkewedIndex() {
+  static SkewedIndex* index = [] {
+    auto* out = new SkewedIndex();
+    out->file = storage::PageFile::CreateInMemory();
+    constexpr uint32_t kDocs = 50000;
+    const char* terms[] = {"hot", "cold"};
+    for (uint32_t t = 0; t < 2; ++t) {
+      index::PostingListWriter writer(out->file.get(),
+                                      /*delta_encode_ids=*/true);
+      for (uint32_t d = 0; d < kDocs; ++d) {
+        index::Posting posting;
+        posting.id = dewey::DeweyId{d, 1};
+        posting.elem_rank = d < 16 ? 1000.0f - static_cast<float>(d)
+                                   : 1.0f / static_cast<float>(d + 2);
+        posting.positions = {t + 1};
+        writer.Add(posting).status();
+      }
+      auto extent = writer.Finish();
+      index::TermInfo info;
+      info.list = *extent;
+      info.skips = writer.TakeSkips();
+      out->lexicon.Add(terms[t], std::move(info));
+    }
+    out->cost_model = std::make_unique<storage::CostModel>();
+    out->pool = std::make_unique<storage::BufferPool>(out->file.get(), 4096,
+                                                      out->cost_model.get());
+    return out;
+  }();
+  return index;
+}
+
+void RunTopkMerge(benchmark::State& state, bool use_skip_blocks,
+                  bool use_pruning, index::BlockCache* cache) {
+  SkewedIndex* idx = GetSkewedIndex();
+  query::DilQueryProcessor processor(idx->pool.get(), &idx->lexicon,
+                                     query::ScoringOptions{}, use_skip_blocks,
+                                     cache, use_pruning);
+  std::vector<std::string> keywords = {"hot", "cold"};
+  uint64_t postings = 0;
+  for (auto _ : state) {
+    auto response = processor.Execute(keywords, 10);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    postings += response->stats.postings_scanned;
+    benchmark::DoNotOptimize(response->results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(postings));
+}
+
+void BM_TopkMergeExhaustive(benchmark::State& state) {
+  RunTopkMerge(state, /*use_skip_blocks=*/false, /*use_pruning=*/false,
+               nullptr);
+}
+BENCHMARK(BM_TopkMergeExhaustive);
+
+void BM_TopkMergePruned(benchmark::State& state) {
+  RunTopkMerge(state, /*use_skip_blocks=*/true, /*use_pruning=*/true,
+               nullptr);
+}
+BENCHMARK(BM_TopkMergePruned);
+
+void BM_TopkMergePrunedCached(benchmark::State& state) {
+  static index::BlockCache* cache = new index::BlockCache(32u << 20);
+  RunTopkMerge(state, /*use_skip_blocks=*/true, /*use_pruning=*/true, cache);
+}
+BENCHMARK(BM_TopkMergePrunedCached);
 
 }  // namespace
 }  // namespace xrank

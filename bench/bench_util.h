@@ -92,10 +92,10 @@ inline std::unique_ptr<core::XRankEngine> BuildEngine(
     std::vector<xml::Document> docs, std::vector<index::IndexKind> kinds,
     core::EngineOptions options = {}, size_t result_cache_entries = 0) {
   options.indexes = std::move(kinds);
-  options.cold_cache_per_query = true;
-  // The figure-reproduction benches measure the paper's per-query I/O, so a
-  // repeated query must re-execute: the serving-path result cache defaults
-  // off here and benches that study it opt in explicitly.
+  // The figure-reproduction benches measure the paper's per-query I/O:
+  // cold_cache_per_query stays at its default (true) unless the caller's
+  // options opt out, and the serving-path result cache defaults off here —
+  // benches that study the serving fast path opt in explicitly.
   options.result_cache_entries = result_cache_entries;
   auto engine = core::XRankEngine::Build(std::move(docs), options);
   if (!engine.ok()) {

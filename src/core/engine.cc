@@ -47,6 +47,8 @@ struct EngineMetrics {
   metrics::Counter* cache_hit = nullptr;
   metrics::Counter* postings_scanned = nullptr;
   metrics::Counter* pages_skipped = nullptr;
+  metrics::Counter* blocks_pruned = nullptr;
+  metrics::Counter* block_cache_hits = nullptr;
   metrics::Counter* btree_probes = nullptr;
   metrics::Counter* hash_probes = nullptr;
   metrics::Counter* rounds = nullptr;
@@ -68,6 +70,8 @@ struct EngineMetrics {
       em->cache_hit = registry.GetCounter("query.result_cache_hit");
       em->postings_scanned = registry.GetCounter("query.postings_scanned");
       em->pages_skipped = registry.GetCounter("query.pages_skipped");
+      em->blocks_pruned = registry.GetCounter("query.blocks_pruned");
+      em->block_cache_hits = registry.GetCounter("query.block_cache_hits");
       em->btree_probes = registry.GetCounter("query.btree_probes");
       em->hash_probes = registry.GetCounter("query.hash_probes");
       em->rounds = registry.GetCounter("query.rounds");
@@ -92,6 +96,8 @@ void RecordQueryMetrics(const query::QueryStats& stats) {
   m.queries->Increment();
   m.postings_scanned->Increment(stats.postings_scanned);
   m.pages_skipped->Increment(stats.pages_skipped);
+  m.blocks_pruned->Increment(stats.blocks_pruned);
+  m.block_cache_hits->Increment(stats.block_cache_hits);
   m.btree_probes->Increment(stats.btree_probes);
   m.hash_probes->Increment(stats.hash_probes);
   m.rounds->Increment(stats.rounds);
@@ -131,6 +137,10 @@ Status XRankEngine::PrepareBase(
   if (options_.result_cache_entries > 0) {
     result_cache_ = std::make_unique<ResultCache>(
         options_.result_cache_entries);
+  }
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ =
+        std::make_unique<index::BlockCache>(options_.block_cache_bytes);
   }
 
   // 1. Graph construction (Section 2.1 data model).
@@ -345,10 +355,21 @@ Status XRankEngine::DeleteDocument(std::string_view uri) {
       deleted_documents_.insert(doc);
       // Cached responses may contain the tombstoned document.
       if (result_cache_ != nullptr) result_cache_->Clear();
+      if (block_cache_ != nullptr) block_cache_->Clear();
       return Status::OK();
     }
   }
   return Status::NotFound("no document with uri '" + std::string(uri) + "'");
+}
+
+void XRankEngine::DropCaches() {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  for (auto& [kind, instance] : indexes_) {
+    instance.pool->DropCache();
+    instance.cost_model->ResetStreams();
+  }
+  if (result_cache_ != nullptr) result_cache_->Clear();
+  if (block_cache_ != nullptr) block_cache_->Clear();
 }
 
 Status XRankEngine::CompactDeletions() {
@@ -377,8 +398,11 @@ Status XRankEngine::CompactDeletions() {
   // Compaction renumbers naive element ordinals.
   ordinal_to_dewey_ = std::move(extracted.ordinal_to_dewey);
   // Cached stats (and naive ordinal mappings) refer to the old physical
-  // indexes.
+  // indexes. The block cache's file-id keys would already keep stale
+  // entries from aliasing the rebuilt files; clearing also returns the
+  // memory.
   if (result_cache_ != nullptr) result_cache_->Clear();
+  if (block_cache_ != nullptr) block_cache_->Clear();
   // Re-commit so the on-disk MANIFEST matches the compacted files. A crash
   // before the new MANIFEST rename leaves a checksum mismatch that Open
   // reports instead of serving torn state.
@@ -545,6 +569,9 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
   if (options_.cold_cache_per_query) {
     pool->DropCache();
     instance.cost_model->ResetStreams();
+    // Pre-decoded pages would defeat the cold-cache measurement the same
+    // way warm pool pages would.
+    if (block_cache_ != nullptr) block_cache_->Clear();
   }
 
   // With pending deletions, over-fetch so post-filtering can still fill m
@@ -555,7 +582,9 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
   auto run = [&]() -> Result<query::QueryResponse> {
     switch (kind) {
       case index::IndexKind::kDil: {
-        query::DilQueryProcessor processor(pool, lexicon, options_.scoring);
+        query::DilQueryProcessor processor(pool, lexicon, options_.scoring,
+                                           /*use_skip_blocks=*/true,
+                                           block_cache_.get());
         return processor.Execute(normalized, fetch_m, exec_options);
       }
       case index::IndexKind::kRdil: {
@@ -564,7 +593,8 @@ Result<EngineResponse> XRankEngine::QueryKeywords(
       }
       case index::IndexKind::kHdil: {
         query::HdilQueryProcessor processor(pool, lexicon, options_.scoring,
-                                            options_.hdil_strategy);
+                                            options_.hdil_strategy,
+                                            block_cache_.get());
         return processor.Execute(normalized, fetch_m, exec_options);
       }
       case index::IndexKind::kNaiveId: {
@@ -667,6 +697,10 @@ XRankEngine::ServingCounters XRankEngine::serving_counters(
   if (result_cache_ != nullptr) {
     counters.result_cache_hits = result_cache_->hits();
     counters.result_cache_lookups = result_cache_->lookups();
+  }
+  if (block_cache_ != nullptr) {
+    counters.block_cache_hits = block_cache_->hits();
+    counters.block_cache_lookups = block_cache_->lookups();
   }
   counters.deadline_exceeded_queries =
       deadline_exceeded_queries_.load(std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 #include "graph/builder.h"
 #include "query/trace.h"
 #include "graph/graph.h"
+#include "index/block_cache.h"
 #include "index/hdil_index.h"
 #include "index/index_builder.h"
 #include "query/hdil_query.h"
@@ -64,6 +65,13 @@ struct EngineOptions {
   // index kinds (0 disables it). The cache is invalidated wholesale by
   // DeleteDocument and CompactDeletions.
   size_t result_cache_entries = 256;
+
+  // Byte budget of the decoded posting-block cache shared by all index
+  // kinds (0 disables it). Entries are keyed by (page file id, page id), so
+  // one cache safely serves every index file; invalidated wholesale with
+  // the result cache, and dropped at query start in cold_cache_per_query
+  // mode (the paper's cold-cache setup must not serve pre-decoded pages).
+  size_t block_cache_bytes = 8u << 20;
 
   // Engine-wide default per-query limits (deadline, cancellation, partial
   // results — see query::QueryOptions); overridable per call through the
@@ -208,11 +216,20 @@ class XRankEngine {
     uint64_t pool_misses = 0;
     uint64_t result_cache_hits = 0;
     uint64_t result_cache_lookups = 0;
+    // Engine-wide decoded-block cache totals (zero when disabled).
+    uint64_t block_cache_hits = 0;
+    uint64_t block_cache_lookups = 0;
     // Engine-wide (not per-kind): queries that hit their deadline/cancel.
     uint64_t deadline_exceeded_queries = 0;  // returned DeadlineExceeded
     uint64_t partial_result_queries = 0;     // served a partial top-k
   };
   ServingCounters serving_counters(index::IndexKind kind) const;
+
+  // Evicts every warm structure — each index's buffer pool, the result
+  // cache, and the decoded-block cache — without touching index state.
+  // Benches call this between measurement phases to re-establish a cold
+  // baseline while serving with cold_cache_per_query = false.
+  void DropCaches();
 
   // --- slow-query log (EngineOptions::slow_query_ms) ---
   struct SlowQueryEntry {
@@ -265,6 +282,9 @@ class XRankEngine {
   std::set<uint32_t> deleted_documents_;
   // Null when EngineOptions::result_cache_entries == 0.
   std::unique_ptr<ResultCache> result_cache_;
+  // Decoded posting-block cache shared by every index kind (page-file ids
+  // keep entries distinct). Null when EngineOptions::block_cache_bytes == 0.
+  std::unique_ptr<index::BlockCache> block_cache_;
   // Deadline outcomes, incremented under the shared lock.
   mutable std::atomic<uint64_t> deadline_exceeded_queries_{0};
   mutable std::atomic<uint64_t> partial_result_queries_{0};

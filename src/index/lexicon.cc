@@ -1,5 +1,7 @@
 #include "index/lexicon.h"
 
+#include <cstring>
+
 #include "common/varint.h"
 #include "dewey/codec.h"
 
@@ -37,6 +39,13 @@ void Lexicon::Serialize(std::string* out) const {
     for (const SkipEntry& skip : info.skips) {
       PutVarint32(out, skip.page_index);
       dewey::EncodeDeweyId(skip.first_id, out);
+      // Block-max rank bound, 4 raw IEEE-754 bytes (same representation as
+      // the in-page posting ranks).
+      uint32_t rank_bits;
+      static_assert(sizeof(rank_bits) == sizeof(skip.max_rank));
+      std::memcpy(&rank_bits, &skip.max_rank, sizeof(rank_bits));
+      out->append(reinterpret_cast<const char*>(&rank_bits),
+                  sizeof(rank_bits));
     }
   }
 }
@@ -80,6 +89,13 @@ Result<Lexicon> Lexicon::Deserialize(std::string_view data) {
       XRANK_ASSIGN_OR_RETURN(skip.page_index, GetVarint32(data, &offset));
       XRANK_ASSIGN_OR_RETURN(skip.first_id,
                              dewey::DecodeDeweyId(data, &offset));
+      if (offset + sizeof(uint32_t) > data.size()) {
+        return Status::Corruption("truncated skip max rank");
+      }
+      uint32_t rank_bits;
+      std::memcpy(&rank_bits, data.data() + offset, sizeof(rank_bits));
+      std::memcpy(&skip.max_rank, &rank_bits, sizeof(rank_bits));
+      offset += sizeof(rank_bits);
       info.skips.push_back(std::move(skip));
     }
     lexicon.Add(std::move(term), std::move(info));

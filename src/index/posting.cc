@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/varint.h"
 #include "dewey/codec.h"
+#include "index/block_cache.h"
 
 namespace xrank::index {
 
@@ -124,6 +125,9 @@ Result<PostingLocation> PostingListWriter::Add(const Posting& posting) {
     extent_.byte_count += kListPageHeaderSize;
     skips_.push_back(SkipEntry{loc.page_index, posting.id});
   }
+  // Block-max maintenance: the descriptor tracks the page's largest
+  // ElemRank so the top-k merge can bound what any posting here can score.
+  skips_.back().max_rank = std::max(skips_.back().max_rank, posting.elem_rank);
   page_entries_ += encoded;
   extent_.byte_count += encoded.size();
   ++page_count_in_page_;
@@ -158,11 +162,44 @@ bool PostingListCursor::AtEnd() const {
 }
 
 Status PostingListCursor::LoadPage() {
+  if (block_cache_ != nullptr) return LoadCachedPage();
   XRANK_RETURN_NOT_OK(pool_->Read(extent_.first_page + page_index_, &page_));
   entries_in_page_ = page_.ReadU16(0);
   entry_index_ = 0;
   byte_offset_ = kListPageHeaderSize;
   previous_id_ = dewey::DeweyId();
+  page_loaded_ = true;
+  return Status::OK();
+}
+
+Status PostingListCursor::LoadCachedPage() {
+  BlockCache::Key key{pool_->file()->file_id(),
+                      extent_.first_page + page_index_};
+  cached_block_ = block_cache_->Lookup(key);
+  if (cached_block_ != nullptr) {
+    ++block_cache_hits_;
+  } else {
+    // Miss: decode the whole page once and publish it. The decoded vector
+    // is immutable from here on — concurrent cursors share it read-only.
+    XRANK_RETURN_NOT_OK(pool_->Read(extent_.first_page + page_index_, &page_));
+    uint16_t count = page_.ReadU16(0);
+    auto block = std::make_shared<std::vector<Posting>>();
+    block->reserve(count);
+    size_t offset = kListPageHeaderSize;
+    dewey::DeweyId previous;
+    for (uint16_t i = 0; i < count; ++i) {
+      const dewey::DeweyId* prev =
+          (delta_encode_ids_ && i > 0) ? &previous : nullptr;
+      XRANK_ASSIGN_OR_RETURN(Posting posting,
+                             DecodePosting(page_.view(), &offset, prev));
+      previous = posting.id;
+      block->push_back(std::move(posting));
+    }
+    cached_block_ = std::move(block);
+    block_cache_->Insert(key, cached_block_);
+  }
+  entries_in_page_ = static_cast<uint16_t>(cached_block_->size());
+  entry_index_ = 0;
   page_loaded_ = true;
   return Status::OK();
 }
@@ -184,8 +221,14 @@ Result<bool> PostingListCursor::Next(Posting* out) {
     if (entry_index_ >= entries_in_page_) {
       ++page_index_;
       page_loaded_ = false;
+      cached_block_.reset();
       if (page_index_ >= extent_.page_count) return false;
       continue;
+    }
+    if (cached_block_ != nullptr) {
+      *out = (*cached_block_)[entry_index_];
+      ++entry_index_;
+      return true;
     }
     const dewey::DeweyId* previous =
         (delta_encode_ids_ && entry_index_ > 0) ? &previous_id_ : nullptr;

@@ -2,6 +2,7 @@
 #define XRANK_INDEX_POSTING_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -50,12 +51,16 @@ inline PostingLocation DecodePostingLocation(uint64_t encoded) {
 }
 
 // One skip-block descriptor: the first Dewey ID stored on page `page_index`
-// of a list's page run. The builder records one per page; a query cursor
-// can then skip every page whose successor descriptor still precedes the
-// merge target, without decoding the postings in between.
+// of a list's page run, plus the largest ElemRank of any posting on that
+// page. The builder records one per page; a query cursor can then skip
+// every page whose successor descriptor still precedes the merge target,
+// without decoding the postings in between, and the top-k merge uses
+// `max_rank` as a block-max score bound to skip page runs that cannot beat
+// the current k-th result.
 struct SkipEntry {
   uint32_t page_index = 0;
   dewey::DeweyId first_id;
+  float max_rank = 0.0f;
 
   bool operator==(const SkipEntry& other) const = default;
 };
@@ -104,12 +109,21 @@ class PostingListWriter {
   bool finished_ = false;
 };
 
+class BlockCache;
+
 // Sequential cursor over a list's page run (through the buffer pool, so
 // reads are charged to the cost model).
 class PostingListCursor {
  public:
   PostingListCursor(storage::BufferPool* pool, const ListExtent& extent,
                     bool delta_encode_ids);
+
+  // Attaches a decoded-block cache. Pages are then decoded whole: a cache
+  // hit serves every posting of the page without touching the buffer pool
+  // or the decoder; a miss decodes the page once and publishes it. Must be
+  // called before the first Next/SeekToPage. Null (the default) keeps the
+  // incremental decode path.
+  void set_block_cache(BlockCache* cache) { block_cache_ = cache; }
 
   // Reads the next posting; returns false at end of list.
   Result<bool> Next(Posting* out);
@@ -123,8 +137,13 @@ class PostingListCursor {
   uint32_t current_page_index() const { return page_index_; }
   const ListExtent& extent() const { return extent_; }
 
+  // Pages served from the decoded-block cache (0 without a cache).
+  uint64_t block_cache_hits() const { return block_cache_hits_; }
+
  private:
   Status LoadPage();
+  // Cache-aware page load: lookup, or decode-whole-page + insert on miss.
+  Status LoadCachedPage();
 
   storage::BufferPool* pool_;
   ListExtent extent_;
@@ -136,6 +155,11 @@ class PostingListCursor {
   storage::Page page_;
   dewey::DeweyId previous_id_;
   bool page_loaded_ = false;
+  BlockCache* block_cache_ = nullptr;
+  // Pin on the current page's decoded block when serving from the cache
+  // (outlives eviction; null on the incremental path).
+  std::shared_ptr<const std::vector<Posting>> cached_block_;
+  uint64_t block_cache_hits_ = 0;
 };
 
 // Random access to one posting (used by RDIL after a B+-tree lookup; decodes

@@ -1,8 +1,11 @@
 #include "query/dil_query.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/timer.h"
+#include "index/block_cache.h"
 #include "query/dewey_stack.h"
 #include "query/posting_cursor.h"
 #include "query/result_heap.h"
@@ -42,11 +45,15 @@ void FillIoStats(const storage::CostModel* model, const CostSnapshot& before,
 DilQueryProcessor::DilQueryProcessor(storage::BufferPool* pool,
                                      const index::Lexicon* lexicon,
                                      const ScoringOptions& scoring,
-                                     bool use_skip_blocks)
+                                     bool use_skip_blocks,
+                                     index::BlockCache* block_cache,
+                                     bool use_block_max_pruning)
     : pool_(pool),
       lexicon_(lexicon),
       scoring_(scoring),
-      use_skip_blocks_(use_skip_blocks) {}
+      use_skip_blocks_(use_skip_blocks),
+      block_cache_(block_cache),
+      use_block_max_pruning_(use_block_max_pruning) {}
 
 Result<QueryResponse> DilQueryProcessor::Execute(
     const std::vector<std::string>& keywords, size_t m,
@@ -70,6 +77,10 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   // can contribute nothing — i.e. under conjunctive semantics.
   const bool skipping =
       use_skip_blocks_ && scoring_.semantics == QuerySemantics::kConjunctive;
+  // Block-max pruning additionally needs the scoring function to be
+  // dominated by the per-page rank maxima (max aggregation, decay <= 1).
+  const bool pruning =
+      skipping && use_block_max_pruning_ && SupportsBlockMaxPruning(scoring_);
 
   // A keyword absent from the collection makes the conjunction empty.
   std::vector<const index::TermInfo*> infos;
@@ -90,7 +101,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (const index::TermInfo* info : infos) {
-      cursors.emplace_back(pool_, info, skipping);
+      cursors.emplace_back(pool_, info, skipping, block_cache_);
       cursors.back().set_deadline(deadline);
     }
   }
@@ -104,6 +115,8 @@ Result<QueryResponse> DilQueryProcessor::Execute(
 
   std::vector<index::Posting> current(cursors.size());
   std::vector<bool> live(cursors.size(), false);
+  std::vector<PostingCursor::RankBound> bounds(cursors.size());
+  uint64_t blocks_pruned = 0;
 
   // The merge runs inside a lambda so a DeadlineExceeded from any depth —
   // the per-iteration checks here or the skip scan inside PostingCursor —
@@ -145,6 +158,81 @@ Result<QueryResponse> DilQueryProcessor::Execute(
           if (!has || current[k].id.document_id() > target) aligned = false;
         }
         if (!aligned) continue;  // frontier moved — recompute it
+
+        // Block-max pruning: every cursor stands on the frontier document.
+        // Bound what any document in the runs ahead can score — Σ over
+        // terms of the run's page maxima (keyword ranks are per-posting
+        // maxima scaled by decay/proximity factors <= 1) — and when even
+        // that cannot reach the current m-th result (strictly: ties are
+        // never pruned, preserving tie-breaks by id), leap past the run
+        // without decoding it. The runs are extended greedily, widest-
+        // binding cursor first, while the bound stays under the threshold.
+        if (pruning) {
+          const double theta = accumulator.KthRank();
+          if (std::isfinite(theta)) {
+            bool bounded = true;
+            double ub = 0.0;
+            for (size_t k = 0; k < cursors.size(); ++k) {
+              bounds[k] = cursors[k].DocumentRankBound(target);
+              if (!bounds[k].valid) {
+                bounded = false;  // a list without descriptors: no bound
+                break;
+              }
+              ub += bounds[k].bound;
+            }
+            if (bounded && ub < theta) {
+              constexpr uint32_t kNoDoc = std::numeric_limits<uint32_t>::max();
+              for (;;) {
+                XRANK_RETURN_NOT_OK(deadline->Check());
+                // The cursor whose run ends first bounds how far everyone
+                // can jump; try to widen exactly that run.
+                size_t binding = 0;
+                for (size_t k = 1; k < cursors.size(); ++k) {
+                  if (bounds[k].next_doc < bounds[binding].next_doc) {
+                    binding = k;
+                  }
+                }
+                if (bounds[binding].next_doc == kNoDoc) break;
+                double widened = std::max(
+                    bounds[binding].bound,
+                    cursors[binding].NextPageRank(bounds[binding]));
+                if (ub - bounds[binding].bound + widened >= theta) break;
+                ub += widened - bounds[binding].bound;
+                cursors[binding].ExtendBound(&bounds[binding]);
+              }
+              uint32_t prune_to = kNoDoc;
+              for (const PostingCursor::RankBound& bound : bounds) {
+                prune_to = std::min(prune_to, bound.next_doc);
+              }
+              if (prune_to == kNoDoc) {
+                // Every run extends to the end of its list: nothing left
+                // can beat the top-m. Charge the never-read tails and stop.
+                for (const PostingCursor& cursor : cursors) {
+                  uint32_t last = cursor.extent().page_count;
+                  if (last > cursor.current_page_index() + 1) {
+                    blocks_pruned += last - cursor.current_page_index() - 1;
+                  }
+                }
+                break;
+              }
+              uint64_t skipped_before = 0;
+              for (const PostingCursor& cursor : cursors) {
+                skipped_before += cursor.pages_skipped();
+              }
+              for (size_t k = 0; k < cursors.size(); ++k) {
+                XRANK_ASSIGN_OR_RETURN(
+                    bool has, cursors[k].SkipToDocument(prune_to, &current[k]));
+                live[k] = has;
+              }
+              uint64_t skipped_after = 0;
+              for (const PostingCursor& cursor : cursors) {
+                skipped_after += cursor.pages_skipped();
+              }
+              blocks_pruned += skipped_after - skipped_before;
+              continue;  // re-align on the new frontier
+            }
+          }
+        }
 
         for (;;) {
           size_t smallest = cursors.size();
@@ -198,13 +286,16 @@ Result<QueryResponse> DilQueryProcessor::Execute(
     response.results = accumulator.TakeTop();
   }
   response.stats.postings_scanned = merger.postings_consumed();
+  response.stats.blocks_pruned = blocks_pruned;
   for (size_t k = 0; k < cursors.size(); ++k) {
     response.stats.pages_skipped += cursors[k].pages_skipped();
+    response.stats.block_cache_hits += cursors[k].block_cache_hits();
     if (trace != nullptr) {
       QueryTrace::TermStats term;
       term.term = keywords[k];
       term.postings_read = cursors[k].postings_read();
       term.pages_skipped = cursors[k].pages_skipped();
+      term.block_cache_hits = cursors[k].block_cache_hits();
       trace->AddTermStats(std::move(term));
     }
   }

@@ -26,10 +26,17 @@ class DilQueryProcessor {
   // `use_skip_blocks` == false forces the exhaustive merge even for
   // conjunctive queries (baseline for correctness tests); disjunctive
   // queries always scan exhaustively regardless.
+  // `block_cache` (optional, borrowed) serves decoded posting pages.
+  // `use_block_max_pruning` == false disables the block-max top-k pruning
+  // on top of document skipping; pruning additionally requires scoring
+  // options it is sound under (see SupportsBlockMaxPruning) and is a pure
+  // I/O optimization — results are identical either way.
   DilQueryProcessor(storage::BufferPool* pool,
                     const index::Lexicon* lexicon,
                     const ScoringOptions& scoring,
-                    bool use_skip_blocks = true);
+                    bool use_skip_blocks = true,
+                    index::BlockCache* block_cache = nullptr,
+                    bool use_block_max_pruning = true);
 
   // Keywords must already be analyzer-normalized. A keyword missing from
   // the lexicon yields an empty result (conjunctive semantics).
@@ -50,6 +57,8 @@ class DilQueryProcessor {
   const index::Lexicon* lexicon_;
   ScoringOptions scoring_;
   bool use_skip_blocks_;
+  index::BlockCache* block_cache_;
+  bool use_block_max_pruning_;
 };
 
 }  // namespace xrank::query

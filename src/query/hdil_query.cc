@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/timer.h"
+#include "index/block_cache.h"
 #include "query/dewey_stack.h"
 #include "query/dil_query.h"
 #include "query/result_heap.h"
@@ -106,16 +107,19 @@ Status HdilScanPrefix(
 HdilQueryProcessor::HdilQueryProcessor(storage::BufferPool* pool,
                                        const index::Lexicon* lexicon,
                                        const ScoringOptions& scoring,
-                                       const HdilStrategyOptions& strategy)
+                                       const HdilStrategyOptions& strategy,
+                                       index::BlockCache* block_cache)
     : pool_(pool),
       lexicon_(lexicon),
       scoring_(scoring),
-      strategy_(strategy) {}
+      strategy_(strategy),
+      block_cache_(block_cache) {}
 
 Result<QueryResponse> HdilQueryProcessor::ExecuteDil(
     const std::vector<std::string>& keywords, size_t m,
     const QueryOptions& options, QueryDeadline* deadline) {
-  DilQueryProcessor dil(pool_, lexicon_, scoring_);
+  DilQueryProcessor dil(pool_, lexicon_, scoring_, /*use_skip_blocks=*/true,
+                        block_cache_);
   return dil.Execute(keywords, m, options, deadline);
 }
 
@@ -156,6 +160,7 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     for (size_t k = 0; k < n; ++k) {
       rank_cursors.emplace_back(pool_, infos[k]->rank_list,
                                 /*delta_encode_ids=*/false);
+      rank_cursors.back().set_block_cache(block_cache_);
       // DIL's cost is predictable a priori: a full sequential scan of each
       // keyword's inverted list (paper Section 4.4.2).
       double seq_cost =
@@ -308,8 +313,12 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   if (trace != nullptr) {
     for (size_t k = 0; k < n; ++k) {
       term_stats[k].term = keywords[k];
+      term_stats[k].block_cache_hits = rank_cursors[k].block_cache_hits();
       trace->AddTermStats(std::move(term_stats[k]));
     }
+  }
+  for (const index::PostingListCursor& cursor : rank_cursors) {
+    response.stats.block_cache_hits += cursor.block_cache_hits();
   }
   if (expired) {
     response.stats.partial = true;
@@ -325,6 +334,8 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     response.results = std::move(dil_response.results);
     response.stats.postings_scanned += dil_response.stats.postings_scanned;
     response.stats.pages_skipped += dil_response.stats.pages_skipped;
+    response.stats.blocks_pruned += dil_response.stats.blocks_pruned;
+    response.stats.block_cache_hits += dil_response.stats.block_cache_hits;
     response.stats.switched_to_dil = true;
     response.stats.partial = dil_response.stats.partial;
   } else {

@@ -37,10 +37,14 @@ struct HdilStrategyOptions {
 // ranks).
 class HdilQueryProcessor {
  public:
+  // `block_cache` (optional, borrowed) serves decoded posting pages to the
+  // rank-prefix cursors and the DIL fallback; the fallback also inherits
+  // block-max pruning against its top-k heap.
   HdilQueryProcessor(storage::BufferPool* pool,
                      const index::Lexicon* lexicon,
                      const ScoringOptions& scoring,
-                     const HdilStrategyOptions& strategy = {});
+                     const HdilStrategyOptions& strategy = {},
+                     index::BlockCache* block_cache = nullptr);
 
   // `options` bounds the whole evaluation: one deadline covers both the
   // RDIL phase and a potential DIL fallback rescan.
@@ -56,6 +60,7 @@ class HdilQueryProcessor {
   const index::Lexicon* lexicon_;
   ScoringOptions scoring_;
   HdilStrategyOptions strategy_;
+  index::BlockCache* block_cache_;
 };
 
 // --- HDIL probe primitives (exposed for testing) ---

@@ -31,9 +31,11 @@ class PostingCursor {
   // `pool` and `info` are borrowed and must outlive the cursor. The list is
   // `info->list` (delta-encoded Dewey order, the DIL/HDIL full-list
   // format); skip descriptors are `info->skips` and may be empty, in which
-  // case SkipToDocument degrades to a linear scan.
+  // case SkipToDocument degrades to a linear scan. `block_cache` (optional,
+  // borrowed) serves decoded pages without re-running the varint decoder.
   PostingCursor(storage::BufferPool* pool, const index::TermInfo* info,
-                bool use_skip_blocks);
+                bool use_skip_blocks,
+                index::BlockCache* block_cache = nullptr);
 
   // Reads the next posting in list order; returns false at end of list.
   Result<bool> Next(index::Posting* out);
@@ -44,14 +46,52 @@ class PostingCursor {
   // `doc` must be >= the document id last returned.
   Result<bool> SkipToDocument(uint32_t doc, index::Posting* out);
 
+  // --- block-max pruning (see DESIGN.md section 11) ---
+  //
+  // A rank bound over the page run covering documents [doc, next_doc): for
+  // any document d with doc <= d.id < next_doc, every posting of d in this
+  // list lies on a page of the run, so this term's keyword rank for d —
+  // max over its postings' ElemRank, times decay/proximity factors <= 1 —
+  // is at most `bound`. The merge sums bounds across terms and skips the
+  // whole run when the sum cannot beat the current k-th result.
+  struct RankBound {
+    double bound = 0.0;
+    // First document id NOT covered by the run (UINT32_MAX when the run
+    // extends to the end of the list).
+    uint32_t next_doc = UINT32_MAX;
+    // Index one past the run's last skip descriptor (ExtendBound state).
+    size_t end_index = 0;
+    // False when the list has no skip descriptors (no bound available).
+    bool valid = false;
+  };
+
+  // Bound over the minimal run covering document `doc`. A corrupted
+  // (non-finite) block maximum yields bound = +infinity — pruning simply
+  // never fires on damaged descriptors.
+  RankBound DocumentRankBound(uint32_t doc) const;
+
+  // Widens the run by one page, raising `bound` to include it and advancing
+  // `next_doc` past the documents the wider run now fully covers. No-op at
+  // end of list (next_doc stays UINT32_MAX).
+  void ExtendBound(RankBound* bound) const;
+
+  // Block maximum of the page ExtendBound would add next — what `bound`
+  // would become is max(bound.bound, NextPageRank(bound)). +infinity at end
+  // of list or for a corrupted descriptor.
+  double NextPageRank(const RankBound& bound) const;
+
   // List pages the cursor jumped over without reading (skip efficacy).
   uint64_t pages_skipped() const { return pages_skipped_; }
+
+  // Pages served from the decoded-block cache (0 without a cache).
+  uint64_t block_cache_hits() const { return cursor_.block_cache_hits(); }
 
   // List entries decoded through this cursor, including those discarded by
   // SkipToDocument's tail scan (per-term trace counter).
   uint64_t postings_read() const { return postings_read_; }
 
   const index::ListExtent& extent() const { return cursor_.extent(); }
+  uint32_t current_page_index() const { return cursor_.current_page_index(); }
 
   // Attaches a cooperative budget: SkipToDocument's linear tail scan — the
   // only unbounded loop inside the cursor — checks it per posting and

@@ -42,6 +42,8 @@ struct QueryStats {
   uint64_t btree_probes = 0;       // RDIL/HDIL index probes
   uint64_t hash_probes = 0;        // Naive-Rank index probes
   uint64_t rounds = 0;             // threshold-algorithm iterations
+  uint64_t blocks_pruned = 0;      // list pages skipped via block-max bounds
+  uint64_t block_cache_hits = 0;   // pages served from the decoded cache
   uint64_t sequential_reads = 0;
   uint64_t random_reads = 0;
   double io_cost = 0.0;            // weighted cost-model units

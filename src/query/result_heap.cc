@@ -1,6 +1,7 @@
 #include "query/result_heap.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace xrank::query {
 
@@ -32,6 +33,15 @@ size_t TopKAccumulator::CountAtLeast(double threshold) const {
     ++count;
   }
   return count;
+}
+
+double TopKAccumulator::KthRank() const {
+  if (m_ == 0 || ranks_desc_.size() < m_) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  auto it = ranks_desc_.begin();
+  std::advance(it, m_ - 1);
+  return *it;
 }
 
 std::vector<RankedResult> TopKAccumulator::TakeTop() const {

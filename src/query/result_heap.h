@@ -34,6 +34,12 @@ class TopKAccumulator {
   // Number of candidates with rank >= threshold, capped at m (early exit).
   size_t CountAtLeast(double threshold) const;
 
+  // Rank of the current m-th best candidate — the block-max pruning
+  // threshold θ: a page run whose upper bound is strictly below θ cannot
+  // change the top-m. -inf while fewer than m candidates are ranked (no
+  // pruning until the heap is full).
+  double KthRank() const;
+
   size_t candidate_count() const { return ranks_by_id_.size(); }
   size_t m() const { return m_; }
 

@@ -50,6 +50,15 @@ struct RankedResult {
 double AggregateRank(RankAggregation aggregation, double existing,
                      double incoming);
 
+// Whether block-max pruning yields a sound upper bound under these scoring
+// options. The bound Σ_k max-page-ElemRank(k) dominates the true overall
+// rank only when (a) semantics are conjunctive (disjunctive results must
+// surface documents the bound would prune), (b) per-keyword aggregation is
+// max — under sum, N occurrences can exceed any single block maximum — and
+// (c) decay ≤ 1, so every decay^(t-1) factor and the proximity factor
+// (always ≤ 1) only shrink the score. See DESIGN.md section 11.
+bool SupportsBlockMaxPruning(const ScoringOptions& options);
+
 // Overall rank = Σ keyword ranks × proximity (paper Section 2.3.2.2).
 double CombineRanks(const std::vector<double>& keyword_ranks,
                     double proximity);

@@ -81,14 +81,14 @@ std::string QueryTrace::FormatTable() const {
             span.start_us, span.duration_us);
   }
   if (!terms_.empty()) {
-    AppendF(&out, "  %-20s %10s %10s %8s %8s\n", "term", "postings",
-            "pg-skip", "btree", "hash");
+    AppendF(&out, "  %-20s %10s %10s %8s %8s %8s\n", "term", "postings",
+            "pg-skip", "btree", "hash", "blk-hit");
     for (const TermStats& term : terms_) {
       AppendF(&out,
               "  %-20s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %8" PRIu64
-              "\n",
+              " %8" PRIu64 "\n",
               term.term.c_str(), term.postings_read, term.pages_skipped,
-              term.btree_probes, term.hash_probes);
+              term.btree_probes, term.hash_probes, term.block_cache_hits);
     }
   }
   return out;
@@ -118,9 +118,10 @@ std::string QueryTrace::FormatJson() const {
     AppendJsonString(&out, term.term);
     AppendF(&out,
             ", \"postings_read\": %" PRIu64 ", \"pages_skipped\": %" PRIu64
-            ", \"btree_probes\": %" PRIu64 ", \"hash_probes\": %" PRIu64 "}",
+            ", \"btree_probes\": %" PRIu64 ", \"hash_probes\": %" PRIu64
+            ", \"block_cache_hits\": %" PRIu64 "}",
             term.postings_read, term.pages_skipped, term.btree_probes,
-            term.hash_probes);
+            term.hash_probes, term.block_cache_hits);
   }
   out += "]}";
   return out;

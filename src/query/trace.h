@@ -36,6 +36,7 @@ class QueryTrace {
     uint64_t pages_skipped = 0;  // list pages jumped via skip blocks
     uint64_t btree_probes = 0;   // RDIL/HDIL B+-tree probes against it
     uint64_t hash_probes = 0;    // Naive-Rank hash lookups against it
+    uint64_t block_cache_hits = 0;  // pages served from the decoded cache
   };
 
   QueryTrace() : origin_(std::chrono::steady_clock::now()) {}

@@ -1,6 +1,8 @@
 #ifndef XRANK_STORAGE_PAGE_FILE_H_
 #define XRANK_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -59,6 +61,21 @@ class PageFile {
   // Backing path; empty for the memory backend. Error messages and the
   // index MANIFEST use this to name the damaged file.
   virtual const std::string& path() const;
+
+  // Process-unique identity of this PageFile instance, assigned at
+  // construction. Caches layered above the file (the decoded-block cache)
+  // key on (file_id, page id), so entries from a destroyed file can never
+  // alias a later one that reuses its pages. A fault-injection decorator
+  // gets its own id — readers through the decorator are a distinct cache
+  // identity from readers of the wrapped file.
+  uint64_t file_id() const { return file_id_; }
+
+ protected:
+  PageFile() : file_id_(next_file_id_.fetch_add(1, std::memory_order_relaxed)) {}
+
+ private:
+  inline static std::atomic<uint64_t> next_file_id_{1};
+  const uint64_t file_id_;
 };
 
 }  // namespace xrank::storage

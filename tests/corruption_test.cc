@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/random.h"
 #include "common/varint.h"
 #include "dewey/codec.h"
@@ -100,11 +102,12 @@ TEST(CorruptionTest, TermInfoWithSkipsAndHashFieldsNeverCrashes) {
   info.hash_page_count = 2;
   info.hash_slot_count = 97;
   info.hash_offset = 128;
-  info.skips.push_back(index::SkipEntry{3, dewey::DeweyId({0, 1, 2})});
-  info.skips.push_back(index::SkipEntry{4, dewey::DeweyId({5, 0})});
-  info.skips.push_back(index::SkipEntry{5, dewey::DeweyId({9, 3, 1, 4})});
+  info.skips.push_back(index::SkipEntry{3, dewey::DeweyId({0, 1, 2}), 0.5f});
+  info.skips.push_back(index::SkipEntry{4, dewey::DeweyId({5, 0}), 1e30f});
   info.skips.push_back(
-      index::SkipEntry{6, dewey::DeweyId({1000000, 2, 2, 2, 2, 2})});
+      index::SkipEntry{5, dewey::DeweyId({9, 3, 1, 4}), -3.0f});
+  info.skips.push_back(
+      index::SkipEntry{6, dewey::DeweyId({1000000, 2, 2, 2, 2, 2}), 0.0f});
   lexicon.Add("gamma", info);
   lexicon.Add("delta", info);
   std::string blob;
@@ -158,7 +161,7 @@ TEST(CorruptionTest, CorruptSkipDescriptorsDoNotCrashSkipMerge) {
     for (const auto& [term, original] : built.lexicon.terms()) {
       index::TermInfo info = original;
       for (index::SkipEntry& skip : info.skips) {
-        switch (rng.Uniform(4)) {
+        switch (rng.Uniform(6)) {
           case 0:
             skip.page_index = static_cast<uint32_t>(rng.Next64());
             break;
@@ -169,6 +172,19 @@ TEST(CorruptionTest, CorruptSkipDescriptorsDoNotCrashSkipMerge) {
             break;
           case 2:
             skip.first_id = dewey::DeweyId({});
+            break;
+          case 3: {
+            // Scramble the block-max rank, including non-finite and
+            // negative damage: the pruning bound must treat these as
+            // unusable (no skip), never as license to drop results.
+            uint32_t bits = static_cast<uint32_t>(rng.Next64());
+            float damaged;
+            std::memcpy(&damaged, &bits, sizeof(damaged));
+            skip.max_rank = damaged;
+            break;
+          }
+          case 4:
+            skip.max_rank = -skip.max_rank - 1.0f;
             break;
           default:
             break;  // leave intact

@@ -336,6 +336,12 @@ TEST(MetricsTest, QueryStatsMatchesRegistryDelta) {
   EXPECT_EQ(after.counter("query.random_reads") -
                 before.counter("query.random_reads"),
             stats.random_reads);
+  EXPECT_EQ(after.counter("query.blocks_pruned") -
+                before.counter("query.blocks_pruned"),
+            stats.blocks_pruned);
+  EXPECT_EQ(after.counter("query.block_cache_hits") -
+                before.counter("query.block_cache_hits"),
+            stats.block_cache_hits);
   const auto* latency = after.histogram("query.latency_us");
   ASSERT_NE(latency, nullptr);
   const auto* latency_before = before.histogram("query.latency_us");
@@ -383,6 +389,41 @@ TEST(MetricsTest, ServingCountersMatchRegistryDelta) {
   EXPECT_GE(counters_after.result_cache_hits -
                 counters_before.result_cache_hits,
             2u);
+}
+
+// Block-cache counters surface through both the registry and the engine's
+// ServingCounters, and warm re-execution produces hits.
+TEST(MetricsTest, BlockCacheCountersMatchRegistryDelta) {
+  EngineOptions options;
+  options.indexes = {IndexKind::kDil};
+  options.result_cache_entries = 0;  // force real re-execution
+  options.cold_cache_per_query = false;
+  options.block_cache_bytes = 4u << 20;
+  auto engine = XRankEngine::Build(Corpus(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  auto registry_before = Registry::Instance().Snapshot();
+  auto first = (*engine)->Query("xql xyleme", 5, IndexKind::kDil);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = (*engine)->Query("xql xyleme", 5, IndexKind::kDil);
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto registry_after = Registry::Instance().Snapshot();
+
+  // The second execution re-reads the same list pages from the cache.
+  EXPECT_GT(second->stats.block_cache_hits, 0u);
+  EXPECT_EQ(registry_after.counter("query.block_cache_hits") -
+                registry_before.counter("query.block_cache_hits"),
+            first->stats.block_cache_hits + second->stats.block_cache_hits);
+  EXPECT_GT(registry_after.counter("block_cache.insertions") -
+                registry_before.counter("block_cache.insertions"),
+            0u);
+  EXPECT_GT(registry_after.counter("block_cache.hits") -
+                registry_before.counter("block_cache.hits"),
+            0u);
+
+  auto counters = (*engine)->serving_counters(IndexKind::kDil);
+  EXPECT_GT(counters.block_cache_lookups, 0u);
+  EXPECT_GT(counters.block_cache_hits, 0u);
 }
 
 }  // namespace

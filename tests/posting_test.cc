@@ -233,6 +233,8 @@ TEST(LexiconTest, SerializeRoundTrip) {
   TermInfo info1;
   info1.list = ListExtent{5, 3, 120};
   info1.btree_root = storage::MakeNodeRef(9, 128);
+  info1.skips.push_back(SkipEntry{0, dewey::DeweyId({1, 2}), 0.75f});
+  info1.skips.push_back(SkipEntry{1, dewey::DeweyId({4}), 123.5f});
   TermInfo info2;
   info2.list = ListExtent{8, 1, 4};
   info2.rank_list = ListExtent{9, 1, 2};
@@ -252,6 +254,8 @@ TEST(LexiconTest, SerializeRoundTrip) {
   EXPECT_EQ(xql->list.first_page, 5u);
   EXPECT_EQ(xql->list.entry_count, 120u);
   EXPECT_EQ(xql->btree_root, storage::MakeNodeRef(9, 128));
+  // Skip descriptors round-trip including the block-max rank field.
+  EXPECT_EQ(xql->skips, info1.skips);
   const TermInfo* language = restored->Find("language");
   ASSERT_NE(language, nullptr);
   EXPECT_EQ(language->hash_slot_count, 512u);

@@ -20,27 +20,54 @@ cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$DIR" -j "$(nproc)" --target bench_scaling --target bench_micro
 
 # Micro-benchmark JSON (google-benchmark format + spliced metrics-registry
-# snapshot) rides along as a CI artifact for throughput trajectory tracking;
-# the gate below only reads the scaling report.
+# snapshot) rides along as a CI artifact for throughput trajectory tracking,
+# and gates the block-max pruning fast path: the pruned conjunctive top-k
+# merge must not be slower than the exhaustive merge on the skewed-rank
+# corpus (it should be dramatically faster; 1.0x only catches the pruning
+# machinery turning into pure overhead).
 # Plain-double min_time: the "0.05s" suffix form needs google-benchmark
 # >= 1.8, while the bare double parses everywhere.
-"$DIR/bench/bench_micro" --json "$DIR/check_perf_micro.json" \
+MICRO_JSON="$DIR/check_perf_micro.json"
+"$DIR/bench/bench_micro" --json "$MICRO_JSON" \
   --benchmark_min_time=0.05 > /dev/null
+
+python3 - "$MICRO_JSON" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+times = {b["name"]: b["real_time"] for b in report["benchmarks"]}
+exhaustive = times.get("BM_TopkMergeExhaustive")
+pruned = times.get("BM_TopkMergePruned")
+if exhaustive is None or pruned is None:
+    print("check_perf: FAIL — TopkMerge benchmarks missing from", sys.argv[1])
+    sys.exit(2)
+speedup = exhaustive / pruned if pruned > 0 else 0.0
+print(f"check_perf: pruned top-k merge {speedup:.2f}x vs exhaustive")
+if speedup < 1.0:
+    print("check_perf: FAIL — block-max pruning slower than exhaustive merge")
+    sys.exit(1)
+EOF
 
 JSON="$DIR/check_perf_scaling.json"
 "$DIR/bench/bench_scaling" --json "$JSON"
 
 awk '
-  /"dblp\/query\/clients=1\/qps"/  { gsub(/[",]/, ""); base = $2 }
+  /"dblp\/query\/clients=1\/cold_qps"/  { gsub(/[",]/, ""); base = $2 }
+  /"dblp\/query\/clients=8\/cold_qps"/  { gsub(/[",]/, ""); cold8 = $2 }
   /"dblp\/query\/clients=8\/throughput_x"/ { gsub(/[",]/, ""); tx = $2 }
+  /"dblp\/query\/clients=8\/cold_result_cache_hit_rate"/ { gsub(/[",]/, ""); hit = $2 }
   END {
-    if (base == "" || tx == "") {
+    if (base == "" || tx == "" || hit == "") {
       print "check_perf: FAIL — dblp query metrics missing from " FILENAME
       exit 2
     }
-    printf "check_perf: dblp 1-client %.1f QPS, 8-client throughput %.2fx\n", base, tx
+    printf "check_perf: dblp cold 1-client %.1f QPS, 8-client %.1f QPS (%.2fx), cold result-cache hit %.1f%%\n", base, cold8, tx, 100 * hit
     if (tx + 0 < 1.0) {
-      print "check_perf: FAIL — 8-client throughput below the 1-client baseline"
+      print "check_perf: FAIL — 8-client cold throughput below the 1-client baseline"
+      exit 1
+    }
+    if (hit + 0 > 0.05) {
+      print "check_perf: FAIL — cold phase served from the result cache (methodology bug)"
       exit 1
     }
     print "check_perf: OK"

@@ -125,14 +125,18 @@ void PrintResponse(const EngineResponse& response) {
     std::printf("      \"%s\"\n", result.snippet.c_str());
   }
   std::printf("  [%llu postings, %llu random + %llu sequential reads, "
-              "%.2f ms%s]\n",
+              "%llu blocks pruned, %llu block-cache hits, %.2f ms%s%s]\n",
               static_cast<unsigned long long>(
                   response.stats.postings_scanned),
               static_cast<unsigned long long>(response.stats.random_reads),
               static_cast<unsigned long long>(
                   response.stats.sequential_reads),
+              static_cast<unsigned long long>(response.stats.blocks_pruned),
+              static_cast<unsigned long long>(
+                  response.stats.block_cache_hits),
               response.stats.wall_ms,
-              response.stats.switched_to_dil ? ", switched to DIL" : "");
+              response.stats.switched_to_dil ? ", switched to DIL" : "",
+              response.stats.result_cache_hit ? ", result-cache hit" : "");
 }
 
 // `xrank_cli verify <dir>`: offline integrity check of a committed index
