@@ -14,6 +14,7 @@
 #include "dewey/codec.h"
 #include "index/analyzer.h"
 #include "index/block_cache.h"
+#include "index/codec.h"
 #include "index/lexicon.h"
 #include "index/posting.h"
 #include "query/dewey_stack.h"
@@ -148,6 +149,88 @@ void BM_PostingListScan(benchmark::State& state) {
                           static_cast<int64_t>(ids.size()));
 }
 BENCHMARK(BM_PostingListScan);
+
+// Per-codec decode fixture: the same dblp-shaped 20k-posting list written
+// through one codec, its pages snapshotted so the benchmark loop measures
+// pure page decoding — the codec-specific cost — without buffer-pool
+// traffic. check_perf.sh gates the bp128 row against the varint baseline.
+struct CodecFixture {
+  index::PostingFormat format;
+  std::vector<storage::Page> pages;
+  size_t posting_count = 0;
+  double bytes_per_posting = 0.0;
+};
+
+CodecFixture* GetCodecFixture(const std::string& codec_name) {
+  static auto* cache = new std::vector<std::pair<std::string, CodecFixture*>>;
+  for (auto& entry : *cache) {
+    if (entry.first == codec_name) return entry.second;
+  }
+  const index::PostingCodec* codec =
+      index::FindPostingCodecByName(codec_name);
+  if (codec == nullptr) return nullptr;
+  auto ids = MakeIds(20000, 6);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  Random rng(10);
+  std::vector<index::Posting> postings;
+  postings.reserve(ids.size());
+  for (const auto& id : ids) {
+    index::Posting posting;
+    posting.id = id;
+    posting.elem_rank = 0.001f * static_cast<float>(1 + rng.Uniform(1000));
+    uint32_t base = static_cast<uint32_t>(rng.Uniform(200));
+    posting.positions = {base, base + 3, base + 11};
+    postings.push_back(std::move(posting));
+  }
+  auto* fixture = new CodecFixture();
+  fixture->format = index::MakeWriterFormat(
+      codec,
+      index::PostingFormatSpec{codec->id(), index::RankEncoding::kFloat32},
+      postings, /*delta_encode_ids=*/true);
+  auto file = storage::PageFile::CreateInMemory();
+  index::PostingListWriter writer(file.get(), fixture->format);
+  for (const auto& posting : postings) (void)writer.Add(posting);
+  auto extent = writer.Finish();
+  storage::BufferPool pool(file.get(), 4096, nullptr);
+  fixture->pages.resize(extent->page_count);
+  for (uint32_t p = 0; p < extent->page_count; ++p) {
+    (void)pool.Read(extent->first_page + p, &fixture->pages[p]);
+  }
+  fixture->posting_count = postings.size();
+  fixture->bytes_per_posting = static_cast<double>(extent->byte_count) /
+                               static_cast<double>(postings.size());
+  cache->emplace_back(codec_name, fixture);
+  return fixture;
+}
+
+void BM_PostingDecode(benchmark::State& state, const char* codec_name) {
+  CodecFixture* fixture = GetCodecFixture(codec_name);
+  if (fixture == nullptr) {
+    state.SkipWithError("codec not registered");
+    return;
+  }
+  std::vector<index::Posting> block;
+  for (auto _ : state) {
+    size_t decoded = 0;
+    for (const storage::Page& page : fixture->pages) {
+      Status status =
+          fixture->format.codec->DecodePage(page, fixture->format, &block);
+      if (!status.ok()) {
+        state.SkipWithError(status.ToString().c_str());
+        return;
+      }
+      decoded += block.size();
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fixture->posting_count));
+  state.counters["bytes_per_posting"] = fixture->bytes_per_posting;
+}
+BENCHMARK_CAPTURE(BM_PostingDecode, varint, "varint");
+BENCHMARK_CAPTURE(BM_PostingDecode, bp128, "bp128");
+BENCHMARK_CAPTURE(BM_PostingDecode, vgb, "vgb");
 
 void BM_Tokenize(benchmark::State& state) {
   index::Analyzer analyzer;
@@ -314,7 +397,8 @@ static void AppendRegistryToJson(const std::string& path) {
 }
 
 // Custom main so `--json <path>` (the flag shared by the bench binaries)
-// maps onto google-benchmark's JSON reporter.
+// maps onto google-benchmark's JSON reporter, and `--codec <name>` narrows
+// the run to that codec's posting-decode row.
 int main(int argc, char** argv) {
   std::vector<std::string> arg_storage;
   std::vector<char*> args;
@@ -324,6 +408,12 @@ int main(int argc, char** argv) {
       json_path = argv[i + 1];
       arg_storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
       arg_storage.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    if (i + 1 < argc && std::string(argv[i]) == "--codec") {
+      arg_storage.push_back(std::string("--benchmark_filter=BM_PostingDecode/") +
+                            argv[i + 1] + "$");
       ++i;
       continue;
     }

@@ -1,6 +1,8 @@
 // Reproduces Table 1: "Space Requirements for the Different Approaches" —
 // inverted-list and auxiliary-index sizes of Naive-ID, Naive-Rank, DIL,
-// RDIL and HDIL on the DBLP-shaped and XMark-shaped corpora.
+// RDIL and HDIL on the DBLP-shaped and XMark-shaped corpora — and sweeps
+// the posting codecs (varint / bp128 / vgb) over the same corpora to
+// report bytes-per-posting and used vs. on-disk list bytes per codec.
 //
 // Paper's numbers (143 MB DBLP / 113 MB XMark):
 //              DBLP  Inv.List/Index      XMARK Inv.List/Index
@@ -13,9 +15,13 @@
 // The absolute sizes scale with corpus size; the *shape* to verify is:
 // naive lists >> DIL lists (worse for deep XMark), RDIL index comparable to
 // its list, HDIL index tiny, HDIL list slightly larger than DIL's.
+//
+// Flags: `--json <path>` writes the codec-sweep metrics; `--codec <name>`
+// restricts the sweep to one registered codec.
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "index/codec.h"
 
 namespace xrank::bench {
 namespace {
@@ -59,12 +65,75 @@ size_t TotalBytes(const std::vector<xml::Document>& docs) {
   return total;
 }
 
+// Rebuilds the same corpus under every registered posting codec and reports
+// the list bytes actually encoded ("used", the sum of ListExtent byte
+// counts) next to the bytes the list file occupies on disk (whole pages,
+// including per-list trailing-page padding), plus the headline
+// bytes-per-posting figure that check_perf.sh tracks.
+void CodecSweep(const char* dataset, const char* slug, datagen::Corpus* corpus,
+                const std::vector<index::IndexKind>& kinds,
+                const std::string& only_codec, JsonReport* json) {
+  std::printf("\n%s — posting-codec space sweep\n", dataset);
+  PrintRule(100);
+  std::printf("%-8s %-12s %14s %14s %14s %16s\n", "Codec", "Approach",
+              "List (used)", "List (disk)", "Entries", "Bytes/posting");
+  PrintRule(100);
+  for (const index::PostingCodec* codec : index::RegisteredPostingCodecs()) {
+    if (!only_codec.empty() && only_codec != codec->name()) continue;
+    core::EngineOptions options;
+    options.build.format = index::PostingFormatSpec{
+        codec->id(), index::RankEncoding::kFloat32};
+    auto engine = BuildEngine(Reparse(corpus), kinds, options);
+    for (index::IndexKind kind : kinds) {
+      const index::IndexStats& stats = engine->index_stats(kind);
+      double bytes_per_posting =
+          stats.entry_count > 0
+              ? static_cast<double>(stats.list_used_bytes) /
+                    static_cast<double>(stats.entry_count)
+              : 0.0;
+      std::printf("%-8s %-12s %14s %14s %14llu %16.2f\n",
+                  std::string(codec->name()).c_str(),
+                  std::string(index::IndexKindName(kind)).c_str(),
+                  BytesToHuman(stats.list_bytes()).c_str(),
+                  BytesToHuman(stats.list_file_bytes()).c_str(),
+                  static_cast<unsigned long long>(stats.entry_count),
+                  bytes_per_posting);
+      if (json != nullptr) {
+        std::string prefix = std::string(slug) + "/" +
+                             std::string(codec->name()) + "/" +
+                             std::string(index::IndexKindName(kind));
+        json->Add(prefix + "/list_used_bytes",
+                  static_cast<double>(stats.list_used_bytes));
+        json->Add(prefix + "/list_disk_bytes",
+                  static_cast<double>(stats.list_file_bytes()));
+        json->Add(prefix + "/bytes_per_posting", bytes_per_posting);
+      }
+    }
+  }
+  PrintRule(100);
+}
+
 }  // namespace
 }  // namespace xrank::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xrank;
   using namespace xrank::bench;
+
+  JsonReport json("table1_space");
+  argc = json.ParseFlag(argc, argv);
+  std::string only_codec;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--codec" && i + 1 < argc) {
+      only_codec = argv[i + 1];
+      if (index::FindPostingCodecByName(only_codec) == nullptr) {
+        std::fprintf(stderr, "error: unknown codec '%s'\n",
+                     only_codec.c_str());
+        return 2;
+      }
+      ++i;
+    }
+  }
 
   std::printf("=== Table 1: Space Requirements for the Different Approaches "
               "===\n");
@@ -79,6 +148,7 @@ int main() {
     size_t input_bytes = TotalBytes(docs);
     auto engine = BuildEngine(std::move(docs), all_kinds);
     Report("DBLP-like", engine.get(), input_bytes);
+    CodecSweep("DBLP-like", "dblp", &corpus, all_kinds, only_codec, &json);
   }
   {
     datagen::Corpus corpus = datagen::GenerateXMark(BenchXMarkOptions());
@@ -86,6 +156,7 @@ int main() {
     size_t input_bytes = TotalBytes(docs);
     auto engine = BuildEngine(std::move(docs), all_kinds);
     Report("XMark-like", engine.get(), input_bytes);
+    CodecSweep("XMark-like", "xmark", &corpus, all_kinds, only_codec, &json);
   }
 
   std::printf(
@@ -93,5 +164,6 @@ int main() {
       "wider on the deeper XMark data); RDIL adds an index comparable to\n"
       "its list; HDIL's stored index is orders of magnitude smaller because\n"
       "the Dewey-ordered list serves as the B+-tree leaf level.\n");
+  if (!json.Write()) return 1;
   return 0;
 }

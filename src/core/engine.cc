@@ -216,6 +216,7 @@ Status XRankEngine::CommitToDisk() {
     entry.file = std::move(name);
     entry.kind = kind;
     entry.page_count = instance.built.file->page_count();
+    entry.format = instance.built.lexicon.format_spec();
     // Reading back through the disk page file re-verifies every page's own
     // header checksum while computing the whole-file CRC.
     XRANK_ASSIGN_OR_RETURN(entry.crc,
@@ -274,6 +275,17 @@ Result<std::unique_ptr<XRankEngine>> XRankEngine::Open(
           " index, MANIFEST expects " +
           std::string(index::IndexKindName(entry.kind)));
     }
+    if (!(built.lexicon.format_spec() == entry.format)) {
+      return Status::Corruption(
+          "'" + path + "' was written with posting codec " +
+          std::to_string(built.lexicon.format_spec().codec_id) +
+          " / rank encoding " +
+          std::to_string(
+              static_cast<uint32_t>(built.lexicon.format_spec().ranks)) +
+          ", MANIFEST expects codec " + std::to_string(entry.format.codec_id) +
+          " / rank encoding " +
+          std::to_string(static_cast<uint32_t>(entry.format.ranks)));
+    }
     IndexInstance instance;
     instance.built = std::move(built);
     instance.cost_model =
@@ -329,13 +341,13 @@ Result<XRankEngine::IndexInstance> XRankEngine::BuildInstance(
     case index::IndexKind::kNaiveId: {
       XRANK_ASSIGN_OR_RETURN(
           built, index::BuildNaiveIdIndex(extracted.naive_postings,
-                                          std::move(file)));
+                                          std::move(file), options_.build));
       break;
     }
     case index::IndexKind::kNaiveRank: {
       XRANK_ASSIGN_OR_RETURN(
           built, index::BuildNaiveRankIndex(extracted.naive_postings,
-                                            std::move(file)));
+                                            std::move(file), options_.build));
       break;
     }
   }

@@ -33,6 +33,25 @@ class DeweyId {
   static Result<DeweyId> FromString(std::string_view text);
 
   const std::vector<uint32_t>& components() const { return components_; }
+
+  // Replaces the components in place, reusing the vector's capacity (hot
+  // posting-decode paths rebuild IDs into recycled Posting buffers).
+  void AssignComponents(const uint32_t* data, size_t count) {
+    components_.assign(data, data + count);
+  }
+
+  // Replaces the components with `prefix` followed by `suffix`, in one
+  // resize — the prefix-delta decode paths stitch a shared ancestor prefix
+  // to a fresh suffix without an intermediate buffer. `prefix` and `suffix`
+  // must not alias this ID's own storage.
+  void AssignParts(const uint32_t* prefix, size_t prefix_len,
+                   const uint32_t* suffix, size_t suffix_len) {
+    components_.resize(prefix_len + suffix_len);
+    uint32_t* dst = components_.data();
+    for (size_t i = 0; i < prefix_len; ++i) dst[i] = prefix[i];
+    dst += prefix_len;
+    for (size_t i = 0; i < suffix_len; ++i) dst[i] = suffix[i];
+  }
   size_t depth() const { return components_.size(); }
   bool empty() const { return components_.empty(); }
   uint32_t component(size_t i) const { return components_[i]; }

@@ -1,0 +1,158 @@
+#ifndef XRANK_INDEX_CODEC_H_
+#define XRANK_INDEX_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "index/posting_types.h"
+#include "storage/page.h"
+
+namespace xrank::index {
+
+// ---------------------------------------------------------- rank encoding --
+//
+// How the per-posting ElemRank is stored on list pages. The default keeps
+// the raw IEEE-754 float; the quantized encodings spend 1 or 2 bytes per
+// posting, linearly scaled by a per-list `rank_scale` (the list's maximum
+// ElemRank, recorded in TermInfo). Quantization always rounds DOWN, so a
+// decoded rank never exceeds the true rank and block-max pruning bounds
+// built from decoded ranks stay sound. Maximum error for true ranks in
+// [0, rank_scale] is one quantum: rank_scale / 255 (u8) or
+// rank_scale / 65535 (u16).
+enum class RankEncoding : uint32_t {
+  kFloat32 = 0,
+  kQuantU8 = 1,
+  kQuantU16 = 2,
+};
+
+inline constexpr uint32_t kRankEncodingCount = 3;
+
+size_t RankEncodedBytes(RankEncoding encoding);     // 4, 1 or 2
+uint32_t RankQuantMax(RankEncoding encoding);       // 0, 255 or 65535
+std::string_view RankEncodingName(RankEncoding encoding);
+
+// rank = scale * q / qmax. Monotone in q; Dequantize(qmax) == scale.
+float DequantizeRank(uint32_t q, float scale, RankEncoding encoding);
+
+// Largest q with Dequantize(q) <= rank (clamped to [0, qmax]); non-finite,
+// non-positive and over-scale ranks clamp to the range ends. With
+// encoding == kFloat32 this returns 0 (there is nothing to quantize).
+uint32_t QuantizeRank(float rank, float scale, RankEncoding encoding);
+
+// Documented error bound: |true - decoded| for true ranks in [0, scale].
+float RankQuantizationBound(RankEncoding encoding, float scale);
+
+// Per-list quantization scale: the list's largest finite ElemRank (1.0 for
+// lists with no positive rank, so dequantization never divides by zero).
+float ComputeRankScale(const std::vector<Posting>& postings);
+
+// ------------------------------------------------------------ format spec --
+//
+// The build-time knob and on-disk identity of a posting format: which codec
+// lays out list pages and how ranks are stored. Recorded in the index
+// header page and in every MANIFEST entry; validated against the registry
+// when an index is opened, so an index built with a codec this binary does
+// not know is refused with a clean error instead of misdecoded.
+struct PostingFormatSpec {
+  uint32_t codec_id = 0;  // kPostingCodecVarint
+  RankEncoding ranks = RankEncoding::kFloat32;
+
+  bool operator==(const PostingFormatSpec& other) const = default;
+};
+
+class PostingCodec;
+
+// A spec resolved against the codec registry plus the per-list parameters a
+// writer or cursor needs: the quantization scale of this particular list
+// and whether its Dewey IDs are prefix-delta coded (Dewey-ordered lists)
+// or independent (rank-ordered lists).
+struct PostingFormat {
+  const PostingCodec* codec = nullptr;
+  RankEncoding ranks = RankEncoding::kFloat32;
+  float rank_scale = 1.0f;
+  bool delta_encode_ids = false;
+
+  // The rank a reader will observe for a posting written with `rank` —
+  // identity for kFloat32, quantize-then-dequantize otherwise. Writers
+  // compute skip-block maxima from this so pruning bounds are exact.
+  float DecodedRank(float rank) const {
+    if (ranks == RankEncoding::kFloat32) return rank;
+    return DequantizeRank(QuantizeRank(rank, rank_scale, ranks), rank_scale,
+                          ranks);
+  }
+};
+
+// ------------------------------------------------------------- interfaces --
+
+// Stateful encoder for one page at a time of a posting list. The writer
+// drives it: Add returns true if the posting was appended to the open page
+// and false if the page is full (the writer then flushes and retries; a
+// retry on an empty page must either succeed or fail the list). Flush
+// serializes the open page and resets the encoder, returning the bytes
+// used (page header included) for space accounting.
+//
+// Page-fit must be decided at each Add: RDIL and Naive-Rank record the
+// (page, slot) location of every posting at Add time, so codecs may not
+// buffer postings and repack them across page boundaries later.
+class PostingPageEncoder {
+ public:
+  virtual ~PostingPageEncoder() = default;
+
+  virtual Result<bool> Add(const Posting& posting) = 0;
+  virtual Result<size_t> Flush(storage::Page* page) = 0;
+  virtual uint32_t count() const = 0;
+};
+
+// A posting-page layout. Stateless and immortal; instances live in the
+// registry and are shared by every writer/cursor using the codec.
+class PostingCodec {
+ public:
+  virtual ~PostingCodec() = default;
+
+  virtual uint32_t id() const = 0;
+  virtual std::string_view name() const = 0;
+
+  virtual std::unique_ptr<PostingPageEncoder> NewEncoder(
+      const PostingFormat& format) const = 0;
+
+  // Decodes every posting of `page` into *out (replacing its contents;
+  // capacity is reused). All failures — truncated streams, absurd counts,
+  // bit-flipped headers — surface as Status::Corruption, never a crash or
+  // an unbounded allocation.
+  virtual Status DecodePage(const storage::Page& page,
+                            const PostingFormat& format,
+                            std::vector<Posting>* out) const = 0;
+};
+
+// -------------------------------------------------------------- registry --
+
+inline constexpr uint32_t kPostingCodecVarint = 0;  // compatibility baseline
+inline constexpr uint32_t kPostingCodecBp128 = 1;   // bit-packed 128-blocks
+inline constexpr uint32_t kPostingCodecVarintGb = 2;  // group-varint bytes
+
+const PostingCodec* FindPostingCodec(uint32_t id);
+const PostingCodec* FindPostingCodecByName(std::string_view name);
+const std::vector<const PostingCodec*>& RegisteredPostingCodecs();
+
+// Registry lookup with a clean error for unknown codec ids / rank
+// encodings (the validation path for manifests and index headers).
+Result<const PostingCodec*> ResolvePostingCodec(const PostingFormatSpec& spec);
+
+// The legacy layout: varint codec, float ranks.
+PostingFormat DefaultPostingFormat(bool delta_encode_ids);
+
+// Resolved format for writing one list: computes the per-list quantization
+// scale from the postings when `spec` uses a quantized rank encoding (the
+// builder must store it in TermInfo::rank_scale so readers reconstruct the
+// identical format).
+PostingFormat MakeWriterFormat(const PostingCodec* codec,
+                               const PostingFormatSpec& spec,
+                               const std::vector<Posting>& postings,
+                               bool delta_encode_ids);
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_CODEC_H_

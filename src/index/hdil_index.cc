@@ -23,25 +23,29 @@ struct HdilShardOutput {
   // Skip-block descriptors for the full Dewey lists (page indices relative
   // to each list's run).
   std::vector<std::vector<SkipEntry>> skips;
+  std::vector<float> rank_scales;  // per-term quantization scale
   Status status = Status::OK();
 };
 
 Status EncodeHdilShard(
     const std::vector<const TermPostingsMap::value_type*>& terms,
     size_t begin, size_t end, const HdilOptions& options,
+    const PostingCodec* codec, const PostingFormatSpec& spec,
     HdilShardOutput* out) {
   out->dewey_scratch = storage::PageFile::CreateInMemory();
   out->rank_scratch = storage::PageFile::CreateInMemory();
   out->dewey_extents.reserve(end - begin);
   out->rank_extents.reserve(end - begin);
   out->separators.reserve(end - begin);
+  out->rank_scales.reserve(end - begin);
   for (size_t t = begin; t < end; ++t) {
     const std::vector<Posting>& postings = terms[t]->second;
 
     // Phase 1: the full Dewey-ordered list (same physical format as DIL),
     // capturing one separator per full-list page.
-    PostingListWriter writer(out->dewey_scratch.get(),
-                             /*delta_encode_ids=*/true);
+    PostingFormat format = MakeWriterFormat(codec, spec, postings,
+                                            /*delta_encode_ids=*/true);
+    PostingListWriter writer(out->dewey_scratch.get(), format);
     std::vector<std::pair<dewey::DeweyId, uint64_t>> separators;
     for (const Posting& posting : postings) {
       XRANK_ASSIGN_OR_RETURN(PostingLocation loc, writer.Add(posting));
@@ -53,6 +57,7 @@ Status EncodeHdilShard(
     out->dewey_extents.push_back(extent);
     out->separators.push_back(std::move(separators));
     out->skips.push_back(writer.TakeSkips());
+    out->rank_scales.push_back(format.rank_scale);
 
     // Select the rank-ordered prefix: top max(min_rank_entries,
     // fraction * n) postings by ElemRank.
@@ -72,9 +77,12 @@ Status EncodeHdilShard(
     rank_prefix.resize(keep);
 
     // Phase 2: the rank-ordered prefix list (raw IDs: rank order destroys
-    // prefix locality).
-    PostingListWriter rank_writer(out->rank_scratch.get(),
-                                  /*delta_encode_ids=*/false);
+    // prefix locality). Reuses the full list's rank_scale — the prefix is
+    // a subset, so the scale still dominates every rank, and readers look
+    // up one scale per term.
+    PostingFormat rank_format = format;
+    rank_format.delta_encode_ids = false;
+    PostingListWriter rank_writer(out->rank_scratch.get(), rank_format);
     for (const Posting& posting : rank_prefix) {
       XRANK_RETURN_NOT_OK(rank_writer.Add(posting).status());
     }
@@ -92,6 +100,9 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
                                   const BuildOptions& build) {
   BuiltIndex index;
   index.kind = IndexKind::kHdil;
+  XRANK_ASSIGN_OR_RETURN(const PostingCodec* codec,
+                         ResolvePostingCodec(build.format));
+  XRANK_RETURN_NOT_OK(index.lexicon.SetFormatSpec(build.format));
   XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
   if (header_page != 0) return Status::Internal("header page must be 0");
 
@@ -112,9 +123,9 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
   std::vector<HdilShardOutput> outputs(shards.size());
   if (num_workers <= 1) {
     for (size_t s = 0; s < shards.size(); ++s) {
-      outputs[s].status = EncodeHdilShard(terms, shards[s].first,
-                                          shards[s].second, options,
-                                          &outputs[s]);
+      outputs[s].status =
+          EncodeHdilShard(terms, shards[s].first, shards[s].second, options,
+                          codec, build.format, &outputs[s]);
     }
   } else {
     ThreadPool pool(static_cast<int>(num_workers));
@@ -123,7 +134,7 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
                        for (size_t s = begin; s < end; ++s) {
                          outputs[s].status = EncodeHdilShard(
                              terms, shards[s].first, shards[s].second,
-                             options, &outputs[s]);
+                             options, codec, build.format, &outputs[s]);
                        }
                      });
   }
@@ -144,6 +155,7 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
       TermInfo info;
       info.list = extent;
       info.skips = std::move(outputs[s].skips[i]);
+      info.rank_scale = outputs[s].rank_scales[i];
       index.lexicon.Add(terms[shards[s].first + i]->first, std::move(info));
     }
   }

@@ -303,6 +303,11 @@ constexpr size_t kLexFirstPageOffset = 40;
 constexpr size_t kLexPageCountOffset = 44;
 constexpr size_t kLexByteLenOffset = 48;
 constexpr size_t kListUsedBytesOffset = 56;
+// Posting format (PR 6). Pre-codec files carry zeros here — pages are
+// zero-initialized — which decodes as (varint, float32), i.e. exactly the
+// legacy layout, so old index files open unchanged.
+constexpr size_t kCodecIdOffset = 64;
+constexpr size_t kRankEncodingOffset = 68;
 
 }  // namespace
 
@@ -363,6 +368,9 @@ Status WriteIndexTrailer(storage::PageFile* file, IndexKind kind,
   header.WriteU32(kLexPageCountOffset, lex_extent.page_count);
   header.WriteU64(kLexByteLenOffset, blob.size());
   header.WriteU64(kListUsedBytesOffset, stats->list_used_bytes);
+  header.WriteU32(kCodecIdOffset, lexicon.format_spec().codec_id);
+  header.WriteU32(kRankEncodingOffset,
+                  static_cast<uint32_t>(lexicon.format_spec().ranks));
   XRANK_RETURN_NOT_OK(file->Write(0, header));
   return file->Sync();
 }
@@ -403,7 +411,13 @@ Result<BuiltIndex> OpenIndex(std::unique_ptr<storage::PageFile> file) {
     blob.append(page.data.data(), chunk);
     if (blob.size() == lex_bytes) break;
   }
-  XRANK_ASSIGN_OR_RETURN(index.lexicon, Lexicon::Deserialize(blob));
+  PostingFormatSpec spec;
+  spec.codec_id = header.ReadU32(kCodecIdOffset);
+  spec.ranks = static_cast<RankEncoding>(header.ReadU32(kRankEncodingOffset));
+  // Refuse cleanly rather than misdecode: an index written by a build with
+  // codecs this binary does not register must not be served.
+  XRANK_RETURN_NOT_OK(ResolvePostingCodec(spec).status());
+  XRANK_ASSIGN_OR_RETURN(index.lexicon, Lexicon::Deserialize(blob, spec));
   index.file = std::move(file);
   return index;
 }

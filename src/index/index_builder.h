@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "graph/graph.h"
 #include "index/analyzer.h"
+#include "index/codec.h"
 #include "index/lexicon.h"
 #include "index/posting.h"
 #include "storage/page_file.h"
@@ -65,6 +66,11 @@ struct ExtractionOptions {
 struct BuildOptions {
   // 0 = hardware concurrency, 1 = sequential reference path.
   int num_threads = 0;
+  // Posting-page codec and rank encoding for every list the build writes.
+  // Recorded in the index header page and the MANIFEST; validated against
+  // the codec registry at open. Default: the varint compatibility baseline
+  // with lossless float ranks (byte-identical to pre-codec indexes).
+  PostingFormatSpec format;
 };
 
 // Output of the shared posting-extraction pass over the graph.

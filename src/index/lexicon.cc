@@ -1,5 +1,6 @@
 #include "index/lexicon.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/varint.h"
@@ -15,6 +16,12 @@ const TermInfo* Lexicon::Find(std::string_view term) const {
   auto it = terms_.find(term);
   if (it == terms_.end()) return nullptr;
   return &it->second;
+}
+
+Status Lexicon::SetFormatSpec(const PostingFormatSpec& spec) {
+  XRANK_ASSIGN_OR_RETURN(codec_, ResolvePostingCodec(spec));
+  spec_ = spec;
+  return Status::OK();
 }
 
 void Lexicon::Serialize(std::string* out) const {
@@ -35,6 +42,16 @@ void Lexicon::Serialize(std::string* out) const {
     PutVarint32(out, info.hash_page_count);
     PutVarint32(out, info.hash_slot_count);
     PutVarint32(out, info.hash_offset);
+    if (spec_.ranks != RankEncoding::kFloat32) {
+      // Per-list quantization scale, 4 raw IEEE-754 bytes. Only present
+      // under quantized rank encodings so float-rank blobs stay
+      // byte-identical to the pre-codec layout.
+      uint32_t scale_bits;
+      static_assert(sizeof(scale_bits) == sizeof(info.rank_scale));
+      std::memcpy(&scale_bits, &info.rank_scale, sizeof(scale_bits));
+      out->append(reinterpret_cast<const char*>(&scale_bits),
+                  sizeof(scale_bits));
+    }
     PutVarint64(out, info.skips.size());
     for (const SkipEntry& skip : info.skips) {
       PutVarint32(out, skip.page_index);
@@ -50,8 +67,10 @@ void Lexicon::Serialize(std::string* out) const {
   }
 }
 
-Result<Lexicon> Lexicon::Deserialize(std::string_view data) {
+Result<Lexicon> Lexicon::Deserialize(std::string_view data,
+                                     const PostingFormatSpec& spec) {
   Lexicon lexicon;
+  XRANK_RETURN_NOT_OK(lexicon.SetFormatSpec(spec));
   size_t offset = 0;
   XRANK_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, &offset));
   for (uint64_t i = 0; i < count; ++i) {
@@ -79,6 +98,18 @@ Result<Lexicon> Lexicon::Deserialize(std::string_view data) {
     XRANK_ASSIGN_OR_RETURN(info.hash_page_count, GetVarint32(data, &offset));
     XRANK_ASSIGN_OR_RETURN(info.hash_slot_count, GetVarint32(data, &offset));
     XRANK_ASSIGN_OR_RETURN(info.hash_offset, GetVarint32(data, &offset));
+    if (spec.ranks != RankEncoding::kFloat32) {
+      if (offset + sizeof(uint32_t) > data.size()) {
+        return Status::Corruption("truncated lexicon rank scale");
+      }
+      uint32_t scale_bits;
+      std::memcpy(&scale_bits, data.data() + offset, sizeof(scale_bits));
+      std::memcpy(&info.rank_scale, &scale_bits, sizeof(scale_bits));
+      offset += sizeof(scale_bits);
+      if (!(info.rank_scale > 0.0f) || !std::isfinite(info.rank_scale)) {
+        return Status::Corruption("lexicon rank scale not positive finite");
+      }
+    }
     XRANK_ASSIGN_OR_RETURN(uint64_t skip_count, GetVarint64(data, &offset));
     if (skip_count > info.list.page_count) {
       return Status::Corruption("lexicon skip count exceeds list pages");

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "index/codec.h"
 #include "index/posting.h"
 #include "storage/btree.h"
 
@@ -27,6 +28,11 @@ struct TermInfo {
   // pages (same space optimization as short B+-trees, Section 4.3.1).
   // Multi-page tables always start at offset 0.
   uint32_t hash_offset = 0;
+  // Codec-specific payload: the per-list linear-quantization scale (the
+  // list's maximum ElemRank) under quantized rank encodings. 1.0 and not
+  // serialized under the default float encoding. Shared by `list` and
+  // `rank_list` (the rank prefix holds a subset of the same postings).
+  float rank_scale = 1.0f;
   // Skip-block descriptors for `list` (one per page: the page's first Dewey
   // ID), in page order. Lets query cursors jump over pages whose ID range
   // precedes the merge frontier. Empty for index kinds that never scan the
@@ -35,7 +41,10 @@ struct TermInfo {
 };
 
 // Term dictionary. Held in memory at query time (as in most IR engines);
-// serialized into the index file's trailing pages.
+// serialized into the index file's trailing pages. Also carries the
+// index-wide posting format: builders stamp it before serialization and
+// OpenIndex restores it from the header page, so query processors derive
+// every cursor's PostingFormat from here.
 class Lexicon {
  public:
   void Add(std::string term, TermInfo info);
@@ -48,11 +57,35 @@ class Lexicon {
     return terms_;
   }
 
+  // Index-wide posting format. SetFormatSpec resolves the codec against the
+  // registry (Corruption for unknown ids). Defaults to varint + float.
+  Status SetFormatSpec(const PostingFormatSpec& spec);
+  const PostingFormatSpec& format_spec() const { return spec_; }
+  const PostingCodec* codec() const { return codec_; }
+  std::string_view codec_name() const { return codec_->name(); }
+
+  // The resolved per-list format for a term's `list`/`rank_list`.
+  PostingFormat ListFormat(const TermInfo& info, bool delta_encode_ids) const {
+    PostingFormat format;
+    format.codec = codec_;
+    format.ranks = spec_.ranks;
+    format.rank_scale = info.rank_scale;
+    format.delta_encode_ids = delta_encode_ids;
+    return format;
+  }
+
   void Serialize(std::string* out) const;
-  static Result<Lexicon> Deserialize(std::string_view data);
+  // `spec` must be the format the blob was serialized under (it gates the
+  // presence of per-term quantization fields); callers read it from the
+  // index header page before deserializing. The default spec matches every
+  // pre-codec index blob.
+  static Result<Lexicon> Deserialize(std::string_view data,
+                                     const PostingFormatSpec& spec = {});
 
  private:
   std::map<std::string, TermInfo, std::less<>> terms_;
+  PostingFormatSpec spec_;
+  const PostingCodec* codec_ = FindPostingCodec(kPostingCodecVarint);
 };
 
 }  // namespace xrank::index

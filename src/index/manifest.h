@@ -29,6 +29,12 @@ struct ManifestEntry {
   IndexKind kind = IndexKind::kDil;
   uint32_t page_count = 0;
   uint32_t crc = 0;  // CRC32C over the logical page payloads, in order
+  // Posting format the file was written with. Serialized as trailing
+  // "codec <id> ranks <id>" tokens; legacy manifests without them parse as
+  // the default (varint, float32). ParseManifest refuses unregistered
+  // codec ids, so a mixed-version index directory fails at open with a
+  // clean error instead of misdecoding pages.
+  PostingFormatSpec format;
 };
 
 struct Manifest {

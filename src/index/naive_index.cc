@@ -131,14 +131,20 @@ Result<std::optional<PostingLocation>> HashIndexLookup(
 }
 
 Result<BuiltIndex> BuildNaiveIdIndex(const TermPostingsMap& naive_postings,
-                                     std::unique_ptr<storage::PageFile> file) {
+                                     std::unique_ptr<storage::PageFile> file,
+                                     const BuildOptions& build) {
   BuiltIndex index;
   index.kind = IndexKind::kNaiveId;
+  XRANK_ASSIGN_OR_RETURN(const PostingCodec* codec,
+                         ResolvePostingCodec(build.format));
+  XRANK_RETURN_NOT_OK(index.lexicon.SetFormatSpec(build.format));
   XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
   if (header_page != 0) return Status::Internal("header page must be 0");
 
   for (const auto& [term, postings] : naive_postings) {
-    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
+    PostingFormat format = MakeWriterFormat(codec, build.format, postings,
+                                            /*delta_encode_ids=*/false);
+    PostingListWriter writer(file.get(), format);
     for (const Posting& posting : postings) {
       XRANK_RETURN_NOT_OK(writer.Add(posting).status());
     }
@@ -148,6 +154,7 @@ Result<BuiltIndex> BuildNaiveIdIndex(const TermPostingsMap& naive_postings,
     index.stats.entry_count += extent.entry_count;
     TermInfo info;
     info.list = extent;
+    info.rank_scale = format.rank_scale;
     index.lexicon.Add(term, info);
   }
 
@@ -159,9 +166,12 @@ Result<BuiltIndex> BuildNaiveIdIndex(const TermPostingsMap& naive_postings,
 
 Result<BuiltIndex> BuildNaiveRankIndex(
     const TermPostingsMap& naive_postings,
-    std::unique_ptr<storage::PageFile> file) {
+    std::unique_ptr<storage::PageFile> file, const BuildOptions& build) {
   BuiltIndex index;
   index.kind = IndexKind::kNaiveRank;
+  XRANK_ASSIGN_OR_RETURN(const PostingCodec* codec,
+                         ResolvePostingCodec(build.format));
+  XRANK_RETURN_NOT_OK(index.lexicon.SetFormatSpec(build.format));
   XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
   if (header_page != 0) return Status::Internal("header page must be 0");
 
@@ -183,7 +193,9 @@ Result<BuiltIndex> BuildNaiveRankIndex(
                 return a->id < b->id;
               });
 
-    PostingListWriter writer(file.get(), /*delta_encode_ids=*/false);
+    PostingFormat format = MakeWriterFormat(codec, build.format, postings,
+                                            /*delta_encode_ids=*/false);
+    PostingListWriter writer(file.get(), format);
     StagedHash stage;
     stage.term = term;
     stage.entries.reserve(postings.size());
@@ -198,6 +210,7 @@ Result<BuiltIndex> BuildNaiveRankIndex(
     index.stats.entry_count += extent.entry_count;
     TermInfo info;
     info.list = extent;
+    info.rank_scale = format.rank_scale;
     index.lexicon.Add(term, info);
     staged.push_back(std::move(stage));
   }

@@ -15,12 +15,14 @@ namespace xrank::index {
 
 // Naive-ID: lists sorted by element ID; queries use an equality merge join.
 Result<BuiltIndex> BuildNaiveIdIndex(const TermPostingsMap& naive_postings,
-                                     std::unique_ptr<storage::PageFile> file);
+                                     std::unique_ptr<storage::PageFile> file,
+                                     const BuildOptions& build = {});
 
 // Naive-Rank: lists sorted by descending ElemRank, plus an on-disk hash
 // index on the element ID for the Threshold Algorithm's random probes.
 Result<BuiltIndex> BuildNaiveRankIndex(const TermPostingsMap& naive_postings,
-                                       std::unique_ptr<storage::PageFile> file);
+                                       std::unique_ptr<storage::PageFile> file,
+                                       const BuildOptions& build = {});
 
 // Probes a term's hash index: returns the location of the element's posting
 // in the rank-ordered list, or nullopt. Page reads go through `pool`.

@@ -4,80 +4,22 @@
 #include <cstring>
 
 #include "common/check.h"
-#include "common/varint.h"
-#include "dewey/codec.h"
 #include "index/block_cache.h"
 
 namespace xrank::index {
 
-namespace {
-
-constexpr size_t kListPageHeaderSize = 2;  // u16 entry count
-
-void EncodePosting(const Posting& posting, const dewey::DeweyId* previous,
-                   std::string* out) {
-  if (previous != nullptr) {
-    dewey::EncodeDeweyIdDelta(*previous, posting.id, out);
-  } else {
-    dewey::EncodeDeweyId(posting.id, out);
-  }
-  uint32_t rank_bits;
-  static_assert(sizeof(rank_bits) == sizeof(posting.elem_rank));
-  std::memcpy(&rank_bits, &posting.elem_rank, sizeof(rank_bits));
-  out->append(reinterpret_cast<const char*>(&rank_bits), sizeof(rank_bits));
-  size_t count = std::min(posting.positions.size(), kMaxPositionsPerPosting);
-  PutVarint32(out, static_cast<uint32_t>(count));
-  uint32_t prev_pos = 0;
-  for (size_t i = 0; i < count; ++i) {
-    PutVarint32(out, posting.positions[i] - prev_pos);
-    prev_pos = posting.positions[i];
-  }
-}
-
-Result<Posting> DecodePosting(std::string_view data, size_t* offset,
-                              const dewey::DeweyId* previous) {
-  Posting posting;
-  if (previous != nullptr) {
-    XRANK_ASSIGN_OR_RETURN(posting.id,
-                           dewey::DecodeDeweyIdDelta(*previous, data, offset));
-  } else {
-    XRANK_ASSIGN_OR_RETURN(posting.id, dewey::DecodeDeweyId(data, offset));
-  }
-  if (*offset + sizeof(uint32_t) > data.size()) {
-    return Status::Corruption("truncated posting rank");
-  }
-  uint32_t rank_bits;
-  std::memcpy(&rank_bits, data.data() + *offset, sizeof(rank_bits));
-  std::memcpy(&posting.elem_rank, &rank_bits, sizeof(rank_bits));
-  *offset += sizeof(rank_bits);
-  XRANK_ASSIGN_OR_RETURN(uint32_t count, GetVarint32(data, offset));
-  if (count > kMaxPositionsPerPosting) {
-    return Status::Corruption("posting position count out of range");
-  }
-  posting.positions.reserve(count);
-  uint32_t position = 0;
-  for (uint32_t i = 0; i < count; ++i) {
-    XRANK_ASSIGN_OR_RETURN(uint32_t delta, GetVarint32(data, offset));
-    position += delta;
-    posting.positions.push_back(position);
-  }
-  return posting;
-}
-
-}  // namespace
-
-size_t EncodedPostingSize(const Posting& posting,
-                          const dewey::DeweyId* previous) {
-  std::string buffer;
-  EncodePosting(posting, previous, &buffer);
-  return buffer.size();
-}
-
 // ---------------------------------------------------------------- writer --
 
 PostingListWriter::PostingListWriter(storage::PageFile* file,
+                                     const PostingFormat& format)
+    : file_(file), format_(format) {
+  XRANK_CHECK(format_.codec != nullptr, "posting format has no codec");
+  encoder_ = format_.codec->NewEncoder(format_);
+}
+
+PostingListWriter::PostingListWriter(storage::PageFile* file,
                                      bool delta_encode_ids)
-    : file_(file), delta_encode_ids_(delta_encode_ids) {}
+    : PostingListWriter(file, DefaultPostingFormat(delta_encode_ids)) {}
 
 Status PostingListWriter::FlushPage() {
   XRANK_ASSIGN_OR_RETURN(storage::PageId page, file_->Allocate());
@@ -89,49 +31,34 @@ Status PostingListWriter::FlushPage() {
     }
   }
   storage::Page page_data{};
-  page_data.WriteU16(0, page_count_in_page_);
-  std::memcpy(page_data.data.data() + kListPageHeaderSize,
-              page_entries_.data(), page_entries_.size());
+  XRANK_ASSIGN_OR_RETURN(size_t used, encoder_->Flush(&page_data));
   XRANK_RETURN_NOT_OK(file_->Write(page, page_data));
   pages_.push_back(page);
-  page_entries_.clear();
-  page_count_in_page_ = 0;
-  previous_id_ = dewey::DeweyId();  // next page starts raw
+  extent_.byte_count += used;
   return Status::OK();
 }
 
 Result<PostingLocation> PostingListWriter::Add(const Posting& posting) {
   XRANK_CHECK(!finished_, "Add after Finish");
-  const dewey::DeweyId* previous =
-      (delta_encode_ids_ && page_count_in_page_ > 0) ? &previous_id_ : nullptr;
-  std::string encoded;
-  EncodePosting(posting, previous, &encoded);
-  if (kListPageHeaderSize + page_entries_.size() + encoded.size() >
-      storage::kPageSize) {
-    if (page_count_in_page_ == 0) {
-      return Status::InvalidArgument("posting larger than a page");
-    }
+  XRANK_ASSIGN_OR_RETURN(bool placed, encoder_->Add(posting));
+  if (!placed) {
     XRANK_RETURN_NOT_OK(FlushPage());
-    // Re-encode raw at the start of the new page.
-    encoded.clear();
-    EncodePosting(posting, nullptr, &encoded);
-    if (kListPageHeaderSize + encoded.size() > storage::kPageSize) {
+    XRANK_ASSIGN_OR_RETURN(placed, encoder_->Add(posting));
+    if (!placed) {
       return Status::InvalidArgument("posting larger than a page");
     }
   }
   PostingLocation loc{static_cast<uint32_t>(pages_.size()),
-                      page_count_in_page_};
-  if (page_count_in_page_ == 0) {
-    extent_.byte_count += kListPageHeaderSize;
+                      encoder_->count() - 1};
+  if (loc.slot == 0) {
     skips_.push_back(SkipEntry{loc.page_index, posting.id});
   }
-  // Block-max maintenance: the descriptor tracks the page's largest
-  // ElemRank so the top-k merge can bound what any posting here can score.
-  skips_.back().max_rank = std::max(skips_.back().max_rank, posting.elem_rank);
-  page_entries_ += encoded;
-  extent_.byte_count += encoded.size();
-  ++page_count_in_page_;
-  previous_id_ = posting.id;
+  // Block-max maintenance: the descriptor tracks the page's largest rank
+  // *as a reader will decode it* (identical under float ranks; the
+  // quantized value under quantized encodings), so the top-k merge's bound
+  // is exact for what queries actually score with.
+  skips_.back().max_rank = std::max(skips_.back().max_rank,
+                                    format_.DecodedRank(posting.elem_rank));
   ++extent_.entry_count;
   return loc;
 }
@@ -139,7 +66,7 @@ Result<PostingLocation> PostingListWriter::Add(const Posting& posting) {
 Result<ListExtent> PostingListWriter::Finish() {
   XRANK_CHECK(!finished_, "double Finish");
   finished_ = true;
-  if (page_count_in_page_ > 0) XRANK_RETURN_NOT_OK(FlushPage());
+  if (encoder_->count() > 0) XRANK_RETURN_NOT_OK(FlushPage());
   extent_.page_count = static_cast<uint32_t>(pages_.size());
   extent_.first_page = pages_.empty() ? storage::kInvalidPage : pages_.front();
   return extent_;
@@ -149,8 +76,15 @@ Result<ListExtent> PostingListWriter::Finish() {
 
 PostingListCursor::PostingListCursor(storage::BufferPool* pool,
                                      const ListExtent& extent,
+                                     const PostingFormat& format)
+    : pool_(pool), extent_(extent), format_(format) {
+  XRANK_CHECK(format_.codec != nullptr, "posting format has no codec");
+}
+
+PostingListCursor::PostingListCursor(storage::BufferPool* pool,
+                                     const ListExtent& extent,
                                      bool delta_encode_ids)
-    : pool_(pool), extent_(extent), delta_encode_ids_(delta_encode_ids) {}
+    : PostingListCursor(pool, extent, DefaultPostingFormat(delta_encode_ids)) {}
 
 bool PostingListCursor::AtEnd() const {
   if (page_index_ >= extent_.page_count) return true;
@@ -162,43 +96,32 @@ bool PostingListCursor::AtEnd() const {
 }
 
 Status PostingListCursor::LoadPage() {
-  if (block_cache_ != nullptr) return LoadCachedPage();
-  XRANK_RETURN_NOT_OK(pool_->Read(extent_.first_page + page_index_, &page_));
-  entries_in_page_ = page_.ReadU16(0);
-  entry_index_ = 0;
-  byte_offset_ = kListPageHeaderSize;
-  previous_id_ = dewey::DeweyId();
-  page_loaded_ = true;
-  return Status::OK();
-}
-
-Status PostingListCursor::LoadCachedPage() {
-  BlockCache::Key key{pool_->file()->file_id(),
-                      extent_.first_page + page_index_};
-  cached_block_ = block_cache_->Lookup(key);
-  if (cached_block_ != nullptr) {
-    ++block_cache_hits_;
-  } else {
-    // Miss: decode the whole page once and publish it. The decoded vector
-    // is immutable from here on — concurrent cursors share it read-only.
-    XRANK_RETURN_NOT_OK(pool_->Read(extent_.first_page + page_index_, &page_));
-    uint16_t count = page_.ReadU16(0);
-    auto block = std::make_shared<std::vector<Posting>>();
-    block->reserve(count);
-    size_t offset = kListPageHeaderSize;
-    dewey::DeweyId previous;
-    for (uint16_t i = 0; i < count; ++i) {
-      const dewey::DeweyId* prev =
-          (delta_encode_ids_ && i > 0) ? &previous : nullptr;
-      XRANK_ASSIGN_OR_RETURN(Posting posting,
-                             DecodePosting(page_.view(), &offset, prev));
-      previous = posting.id;
-      block->push_back(std::move(posting));
+  if (block_cache_ != nullptr) {
+    BlockCache::Key key{pool_->file()->file_id(),
+                        extent_.first_page + page_index_};
+    cached_block_ = block_cache_->Lookup(key);
+    if (cached_block_ != nullptr) {
+      ++block_cache_hits_;
+    } else {
+      // Miss: decode the whole page once and publish it. The decoded
+      // vector is immutable from here on — concurrent cursors share it
+      // read-only.
+      XRANK_RETURN_NOT_OK(
+          pool_->Read(extent_.first_page + page_index_, &page_));
+      auto block = std::make_shared<std::vector<Posting>>();
+      XRANK_RETURN_NOT_OK(
+          format_.codec->DecodePage(page_, format_, block.get()));
+      cached_block_ = std::move(block);
+      block_cache_->Insert(key, cached_block_);
     }
-    cached_block_ = std::move(block);
-    block_cache_->Insert(key, cached_block_);
+    block_ = cached_block_.get();
+  } else {
+    XRANK_RETURN_NOT_OK(pool_->Read(extent_.first_page + page_index_, &page_));
+    XRANK_RETURN_NOT_OK(
+        format_.codec->DecodePage(page_, format_, &local_block_));
+    block_ = &local_block_;
   }
-  entries_in_page_ = static_cast<uint16_t>(cached_block_->size());
+  entries_in_page_ = static_cast<uint32_t>(block_->size());
   entry_index_ = 0;
   page_loaded_ = true;
   return Status::OK();
@@ -222,19 +145,11 @@ Result<bool> PostingListCursor::Next(Posting* out) {
       ++page_index_;
       page_loaded_ = false;
       cached_block_.reset();
+      block_ = nullptr;
       if (page_index_ >= extent_.page_count) return false;
       continue;
     }
-    if (cached_block_ != nullptr) {
-      *out = (*cached_block_)[entry_index_];
-      ++entry_index_;
-      return true;
-    }
-    const dewey::DeweyId* previous =
-        (delta_encode_ids_ && entry_index_ > 0) ? &previous_id_ : nullptr;
-    XRANK_ASSIGN_OR_RETURN(*out,
-                           DecodePosting(page_.view(), &byte_offset_, previous));
-    previous_id_ = out->id;
+    *out = (*block_)[entry_index_];
     ++entry_index_;
     return true;
   }
@@ -242,26 +157,26 @@ Result<bool> PostingListCursor::Next(Posting* out) {
 
 Result<Posting> ReadPostingAt(storage::BufferPool* pool,
                               const ListExtent& extent, PostingLocation loc,
-                              bool delta_encode_ids) {
+                              const PostingFormat& format) {
+  XRANK_CHECK(format.codec != nullptr, "posting format has no codec");
   if (loc.page_index >= extent.page_count) {
     return Status::OutOfRange("posting page out of list bounds");
   }
   storage::Page page;
   XRANK_RETURN_NOT_OK(pool->Read(extent.first_page + loc.page_index, &page));
-  uint16_t count = page.ReadU16(0);
-  if (loc.slot >= count) {
+  std::vector<Posting> block;
+  XRANK_RETURN_NOT_OK(format.codec->DecodePage(page, format, &block));
+  if (loc.slot >= block.size()) {
     return Status::OutOfRange("posting slot out of page bounds");
   }
-  size_t offset = kListPageHeaderSize;
-  dewey::DeweyId previous;
-  Posting posting;
-  for (uint32_t i = 0; i <= loc.slot; ++i) {
-    const dewey::DeweyId* prev =
-        (delta_encode_ids && i > 0) ? &previous : nullptr;
-    XRANK_ASSIGN_OR_RETURN(posting, DecodePosting(page.view(), &offset, prev));
-    previous = posting.id;
-  }
-  return posting;
+  return std::move(block[loc.slot]);
+}
+
+Result<Posting> ReadPostingAt(storage::BufferPool* pool,
+                              const ListExtent& extent, PostingLocation loc,
+                              bool delta_encode_ids) {
+  return ReadPostingAt(pool, extent, loc,
+                       DefaultPostingFormat(delta_encode_ids));
 }
 
 }  // namespace xrank::index

@@ -8,81 +8,22 @@
 #include "common/check.h"
 #include "common/result.h"
 #include "dewey/dewey_id.h"
+#include "index/codec.h"
+#include "index/posting_types.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
 namespace xrank::index {
 
-// One inverted-list entry: the Dewey ID of an element that *directly*
-// contains the keyword, the element's ElemRank, and the (document-global)
-// word positions of the keyword inside that element (paper Section 4.2.1).
-struct Posting {
-  dewey::DeweyId id;
-  float elem_rank = 0.0f;
-  std::vector<uint32_t> positions;
-
-  bool operator==(const Posting& other) const = default;
-};
-
-// Postings whose position list would overflow a page are truncated to this
-// many positions (an element repeating one term 400+ times adds nothing to
-// existence or window computation).
-inline constexpr size_t kMaxPositionsPerPosting = 400;
-
-// Physical location of a posting within a list: page index *within the
-// list's page run* plus the slot on that page. Encoded into B+-tree values.
-// `slot` is 32-bit in memory but the on-disk encoding packs it into 16 bits;
-// EncodePostingLocation asserts the bound rather than truncating silently.
-struct PostingLocation {
-  uint32_t page_index = 0;
-  uint32_t slot = 0;
-};
-
-inline constexpr uint32_t kMaxPostingSlot = 0xFFFF;
-
-inline uint64_t EncodePostingLocation(PostingLocation loc) {
-  XRANK_CHECK(loc.slot <= kMaxPostingSlot,
-              "posting slot overflows the 16-bit location encoding");
-  return (static_cast<uint64_t>(loc.page_index) << 16) | loc.slot;
-}
-inline PostingLocation DecodePostingLocation(uint64_t encoded) {
-  return PostingLocation{static_cast<uint32_t>(encoded >> 16),
-                         static_cast<uint32_t>(encoded & 0xFFFF)};
-}
-
-// One skip-block descriptor: the first Dewey ID stored on page `page_index`
-// of a list's page run, plus the largest ElemRank of any posting on that
-// page. The builder records one per page; a query cursor can then skip
-// every page whose successor descriptor still precedes the merge target,
-// without decoding the postings in between, and the top-k merge uses
-// `max_rank` as a block-max score bound to skip page runs that cannot beat
-// the current k-th result.
-struct SkipEntry {
-  uint32_t page_index = 0;
-  dewey::DeweyId first_id;
-  float max_rank = 0.0f;
-
-  bool operator==(const SkipEntry& other) const = default;
-};
-
-// Extent of one term's list within a page file.
-struct ListExtent {
-  storage::PageId first_page = storage::kInvalidPage;
-  uint32_t page_count = 0;
-  uint64_t entry_count = 0;
-  // Encoded bytes actually used (page headers + postings). Space reporting
-  // uses this; page_count * kPageSize additionally includes the trailing
-  // padding of the last page of each list.
-  uint64_t byte_count = 0;
-};
-
-// Appends postings to consecutive pages of a PageFile. Page layout:
-//   u16 entry count, then back-to-back encoded postings. With
-// `delta_encode_ids` (Dewey-ordered lists) each posting's ID is
-// prefix-delta-coded against the previous posting on the same page (the
-// first posting on a page is raw, so pages are self-decoding).
+// Appends postings to consecutive pages of a PageFile. The page layout is
+// delegated to the format's PostingCodec (index/codec.h); the writer owns
+// page allocation, skip-descriptor maintenance and space accounting, and
+// guarantees the (page, slot) location returned by Add is final — codecs
+// decide page fit per posting and never repack across pages.
 class PostingListWriter {
  public:
+  PostingListWriter(storage::PageFile* file, const PostingFormat& format);
+  // Legacy convenience: the varint compatibility baseline with float ranks.
   PostingListWriter(storage::PageFile* file, bool delta_encode_ids);
 
   // Returns the location the posting was placed at.
@@ -99,10 +40,8 @@ class PostingListWriter {
   Status FlushPage();
 
   storage::PageFile* file_;
-  bool delta_encode_ids_;
-  std::string page_entries_;
-  uint16_t page_count_in_page_ = 0;
-  dewey::DeweyId previous_id_;
+  PostingFormat format_;
+  std::unique_ptr<PostingPageEncoder> encoder_;
   ListExtent extent_;
   std::vector<storage::PageId> pages_;
   std::vector<SkipEntry> skips_;
@@ -112,17 +51,21 @@ class PostingListWriter {
 class BlockCache;
 
 // Sequential cursor over a list's page run (through the buffer pool, so
-// reads are charged to the cost model).
+// reads are charged to the cost model). Pages are decoded whole via the
+// format's codec into a reused buffer — the uniform contract every codec
+// supports (bp128/vgb pages only decode as a unit).
 class PostingListCursor {
  public:
   PostingListCursor(storage::BufferPool* pool, const ListExtent& extent,
+                    const PostingFormat& format);
+  // Legacy convenience: the varint compatibility baseline with float ranks.
+  PostingListCursor(storage::BufferPool* pool, const ListExtent& extent,
                     bool delta_encode_ids);
 
-  // Attaches a decoded-block cache. Pages are then decoded whole: a cache
-  // hit serves every posting of the page without touching the buffer pool
-  // or the decoder; a miss decodes the page once and publishes it. Must be
-  // called before the first Next/SeekToPage. Null (the default) keeps the
-  // incremental decode path.
+  // Attaches a decoded-block cache: a cache hit serves every posting of the
+  // page without touching the buffer pool or the decoder; a miss decodes
+  // the page once and publishes it. Must be called before the first
+  // Next/SeekToPage. Null (the default) decodes into a cursor-local buffer.
   void set_block_cache(BlockCache* cache) { block_cache_ = cache; }
 
   // Reads the next posting; returns false at end of list.
@@ -142,36 +85,32 @@ class PostingListCursor {
 
  private:
   Status LoadPage();
-  // Cache-aware page load: lookup, or decode-whole-page + insert on miss.
-  Status LoadCachedPage();
 
   storage::BufferPool* pool_;
   ListExtent extent_;
-  bool delta_encode_ids_;
+  PostingFormat format_;
   uint32_t page_index_ = 0;
-  uint16_t entries_in_page_ = 0;
-  uint16_t entry_index_ = 0;
-  size_t byte_offset_ = 0;
+  uint32_t entries_in_page_ = 0;
+  uint32_t entry_index_ = 0;
   storage::Page page_;
-  dewey::DeweyId previous_id_;
   bool page_loaded_ = false;
   BlockCache* block_cache_ = nullptr;
-  // Pin on the current page's decoded block when serving from the cache
-  // (outlives eviction; null on the incremental path).
+  // Decoded postings of the current page: `block_` points at either the
+  // cursor-local buffer or a pinned cache block (pin outlives eviction).
+  std::vector<Posting> local_block_;
   std::shared_ptr<const std::vector<Posting>> cached_block_;
+  const std::vector<Posting>* block_ = nullptr;
   uint64_t block_cache_hits_ = 0;
 };
 
-// Random access to one posting (used by RDIL after a B+-tree lookup; decodes
-// the page up to the requested slot).
+// Random access to one posting (used by RDIL after a B+-tree lookup;
+// decodes the posting's page and indexes the slot).
+Result<Posting> ReadPostingAt(storage::BufferPool* pool,
+                              const ListExtent& extent, PostingLocation loc,
+                              const PostingFormat& format);
 Result<Posting> ReadPostingAt(storage::BufferPool* pool,
                               const ListExtent& extent, PostingLocation loc,
                               bool delta_encode_ids);
-
-// Serialized size of `posting` when encoded after `previous` (raw when
-// delta encoding is off or the posting starts a page).
-size_t EncodedPostingSize(const Posting& posting,
-                          const dewey::DeweyId* previous);
 
 }  // namespace xrank::index
 

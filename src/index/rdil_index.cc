@@ -16,15 +16,18 @@ struct RdilShardOutput {
   std::unique_ptr<storage::PageFile> scratch;
   std::vector<ListExtent> extents;  // one per term, shard order
   std::vector<std::vector<std::pair<dewey::DeweyId, uint64_t>>> tree_entries;
+  std::vector<float> rank_scales;  // per-term quantization scale
   Status status = Status::OK();
 };
 
 Status EncodeRdilShard(
     const std::vector<const TermPostingsMap::value_type*>& terms,
-    size_t begin, size_t end, RdilShardOutput* out) {
+    size_t begin, size_t end, const PostingCodec* codec,
+    const PostingFormatSpec& spec, RdilShardOutput* out) {
   out->scratch = storage::PageFile::CreateInMemory();
   out->extents.reserve(end - begin);
   out->tree_entries.reserve(end - begin);
+  out->rank_scales.reserve(end - begin);
   for (size_t t = begin; t < end; ++t) {
     const std::vector<Posting>& postings = terms[t]->second;
     // Sort by descending ElemRank; ties broken by Dewey ID so builds are
@@ -41,7 +44,9 @@ Status EncodeRdilShard(
               });
 
     // Rank order destroys prefix locality, so IDs are stored raw.
-    PostingListWriter writer(out->scratch.get(), /*delta_encode_ids=*/false);
+    PostingFormat format = MakeWriterFormat(codec, spec, postings,
+                                            /*delta_encode_ids=*/false);
+    PostingListWriter writer(out->scratch.get(), format);
     std::vector<std::pair<dewey::DeweyId, uint64_t>> entries;
     entries.reserve(postings.size());
     for (const Posting* posting : by_rank) {
@@ -53,6 +58,7 @@ Status EncodeRdilShard(
               [](const auto& a, const auto& b) { return a.first < b.first; });
     out->extents.push_back(extent);
     out->tree_entries.push_back(std::move(entries));
+    out->rank_scales.push_back(format.rank_scale);
   }
   return Status::OK();
 }
@@ -64,6 +70,9 @@ Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
                                   const BuildOptions& build) {
   BuiltIndex index;
   index.kind = IndexKind::kRdil;
+  XRANK_ASSIGN_OR_RETURN(const PostingCodec* codec,
+                         ResolvePostingCodec(build.format));
+  XRANK_RETURN_NOT_OK(index.lexicon.SetFormatSpec(build.format));
   XRANK_ASSIGN_OR_RETURN(storage::PageId header_page, file->Allocate());
   if (header_page != 0) return Status::Internal("header page must be 0");
 
@@ -87,8 +96,9 @@ Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
   std::vector<RdilShardOutput> outputs(shards.size());
   if (num_workers <= 1) {
     for (size_t s = 0; s < shards.size(); ++s) {
-      outputs[s].status = EncodeRdilShard(terms, shards[s].first,
-                                          shards[s].second, &outputs[s]);
+      outputs[s].status =
+          EncodeRdilShard(terms, shards[s].first, shards[s].second, codec,
+                          build.format, &outputs[s]);
     }
   } else {
     ThreadPool pool(static_cast<int>(num_workers));
@@ -96,8 +106,8 @@ Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
                      [&](size_t begin, size_t end, size_t) {
                        for (size_t s = begin; s < end; ++s) {
                          outputs[s].status = EncodeRdilShard(
-                             terms, shards[s].first, shards[s].second,
-                             &outputs[s]);
+                             terms, shards[s].first, shards[s].second, codec,
+                             build.format, &outputs[s]);
                        }
                      });
   }
@@ -114,6 +124,7 @@ Result<BuiltIndex> BuildRdilIndex(const TermPostingsMap& dewey_postings,
       index.stats.entry_count += extent.entry_count;
       TermInfo info;
       info.list = extent;
+      info.rank_scale = outputs[s].rank_scales[i];
       index.lexicon.Add(terms[shards[s].first + i]->first, info);
     }
   }

@@ -101,7 +101,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (const index::TermInfo* info : infos) {
-      cursors.emplace_back(pool_, info, skipping, block_cache_);
+      cursors.emplace_back(pool_, lexicon_, info, skipping, block_cache_);
       cursors.back().set_deadline(deadline);
     }
   }
@@ -293,6 +293,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
     if (trace != nullptr) {
       QueryTrace::TermStats term;
       term.term = keywords[k];
+      term.codec = std::string(lexicon_->codec_name());
       term.postings_read = cursors[k].postings_read();
       term.pages_skipped = cursors[k].pages_skipped();
       term.block_cache_hits = cursors[k].block_cache_hits();

@@ -43,6 +43,7 @@ void FillIoStats(const storage::CostModel* model, const CostSnapshot& before,
 }  // namespace
 
 Result<size_t> HdilLongestCommonPrefix(storage::BufferPool* pool,
+                                       const index::Lexicon* lexicon,
                                        const index::TermInfo& info,
                                        const dewey::DeweyId& key) {
   if (info.btree_root == storage::kInvalidRef || info.list.entry_count == 0) {
@@ -59,8 +60,8 @@ Result<size_t> HdilLongestCommonPrefix(storage::BufferPool* pool,
   if (seek.has_ceil) pages.push_back(static_cast<uint32_t>(seek.ceil.value));
   size_t best = 0;
   for (uint32_t page : pages) {
-    index::PostingListCursor cursor(pool, info.list,
-                                    /*delta_encode_ids=*/true);
+    index::PostingListCursor cursor(
+        pool, info.list, lexicon->ListFormat(info, /*delta_encode_ids=*/true));
     XRANK_RETURN_NOT_OK(cursor.SeekToPage(page));
     index::Posting posting;
     for (;;) {
@@ -74,8 +75,8 @@ Result<size_t> HdilLongestCommonPrefix(storage::BufferPool* pool,
 }
 
 Status HdilScanPrefix(
-    storage::BufferPool* pool, const index::TermInfo& info,
-    const dewey::DeweyId& prefix,
+    storage::BufferPool* pool, const index::Lexicon* lexicon,
+    const index::TermInfo& info, const dewey::DeweyId& prefix,
     const std::function<bool(const index::Posting&)>& fn) {
   if (info.btree_root == storage::kInvalidRef || info.list.entry_count == 0) {
     return Status::OK();
@@ -90,7 +91,8 @@ Status HdilScanPrefix(
   } else {
     return Status::OK();
   }
-  index::PostingListCursor cursor(pool, info.list, /*delta_encode_ids=*/true);
+  index::PostingListCursor cursor(
+      pool, info.list, lexicon->ListFormat(info, /*delta_encode_ids=*/true));
   XRANK_RETURN_NOT_OK(cursor.SeekToPage(start_page));
   index::Posting posting;
   for (;;) {
@@ -158,8 +160,9 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (size_t k = 0; k < n; ++k) {
-      rank_cursors.emplace_back(pool_, infos[k]->rank_list,
-                                /*delta_encode_ids=*/false);
+      rank_cursors.emplace_back(
+          pool_, infos[k]->rank_list,
+          lexicon_->ListFormat(*infos[k], /*delta_encode_ids=*/false));
       rank_cursors.back().set_block_cache(block_cache_);
       // DIL's cost is predictable a priori: a full sequential scan of each
       // keyword's inverted list (paper Section 4.4.2).
@@ -181,7 +184,8 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     for (size_t k = 0; k < n; ++k) {
       size_t before_scan = hits.size();
       XRANK_RETURN_NOT_OK(HdilScanPrefix(
-          pool_, *infos[k], lcp, [&](const index::Posting& posting) {
+          pool_, lexicon_, *infos[k], lcp,
+          [&](const index::Posting& posting) {
             hits.push_back(Hit{k, posting});
             return true;
           }));
@@ -242,8 +246,8 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     for (size_t j = 0; j < n && lcp_len > 0; ++j) {
       if (j == k) continue;
       XRANK_ASSIGN_OR_RETURN(size_t cpl,
-                             HdilLongestCommonPrefix(pool_, *infos[j],
-                                                     entry.id));
+                             HdilLongestCommonPrefix(pool_, lexicon_,
+                                                     *infos[j], entry.id));
       ++response.stats.btree_probes;
       if (trace != nullptr) ++term_stats[j].btree_probes;
       lcp_len = std::min(lcp_len, cpl);
@@ -313,6 +317,7 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   if (trace != nullptr) {
     for (size_t k = 0; k < n; ++k) {
       term_stats[k].term = keywords[k];
+      term_stats[k].codec = std::string(lexicon_->codec_name());
       term_stats[k].block_cache_hits = rank_cursors[k].block_cache_hits();
       trace->AddTermStats(std::move(term_stats[k]));
     }

@@ -67,16 +67,18 @@ class HdilQueryProcessor {
 
 // The deepest prefix of `key` shared with any posting ID in the term's full
 // list, located through the sparse B+-tree and the list pages themselves
-// (which act as the B+-tree leaf level).
+// (which act as the B+-tree leaf level). `lexicon` supplies the posting
+// codec the list pages were written with.
 Result<size_t> HdilLongestCommonPrefix(storage::BufferPool* pool,
+                                       const index::Lexicon* lexicon,
                                        const index::TermInfo& info,
                                        const dewey::DeweyId& key);
 
 // Scans all postings of the term whose ID has `prefix` as a Dewey prefix,
 // in ID order. Returning false from fn stops the scan.
 Status HdilScanPrefix(
-    storage::BufferPool* pool, const index::TermInfo& info,
-    const dewey::DeweyId& prefix,
+    storage::BufferPool* pool, const index::Lexicon* lexicon,
+    const index::TermInfo& info, const dewey::DeweyId& prefix,
     const std::function<bool(const index::Posting&)>& fn);
 
 }  // namespace xrank::query

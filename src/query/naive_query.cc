@@ -97,7 +97,9 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (size_t k = 0; k < n; ++k) {
-      cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
+      cursors.emplace_back(
+          pool_, infos[k]->list,
+          lexicon_->ListFormat(*infos[k], /*delta_encode_ids=*/false));
     }
   }
   std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
@@ -172,6 +174,7 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
   if (trace != nullptr) {
     for (size_t k = 0; k < n; ++k) {
       term_stats[k].term = keywords[k];
+      term_stats[k].codec = std::string(lexicon_->codec_name());
       trace->AddTermStats(std::move(term_stats[k]));
     }
   }
@@ -218,7 +221,9 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (size_t k = 0; k < n; ++k) {
-      cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
+      cursors.emplace_back(
+          pool_, infos[k]->list,
+          lexicon_->ListFormat(*infos[k], /*delta_encode_ids=*/false));
     }
   }
   std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
@@ -281,8 +286,9 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
         }
         XRANK_ASSIGN_OR_RETURN(
             postings[j],
-            index::ReadPostingAt(pool_, infos[j]->list, *loc,
-                                 /*delta_encode_ids=*/false));
+            index::ReadPostingAt(
+                pool_, infos[j]->list, *loc,
+                lexicon_->ListFormat(*infos[j], /*delta_encode_ids=*/false)));
         ++response.stats.postings_scanned;
         if (trace != nullptr) ++term_stats[j].postings_read;
       }
@@ -316,6 +322,7 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
   if (trace != nullptr) {
     for (size_t k = 0; k < n; ++k) {
       term_stats[k].term = keywords[k];
+      term_stats[k].codec = std::string(lexicon_->codec_name());
       trace->AddTermStats(std::move(term_stats[k]));
     }
   }

@@ -80,7 +80,9 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (size_t k = 0; k < n; ++k) {
-      cursors.emplace_back(pool_, infos[k]->list, /*delta_encode_ids=*/false);
+      cursors.emplace_back(
+          pool_, infos[k]->list,
+          lexicon_->ListFormat(*infos[k], /*delta_encode_ids=*/false));
       btrees.emplace_back(pool_, infos[k]->btree_root);
     }
   }
@@ -108,9 +110,9 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
       for (uint64_t loc : locations) {
         XRANK_ASSIGN_OR_RETURN(
             index::Posting posting,
-            index::ReadPostingAt(pool_, infos[k]->list,
-                                 index::DecodePostingLocation(loc),
-                                 /*delta_encode_ids=*/false));
+            index::ReadPostingAt(
+                pool_, infos[k]->list, index::DecodePostingLocation(loc),
+                lexicon_->ListFormat(*infos[k], /*delta_encode_ids=*/false)));
         ++response.stats.postings_scanned;
         if (trace != nullptr) ++term_stats[k].postings_read;
         hits.push_back(Hit{k, std::move(posting)});
@@ -214,6 +216,7 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
   if (trace != nullptr) {
     for (size_t k = 0; k < n; ++k) {
       term_stats[k].term = keywords[k];
+      term_stats[k].codec = std::string(lexicon_->codec_name());
       trace->AddTermStats(std::move(term_stats[k]));
     }
   }

@@ -81,14 +81,15 @@ std::string QueryTrace::FormatTable() const {
             span.start_us, span.duration_us);
   }
   if (!terms_.empty()) {
-    AppendF(&out, "  %-20s %10s %10s %8s %8s %8s\n", "term", "postings",
-            "pg-skip", "btree", "hash", "blk-hit");
+    AppendF(&out, "  %-20s %8s %10s %10s %8s %8s %8s\n", "term", "codec",
+            "postings", "pg-skip", "btree", "hash", "blk-hit");
     for (const TermStats& term : terms_) {
       AppendF(&out,
-              "  %-20s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %8" PRIu64
+              "  %-20s %8s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %8" PRIu64
               " %8" PRIu64 "\n",
-              term.term.c_str(), term.postings_read, term.pages_skipped,
-              term.btree_probes, term.hash_probes, term.block_cache_hits);
+              term.term.c_str(), term.codec.c_str(), term.postings_read,
+              term.pages_skipped, term.btree_probes, term.hash_probes,
+              term.block_cache_hits);
     }
   }
   return out;
@@ -116,6 +117,8 @@ std::string QueryTrace::FormatJson() const {
     if (i > 0) out += ", ";
     out += "{\"term\": ";
     AppendJsonString(&out, term.term);
+    out += ", \"codec\": ";
+    AppendJsonString(&out, term.codec);
     AppendF(&out,
             ", \"postings_read\": %" PRIu64 ", \"pages_skipped\": %" PRIu64
             ", \"btree_probes\": %" PRIu64 ", \"hash_probes\": %" PRIu64

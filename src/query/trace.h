@@ -32,6 +32,7 @@ class QueryTrace {
 
   struct TermStats {
     std::string term;
+    std::string codec;           // posting codec decoding this term's pages
     uint64_t postings_read = 0;  // list entries decoded for this term
     uint64_t pages_skipped = 0;  // list pages jumped via skip blocks
     uint64_t btree_probes = 0;   // RDIL/HDIL B+-tree probes against it

@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <tuple>
+
 #include "common/random.h"
 #include "index/analyzer.h"
+#include "index/codec.h"
 #include "index/lexicon.h"
 #include "index/posting.h"
 #include "storage/buffer_pool.h"
@@ -52,7 +57,12 @@ struct ListFixture {
   std::vector<PostingLocation> locations;
 
   void Write(const std::vector<Posting>& postings, bool delta) {
-    PostingListWriter writer(file.get(), delta);
+    Write(postings, DefaultPostingFormat(delta));
+  }
+
+  void Write(const std::vector<Posting>& postings,
+             const PostingFormat& format) {
+    PostingListWriter writer(file.get(), format);
     for (const Posting& posting : postings) {
       auto loc = writer.Add(posting);
       ASSERT_TRUE(loc.ok()) << loc.status();
@@ -109,6 +119,116 @@ TEST_P(PostingRoundTripTest, RandomAccessBySlot) {
 
 INSTANTIATE_TEST_SUITE_P(DeltaModes, PostingRoundTripTest,
                          ::testing::Bool());
+
+// Round-trip property over the full format cross-product: every registered
+// codec × every rank encoding × both delta modes. Ids and positions must be
+// exact; ranks must equal the format's own DecodedRank prediction (which
+// writers use for skip-block maxima) and stay within the documented
+// quantization error bound of the original.
+using FormatTuple = std::tuple<uint32_t, RankEncoding, bool>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<FormatTuple> {
+ protected:
+  PostingFormat WriterFormat(const std::vector<Posting>& postings) const {
+    auto [codec_id, ranks, delta] = GetParam();
+    const PostingCodec* codec = FindPostingCodec(codec_id);
+    EXPECT_NE(codec, nullptr);
+    return MakeWriterFormat(codec, PostingFormatSpec{codec_id, ranks},
+                            postings, delta);
+  }
+};
+
+std::string FormatTupleName(const ::testing::TestParamInfo<FormatTuple>& info) {
+  auto [codec_id, ranks, delta] = info.param;
+  std::string name(FindPostingCodec(codec_id)->name());
+  name += "_";
+  name += RankEncodingName(ranks);
+  name += delta ? "_delta" : "_raw";
+  return name;
+}
+
+TEST_P(CodecRoundTripTest, CursorRoundTripsEveryFormat) {
+  auto [codec_id, ranks, delta] = GetParam();
+  auto postings = MakePostings(3000, 11);
+  PostingFormat format = WriterFormat(postings);
+  ListFixture fixture;
+  fixture.Write(postings, format);
+  EXPECT_EQ(fixture.extent.entry_count, postings.size());
+  EXPECT_GT(fixture.extent.page_count, 1u);
+
+  const float bound = RankQuantizationBound(ranks, format.rank_scale);
+  PostingListCursor cursor(fixture.pool.get(), fixture.extent, format);
+  Posting posting;
+  for (size_t i = 0; i < postings.size(); ++i) {
+    auto has = cursor.Next(&posting);
+    ASSERT_TRUE(has.ok()) << has.status();
+    ASSERT_TRUE(*has) << i;
+    EXPECT_EQ(posting.id, postings[i].id) << i;
+    EXPECT_EQ(posting.positions, postings[i].positions) << i;
+    // Bitwise agreement with the writer-side prediction, and within the
+    // documented quantization bound of the true rank (floor quantization:
+    // never above it).
+    EXPECT_EQ(posting.elem_rank, format.DecodedRank(postings[i].elem_rank))
+        << i;
+    EXPECT_LE(posting.elem_rank, postings[i].elem_rank) << i;
+    EXPECT_LE(std::abs(posting.elem_rank - postings[i].elem_rank), bound)
+        << i;
+  }
+  auto has = cursor.Next(&posting);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST_P(CodecRoundTripTest, RandomAccessBySlotEveryFormat) {
+  auto postings = MakePostings(1000, 12);
+  PostingFormat format = WriterFormat(postings);
+  ListFixture fixture;
+  fixture.Write(postings, format);
+  for (size_t i = 0; i < postings.size(); i += 37) {
+    auto posting = ReadPostingAt(fixture.pool.get(), fixture.extent,
+                                 fixture.locations[i], format);
+    ASSERT_TRUE(posting.ok()) << posting.status();
+    EXPECT_EQ(posting->id, postings[i].id) << i;
+    EXPECT_EQ(posting->positions, postings[i].positions) << i;
+    EXPECT_EQ(posting->elem_rank, format.DecodedRank(postings[i].elem_rank))
+        << i;
+  }
+  EXPECT_FALSE(ReadPostingAt(fixture.pool.get(), fixture.extent,
+                             PostingLocation{fixture.extent.page_count, 0},
+                             format)
+                   .ok());
+}
+
+TEST_P(CodecRoundTripTest, SeekToPageEveryFormat) {
+  auto postings = MakePostings(2000, 13);
+  PostingFormat format = WriterFormat(postings);
+  ListFixture fixture;
+  fixture.Write(postings, format);
+  ASSERT_GT(fixture.extent.page_count, 2u);
+  size_t first_on_page1 = 0;
+  while (fixture.locations[first_on_page1].page_index != 1) ++first_on_page1;
+
+  PostingListCursor cursor(fixture.pool.get(), fixture.extent, format);
+  ASSERT_TRUE(cursor.SeekToPage(1).ok());
+  Posting posting;
+  auto has = cursor.Next(&posting);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(posting.id, postings[first_on_page1].id);
+  EXPECT_FALSE(cursor.SeekToPage(fixture.extent.page_count).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, CodecRoundTripTest,
+    ::testing::Combine(::testing::Values(kPostingCodecVarint,
+                                         kPostingCodecBp128,
+                                         kPostingCodecVarintGb),
+                       ::testing::Values(RankEncoding::kFloat32,
+                                         RankEncoding::kQuantU8,
+                                         RankEncoding::kQuantU16),
+                       ::testing::Bool()),
+    FormatTupleName);
 
 TEST(PostingListTest, SeekToPageStartsAtPageBoundary) {
   auto postings = MakePostings(2000, 7);

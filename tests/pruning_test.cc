@@ -18,6 +18,7 @@
 #include "common/random.h"
 #include "datagen/vocabulary.h"
 #include "index/block_cache.h"
+#include "index/codec.h"
 #include "index/lexicon.h"
 #include "index/posting.h"
 #include "query/dil_query.h"
@@ -169,6 +170,134 @@ TEST_P(PruningPropertyTest, HdilWithBlockCacheMatchesWithout) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PruningPropertyTest,
                          ::testing::Range<uint64_t>(1, 9));
 
+// One (spec, label) per registered codec plus quantized-rank variants; the
+// label doubles as the gtest parameter name.
+struct CodecParam {
+  index::PostingFormatSpec spec;
+  const char* label;
+};
+
+inline const std::vector<CodecParam>& AllCodecParams() {
+  static const std::vector<CodecParam> params = {
+      {{index::kPostingCodecVarint, index::RankEncoding::kFloat32},
+       "varint_f32"},
+      {{index::kPostingCodecBp128, index::RankEncoding::kFloat32},
+       "bp128_f32"},
+      {{index::kPostingCodecVarintGb, index::RankEncoding::kFloat32},
+       "vgb_f32"},
+      {{index::kPostingCodecBp128, index::RankEncoding::kQuantU16},
+       "bp128_q16"},
+      {{index::kPostingCodecVarintGb, index::RankEncoding::kQuantU8},
+       "vgb_q8"},
+  };
+  return params;
+}
+
+std::string CodecParamName(
+    const ::testing::TestParamInfo<CodecParam>& info) {
+  return info.param.label;
+}
+
+class CodecPruningPropertyTest : public ::testing::TestWithParam<CodecParam> {
+};
+
+// The pruned-vs-exhaustive and skip-vs-exhaustive oracles must hold under
+// every registered codec and under quantized ranks. All processors read the
+// same index, so even quantized ranks compare bitwise — quantization error
+// (bounded by RankQuantizationBound, exercised in posting/codec tests) is
+// identical on both sides of the oracle.
+TEST_P(CodecPruningPropertyTest, PrunedTopKMatchesExhaustiveOracle) {
+  index::BuildOptions build;
+  build.format = GetParam().spec;
+  datagen::Vocabulary vocab(8);
+  for (uint64_t seed : {3u, 7u}) {
+    auto corpus = BuildIndexedCorpus(RandomCorpus(seed + 6000, 10), {}, 1024,
+                                     build);
+    ASSERT_EQ(corpus->lexicon(IndexKind::kDil)->format_spec(),
+              GetParam().spec);
+    Random rng(seed * 53 + 17);
+
+    query::DilQueryProcessor exhaustive(corpus->pool(IndexKind::kDil),
+                                        corpus->lexicon(IndexKind::kDil),
+                                        ScoringOptions{},
+                                        /*use_skip_blocks=*/false);
+    query::DilQueryProcessor skip_only(corpus->pool(IndexKind::kDil),
+                                       corpus->lexicon(IndexKind::kDil),
+                                       ScoringOptions{},
+                                       /*use_skip_blocks=*/true,
+                                       /*block_cache=*/nullptr,
+                                       /*use_block_max_pruning=*/false);
+    query::DilQueryProcessor pruned(corpus->pool(IndexKind::kDil),
+                                    corpus->lexicon(IndexKind::kDil),
+                                    ScoringOptions{},
+                                    /*use_skip_blocks=*/true,
+                                    /*block_cache=*/nullptr,
+                                    /*use_block_max_pruning=*/true);
+    for (int trial = 0; trial < 4; ++trial) {
+      size_t nk = 1 + rng.Uniform(3);
+      std::set<std::string> chosen;
+      while (chosen.size() < nk) chosen.insert(vocab.Word(rng.Uniform(8)));
+      std::vector<std::string> keywords(chosen.begin(), chosen.end());
+
+      for (size_t m : {1u, 3u, 100u}) {
+        auto oracle = exhaustive.Execute(keywords, m);
+        ASSERT_TRUE(oracle.ok()) << oracle.status();
+        for (auto* processor : {&skip_only, &pruned}) {
+          auto got = processor->Execute(keywords, m);
+          ASSERT_TRUE(got.ok()) << got.status();
+          ExpectIdenticalResponses(*got, *oracle,
+                                   std::string(GetParam().label) +
+                                       " m=" + std::to_string(m) +
+                                       " kw=" + keywords[0]);
+        }
+      }
+    }
+  }
+}
+
+// HDIL's TA phase (rank-ordered prefix + random probes) under every codec.
+TEST_P(CodecPruningPropertyTest, HdilMatchesDilOracle) {
+  index::BuildOptions build;
+  build.format = GetParam().spec;
+  datagen::Vocabulary vocab(8);
+  auto corpus =
+      BuildIndexedCorpus(RandomCorpus(9001, 8), {}, 1024, build);
+  Random rng(97);
+
+  query::DilQueryProcessor oracle(corpus->pool(IndexKind::kDil),
+                                  corpus->lexicon(IndexKind::kDil),
+                                  ScoringOptions{},
+                                  /*use_skip_blocks=*/false);
+  query::HdilQueryProcessor hdil(corpus->pool(IndexKind::kHdil),
+                                 corpus->lexicon(IndexKind::kHdil),
+                                 ScoringOptions{});
+  for (int trial = 0; trial < 4; ++trial) {
+    size_t nk = 1 + rng.Uniform(3);
+    std::set<std::string> chosen;
+    while (chosen.size() < nk) chosen.insert(vocab.Word(rng.Uniform(8)));
+    std::vector<std::string> keywords(chosen.begin(), chosen.end());
+    for (size_t m : {3u, 25u}) {
+      auto a = oracle.Execute(keywords, m);
+      auto b = hdil.Execute(keywords, m);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      // Ids must agree exactly; ranks to within float noise (HDIL's TA
+      // phase may aggregate in a different order than the DIL merge).
+      ASSERT_EQ(b->results.size(), a->results.size()) << GetParam().label;
+      for (size_t i = 0; i < a->results.size(); ++i) {
+        EXPECT_EQ(b->results[i].id, a->results[i].id)
+            << GetParam().label << " i=" << i;
+        EXPECT_NEAR(b->results[i].rank, a->results[i].rank, 1e-9)
+            << GetParam().label << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecPruningPropertyTest,
+                         ::testing::ValuesIn(AllCodecParams()),
+                         CodecParamName);
+
 // Hand-built two-term index with full control over ElemRanks: every
 // document holds both terms (document skipping can never help), the first
 // few documents carry large ranks and the long tail is tiny — the regime
@@ -180,13 +309,17 @@ struct SyntheticIndex {
   index::Lexicon lexicon;
 };
 
-SyntheticIndex BuildSkewedIndex(uint32_t docs) {
+SyntheticIndex BuildSkewedIndex(uint32_t docs,
+                                index::PostingFormatSpec spec = {}) {
   SyntheticIndex out;
   out.file = storage::PageFile::CreateInMemory();
+  EXPECT_TRUE(out.lexicon.SetFormatSpec(spec).ok());
+  auto codec = index::ResolvePostingCodec(spec);
+  EXPECT_TRUE(codec.ok()) << codec.status();
   const char* terms[] = {"hot", "cold"};
   for (uint32_t t = 0; t < 2; ++t) {
-    index::PostingListWriter writer(out.file.get(),
-                                    /*delta_encode_ids=*/true);
+    std::vector<index::Posting> postings;
+    postings.reserve(docs);
     for (uint32_t d = 0; d < docs; ++d) {
       index::Posting posting;
       posting.id = dewey::DeweyId{d, 1};
@@ -194,6 +327,12 @@ SyntheticIndex BuildSkewedIndex(uint32_t docs) {
           d < 16 ? 1000.0f - static_cast<float>(d)
                  : 1.0f / static_cast<float>(d + 2);
       posting.positions = {t + 1};
+      postings.push_back(std::move(posting));
+    }
+    index::PostingFormat format = index::MakeWriterFormat(
+        *codec, spec, postings, /*delta_encode_ids=*/true);
+    index::PostingListWriter writer(out.file.get(), format);
+    for (const index::Posting& posting : postings) {
       auto loc = writer.Add(posting);
       EXPECT_TRUE(loc.ok()) << loc.status();
     }
@@ -202,6 +341,7 @@ SyntheticIndex BuildSkewedIndex(uint32_t docs) {
     index::TermInfo info;
     info.list = *extent;
     info.skips = writer.TakeSkips();
+    info.rank_scale = format.rank_scale;
     out.lexicon.Add(terms[t], std::move(info));
   }
   out.cost_model = std::make_unique<storage::CostModel>();
@@ -232,6 +372,35 @@ TEST(PruningTest, PrunesBlocksOnSkewedRanksAndMatchesOracle) {
   EXPECT_LT(fast->stats.postings_scanned, slow->stats.postings_scanned);
   EXPECT_EQ(slow->stats.blocks_pruned, 0u);
 }
+
+// Same skewed regime under every codec and quantized-rank mode: pruning
+// must still fire and still be invisible in the results. Both processors
+// read the same index, so quantized ranks compare bitwise too.
+class SkewedCodecPruningTest : public ::testing::TestWithParam<CodecParam> {};
+
+TEST_P(SkewedCodecPruningTest, PrunesAndMatchesOracle) {
+  SyntheticIndex idx = BuildSkewedIndex(10000, GetParam().spec);
+  std::vector<std::string> keywords = {"hot", "cold"};
+
+  query::DilQueryProcessor pruned(idx.pool.get(), &idx.lexicon,
+                                  ScoringOptions{});
+  query::DilQueryProcessor exhaustive(idx.pool.get(), &idx.lexicon,
+                                      ScoringOptions{},
+                                      /*use_skip_blocks=*/false);
+  auto fast = pruned.Execute(keywords, 10);
+  auto slow = exhaustive.Execute(keywords, 10);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  ASSERT_EQ(fast->results.size(), 10u);
+  ExpectIdenticalResponses(*fast, *slow, GetParam().label);
+  EXPECT_GT(fast->stats.blocks_pruned, 0u) << GetParam().label;
+  EXPECT_LT(fast->stats.postings_scanned, slow->stats.postings_scanned)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, SkewedCodecPruningTest,
+                         ::testing::ValuesIn(AllCodecParams()),
+                         CodecParamName);
 
 // Pruning must disable itself under scoring options where the bound is
 // unsound (sum aggregation) and still match the oracle.

@@ -41,7 +41,7 @@ TEST(HdilProbeTest, LongestCommonPrefixMatchesBruteForce) {
   const auto& probes = corpus->extracted.dewey_postings.at("sel1");
   const auto& targets = corpus->extracted.dewey_postings.at("sel0");
   for (const index::Posting& probe : probes) {
-    auto lcp = HdilLongestCommonPrefix(pool, *target, probe.id);
+    auto lcp = HdilLongestCommonPrefix(pool, lexicon, *target, probe.id);
     ASSERT_TRUE(lcp.ok()) << lcp.status();
     size_t expected = 0;
     for (const index::Posting& posting : targets) {
@@ -72,7 +72,7 @@ TEST(HdilProbeTest, ScanPrefixMatchesBruteForce) {
   prefixes.push_back(dewey::DeweyId({999}));  // matches nothing
   for (const dewey::DeweyId& prefix : prefixes) {
     std::vector<dewey::DeweyId> scanned;
-    ASSERT_TRUE(HdilScanPrefix(pool, *info, prefix,
+    ASSERT_TRUE(HdilScanPrefix(pool, lexicon, *info, prefix,
                                [&](const index::Posting& posting) {
                                  scanned.push_back(posting.id);
                                  return true;

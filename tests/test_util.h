@@ -55,7 +55,7 @@ struct IndexedCorpus {
 inline std::unique_ptr<IndexedCorpus> BuildIndexedCorpus(
     std::vector<std::pair<std::string, std::string>> docs,
     const index::HdilOptions& hdil_options = {},
-    size_t buffer_pool_pages = 1024) {
+    size_t buffer_pool_pages = 1024, const index::BuildOptions& build = {}) {
   auto corpus = std::make_unique<IndexedCorpus>();
   graph::GraphBuilder builder;
   for (const auto& [text, uri] : docs) {
@@ -90,20 +90,21 @@ inline std::unique_ptr<IndexedCorpus> BuildIndexedCorpus(
   };
   install(index::IndexKind::kDil,
           index::BuildDilIndex(corpus->extracted.dewey_postings,
-                               storage::PageFile::CreateInMemory()));
+                               storage::PageFile::CreateInMemory(), build));
   install(index::IndexKind::kRdil,
           index::BuildRdilIndex(corpus->extracted.dewey_postings,
-                                storage::PageFile::CreateInMemory()));
+                                storage::PageFile::CreateInMemory(), build));
   install(index::IndexKind::kHdil,
           index::BuildHdilIndex(corpus->extracted.dewey_postings,
                                 storage::PageFile::CreateInMemory(),
-                                hdil_options));
+                                hdil_options, build));
   install(index::IndexKind::kNaiveId,
           index::BuildNaiveIdIndex(corpus->extracted.naive_postings,
-                                   storage::PageFile::CreateInMemory()));
+                                   storage::PageFile::CreateInMemory(), build));
   install(index::IndexKind::kNaiveRank,
           index::BuildNaiveRankIndex(corpus->extracted.naive_postings,
-                                     storage::PageFile::CreateInMemory()));
+                                     storage::PageFile::CreateInMemory(),
+                                     build));
   return corpus;
 }
 

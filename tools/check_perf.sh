@@ -46,6 +46,34 @@ print(f"check_perf: pruned top-k merge {speedup:.2f}x vs exhaustive")
 if speedup < 1.0:
     print("check_perf: FAIL — block-max pruning slower than exhaustive merge")
     sys.exit(1)
+
+# Posting-codec gate: the bit-packed block codec must decode at >= 2x the
+# varint baseline's throughput while spending no more bytes per posting
+# (reference host: ~8x and ~0.76x; 2.0/1.0 only catch real regressions).
+decode = {b["name"]: b for b in report["benchmarks"]
+          if b["name"].startswith("BM_PostingDecode/")}
+varint = decode.get("BM_PostingDecode/varint")
+bp128 = decode.get("BM_PostingDecode/bp128")
+if varint is None or bp128 is None:
+    print("check_perf: FAIL — PostingDecode benchmarks missing from",
+          sys.argv[1])
+    sys.exit(2)
+for name, row in sorted(decode.items()):
+    print(f"check_perf: {name.split('/')[1]} decode "
+          f"{row['items_per_second'] / 1e6:.1f} M postings/s, "
+          f"{row['bytes_per_posting']:.2f} bytes/posting")
+ratio = bp128["items_per_second"] / varint["items_per_second"]
+if ratio < 2.0:
+    print(f"check_perf: FAIL — bp128 decode only {ratio:.2f}x varint "
+          "(gate: 2.0x)")
+    sys.exit(1)
+if bp128["bytes_per_posting"] > varint["bytes_per_posting"]:
+    print("check_perf: FAIL — bp128 spends more bytes per posting than "
+          "varint")
+    sys.exit(1)
+print(f"check_perf: bp128 decode {ratio:.2f}x varint throughput, "
+      f"{bp128['bytes_per_posting'] / varint['bytes_per_posting']:.2f}x "
+      "bytes/posting")
 EOF
 
 JSON="$DIR/check_perf_scaling.json"

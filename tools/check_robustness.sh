@@ -15,7 +15,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-FILTER='CorruptionTest|FaultInjectionTest'
+FILTER='CorruptionTest|FaultInjectionTest|CodecValidationTest|CodecPageTest|BitpackTest'
 
 for SAN in address undefined; do
   echo "=== robustness suites under ${SAN} sanitizer ==="

@@ -2,6 +2,10 @@
 //
 //   xrank_cli [query] [options] <file.xml ...>
 //     --index=dil|rdil|hdil|naive-id|naive-rank   (default hdil)
+//     --codec=varint|bp128|vgb                    (posting codec, default
+//                                                  varint)
+//     --quant-ranks=u8|u16                        (quantized ElemRanks;
+//                                                  default lossless float)
 //     --top=N                                     (default 10)
 //     --disjunctive                               (OR semantics, DIL only)
 //     --tfidf                                     (tf-idf posting ranks
@@ -37,6 +41,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "index/codec.h"
 #include "index/manifest.h"
 #include "query/trace.h"
 #include "xml/parser.h"
@@ -50,6 +55,7 @@ using xrank::index::IndexKind;
 
 struct CliOptions {
   IndexKind kind = IndexKind::kHdil;
+  xrank::index::PostingFormatSpec format;
   size_t top = 10;
   bool disjunctive = false;
   bool tfidf = false;
@@ -83,6 +89,25 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int first = 1) {
     if (xrank::StartsWith(arg, "--index=")) {
       if (!ParseIndexKind(arg.substr(8), &options->kind)) {
         std::fprintf(stderr, "unknown index kind '%s'\n", arg.c_str() + 8);
+        return false;
+      }
+    } else if (xrank::StartsWith(arg, "--codec=")) {
+      const xrank::index::PostingCodec* codec =
+          xrank::index::FindPostingCodecByName(arg.substr(8));
+      if (codec == nullptr) {
+        std::fprintf(stderr, "unknown posting codec '%s'\n", arg.c_str() + 8);
+        return false;
+      }
+      options->format.codec_id = codec->id();
+    } else if (xrank::StartsWith(arg, "--quant-ranks=")) {
+      std::string mode = arg.substr(14);
+      if (mode == "u8") {
+        options->format.ranks = xrank::index::RankEncoding::kQuantU8;
+      } else if (mode == "u16") {
+        options->format.ranks = xrank::index::RankEncoding::kQuantU16;
+      } else {
+        std::fprintf(stderr, "unknown rank quantization '%s'\n",
+                     mode.c_str());
         return false;
       }
     } else if (xrank::StartsWith(arg, "--top=")) {
@@ -175,10 +200,17 @@ int RunVerify(int argc, char** argv) {
     xrank::Status status =
         xrank::index::VerifyManifestEntry(dir, entry, &first_bad);
     if (status.ok()) {
-      std::printf("  %-16s %-10s %6u pages  crc %08x  OK\n",
-                  entry.file.c_str(),
-                  std::string(xrank::index::IndexKindName(entry.kind)).c_str(),
-                  entry.page_count, entry.crc);
+      // ParseManifest refuses unregistered codecs, so the lookup cannot miss.
+      const xrank::index::PostingCodec* codec =
+          xrank::index::FindPostingCodec(entry.format.codec_id);
+      std::printf(
+          "  %-16s %-10s %6u pages  crc %08x  codec %u (%s, %s ranks)  OK\n",
+          entry.file.c_str(),
+          std::string(xrank::index::IndexKindName(entry.kind)).c_str(),
+          entry.page_count, entry.crc, entry.format.codec_id,
+          std::string(codec->name()).c_str(),
+          std::string(xrank::index::RankEncodingName(entry.format.ranks))
+              .c_str());
       continue;
     }
     ++damaged;
@@ -230,23 +262,30 @@ xrank::Result<std::unique_ptr<XRankEngine>> BuildEngineFromCli(
   if (cli->tfidf) {
     options.extraction.rank_source = xrank::index::RankSource::kTfIdf;
   }
+  options.build.format = cli->format;
 
   auto engine = XRankEngine::Build(std::move(docs), options);
   if (!engine.ok()) return engine.status();
+  const xrank::index::PostingCodec* codec =
+      xrank::index::FindPostingCodec(cli->format.codec_id);
   std::fprintf(quiet ? stderr : stdout,
                "indexed %zu documents, %zu elements, %zu hyperlinks "
-               "(%s, %s ranks)\n",
+               "(%s, %s ranks, codec %u/%s, %s rank storage)\n",
                (*engine)->graph().document_count(),
                (*engine)->graph().element_count(),
                (*engine)->graph().total_hyperlink_count(),
                std::string(xrank::index::IndexKindName(cli->kind)).c_str(),
-               cli->tfidf ? "tf-idf" : "ElemRank");
+               cli->tfidf ? "tf-idf" : "ElemRank", cli->format.codec_id,
+               codec != nullptr ? std::string(codec->name()).c_str() : "?",
+               std::string(xrank::index::RankEncodingName(cli->format.ranks))
+                   .c_str());
   return engine;
 }
 
 void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [query] [--index=dil|rdil|hdil|naive-id|naive-rank] "
+               "[--codec=varint|bp128|vgb] [--quant-ranks=u8|u16] "
                "[--top=N] [--disjunctive] [--tfidf] [--trace] [--json] "
                "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
                "       %s stats [--json] [options] <file.xml ...>\n"
