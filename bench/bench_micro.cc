@@ -320,6 +320,7 @@ SkewedIndex* GetSkewedIndex() {
       index::TermInfo info;
       info.list = *extent;
       info.skips = writer.TakeSkips();
+      info.max_doc_rank = writer.max_doc_rank();
       out->lexicon.Add(terms[t], std::move(info));
     }
     out->cost_model = std::make_unique<storage::CostModel>();
@@ -367,6 +368,58 @@ void BM_TopkMergePrunedCached(benchmark::State& state) {
   RunTopkMerge(state, /*use_skip_blocks=*/true, /*use_pruning=*/true, cache);
 }
 BENCHMARK(BM_TopkMergePrunedCached);
+
+// Disjunctive top-k over the same skewed corpus: the exhaustive merge must
+// consume both full lists; MaxScore / WAND / block-max WAND prune on the
+// score bounds instead. check_perf.sh gates the pruned rows against the
+// exhaustive baseline.
+void RunDisjunctiveTopk(benchmark::State& state,
+                        query::MergeAlgorithm algorithm,
+                        bool use_skip_blocks) {
+  SkewedIndex* idx = GetSkewedIndex();
+  query::ScoringOptions scoring;
+  scoring.semantics = query::QuerySemantics::kDisjunctive;
+  query::DilQueryProcessor processor(idx->pool.get(), &idx->lexicon, scoring,
+                                     use_skip_blocks);
+  std::vector<std::string> keywords = {"hot", "cold"};
+  query::QueryOptions options;
+  options.algorithm = algorithm;
+  uint64_t postings = 0;
+  for (auto _ : state) {
+    auto response = processor.Execute(keywords, 10, options);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    postings += response->stats.postings_scanned;
+    benchmark::DoNotOptimize(response->results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(postings));
+}
+
+void BM_TopkDisjunctiveExhaustive(benchmark::State& state) {
+  RunDisjunctiveTopk(state, query::MergeAlgorithm::kExhaustive,
+                     /*use_skip_blocks=*/false);
+}
+BENCHMARK(BM_TopkDisjunctiveExhaustive);
+
+void BM_TopkDisjunctiveMaxScore(benchmark::State& state) {
+  RunDisjunctiveTopk(state, query::MergeAlgorithm::kMaxScore,
+                     /*use_skip_blocks=*/true);
+}
+BENCHMARK(BM_TopkDisjunctiveMaxScore);
+
+void BM_TopkDisjunctiveWand(benchmark::State& state) {
+  RunDisjunctiveTopk(state, query::MergeAlgorithm::kWand,
+                     /*use_skip_blocks=*/true);
+}
+BENCHMARK(BM_TopkDisjunctiveWand);
+
+void BM_TopkDisjunctiveBmw(benchmark::State& state) {
+  RunDisjunctiveTopk(state, query::MergeAlgorithm::kBlockMaxWand,
+                     /*use_skip_blocks=*/true);
+}
+BENCHMARK(BM_TopkDisjunctiveBmw);
 
 }  // namespace
 }  // namespace xrank

@@ -3,12 +3,61 @@
 // desired number of results m. DIL's cost is flat (it always scans the full
 // lists); RDIL's cost grows with m because the threshold must fall further
 // before it can stop.
+//
+// A second sweep covers the disjunctive dynamic-pruning strategies
+// (MaxScore / WAND / block-max WAND) against the exhaustive merge across
+// k x term-count, verifying on every query that the pruned top-k is
+// bitwise identical to the oracle — any mismatch fails the binary, so the
+// perf gate doubles as a correctness gate.
 
 #include "bench_util.h"
 
-int main() {
-  using namespace xrank;
-  using namespace xrank::bench;
+#include <cstdlib>
+
+namespace {
+
+using namespace xrank;
+using namespace xrank::bench;
+
+const char* AlgorithmFlagName(query::MergeAlgorithm algorithm) {
+  switch (algorithm) {
+    case query::MergeAlgorithm::kExhaustive:
+      return "exhaustive";
+    case query::MergeAlgorithm::kMaxScore:
+      return "maxscore";
+    case query::MergeAlgorithm::kWand:
+      return "wand";
+    case query::MergeAlgorithm::kBlockMaxWand:
+      return "bmw";
+    default:
+      return "auto";
+  }
+}
+
+// Fails the whole run when a pruned response differs from the oracle in
+// any result id or rank: pruning must be invisible except in the counters.
+void CheckParity(const core::EngineResponse& pruned,
+                 const core::EngineResponse& oracle, const char* label) {
+  bool same = pruned.results.size() == oracle.results.size();
+  for (size_t i = 0; same && i < pruned.results.size(); ++i) {
+    same = pruned.results[i].id == oracle.results[i].id &&
+           pruned.results[i].rank == oracle.results[i].rank;
+  }
+  if (!same) {
+    std::fprintf(stderr,
+                 "FATAL: %s results diverge from the exhaustive oracle\n",
+                 label);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport report("topk_sweep");
+  argc = report.ParseFlag(argc, argv);
+  (void)argc;
+  (void)argv;
 
   datagen::DblpOptions gen = BenchQueryPerfOptions();
   datagen::Corpus corpus = datagen::GenerateDblp(gen);
@@ -33,16 +82,102 @@ int main() {
   for (index::IndexKind kind :
        {index::IndexKind::kDil, index::IndexKind::kRdil,
         index::IndexKind::kHdil}) {
-    std::printf("%-12s", std::string(index::IndexKindName(kind)).c_str());
+    std::string kind_name(index::IndexKindName(kind));
+    std::printf("%-12s", kind_name.c_str());
     for (size_t m : ms) {
       AveragedStats stats = RunQuerySet(engine.get(), queries, m, kind);
       std::printf(" %12.1f", stats.io_cost);
+      report.Add("m_sweep/" + kind_name + "/m=" + std::to_string(m) +
+                     "/io_cost",
+                 stats.io_cost);
     }
     std::printf("\n");
   }
   PrintRule(100);
   std::printf("\nExpected shape: DIL flat across m (always full scans);\n"
               "RDIL/HDIL grow with m as more of the rank-ordered lists must\n"
-              "be consumed before the threshold guarantees the top-m.\n");
+              "be consumed before the threshold guarantees the top-m.\n\n");
+
+  // --- Disjunctive pruning sweep ------------------------------------------
+  // Same corpus through a disjunctive-scoring DIL engine; every pruned run
+  // is checked bitwise against the exhaustive oracle before its cost is
+  // reported.
+  core::EngineOptions disjunctive_options;
+  disjunctive_options.scoring.semantics = query::QuerySemantics::kDisjunctive;
+  auto dengine = BuildEngine(Reparse(&corpus), {index::IndexKind::kDil},
+                             disjunctive_options);
+
+  const query::MergeAlgorithm algorithms[] = {
+      query::MergeAlgorithm::kExhaustive, query::MergeAlgorithm::kMaxScore,
+      query::MergeAlgorithm::kWand, query::MergeAlgorithm::kBlockMaxWand};
+  const size_t ks[] = {10, 100};
+  const size_t term_counts[] = {2, 4};
+
+  std::printf("=== Disjunctive top-k pruning: postings consumed per query "
+              "(DIL, cold cache) ===\n\n");
+  std::printf("%-22s", "Algorithm");
+  for (size_t terms : term_counts) {
+    for (size_t k : ks) std::printf("  t=%zu,k=%-3zu", terms, k);
+  }
+  std::printf("\n");
+  PrintRule(70);
+  for (query::MergeAlgorithm algorithm : algorithms) {
+    const char* name = AlgorithmFlagName(algorithm);
+    std::printf("%-22s", name);
+    for (size_t terms : term_counts) {
+      datagen::WorkloadOptions dw;
+      dw.num_queries = 6;
+      dw.num_keywords = terms;
+      dw.mode = datagen::CorrelationMode::kHigh;
+      dw.seed = 301;
+      auto dqueries = datagen::MakeQueries(corpus.planted, dw);
+      for (size_t k : ks) {
+        double postings = 0.0, io_cost = 0.0, wall_ms = 0.0;
+        for (const auto& keywords : dqueries) {
+          query::QueryOptions options;
+          options.algorithm = query::MergeAlgorithm::kExhaustive;
+          auto oracle = dengine->QueryKeywords(keywords, k,
+                                               index::IndexKind::kDil,
+                                               options);
+          if (!oracle.ok()) {
+            std::fprintf(stderr, "FATAL: oracle query failed: %s\n",
+                         oracle.status().ToString().c_str());
+            return 1;
+          }
+          options.algorithm = algorithm;
+          auto got = dengine->QueryKeywords(keywords, k,
+                                            index::IndexKind::kDil, options);
+          if (!got.ok()) {
+            std::fprintf(stderr, "FATAL: %s query failed: %s\n", name,
+                         got.status().ToString().c_str());
+            return 1;
+          }
+          CheckParity(*got, *oracle, name);
+          postings += static_cast<double>(got->stats.postings_scanned);
+          io_cost += got->stats.io_cost;
+          wall_ms += got->stats.wall_ms;
+        }
+        double n = static_cast<double>(dqueries.size());
+        postings /= n;
+        io_cost /= n;
+        wall_ms /= n;
+        std::printf(" %10.0f", postings);
+        std::string prefix = std::string("disjunctive/") + name +
+                             "/terms=" + std::to_string(terms) +
+                             "/k=" + std::to_string(k);
+        report.Add(prefix + "/postings", postings);
+        report.Add(prefix + "/io_cost", io_cost);
+        report.Add(prefix + "/wall_ms", wall_ms);
+      }
+    }
+    std::printf("\n");
+  }
+  PrintRule(70);
+  std::printf("\nEvery pruned row was verified bitwise against the "
+              "exhaustive oracle.\nExpected shape: exhaustive flat in k; "
+              "MaxScore/WAND/BMW consume fewer\npostings, with the gap "
+              "narrowing as k grows (the threshold is weaker).\n");
+
+  if (!report.Write()) return 1;
   return 0;
 }

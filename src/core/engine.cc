@@ -48,6 +48,8 @@ struct EngineMetrics {
   metrics::Counter* postings_scanned = nullptr;
   metrics::Counter* pages_skipped = nullptr;
   metrics::Counter* blocks_pruned = nullptr;
+  metrics::Counter* docs_skipped = nullptr;
+  metrics::Counter* pivot_advances = nullptr;
   metrics::Counter* block_cache_hits = nullptr;
   metrics::Counter* btree_probes = nullptr;
   metrics::Counter* hash_probes = nullptr;
@@ -71,6 +73,8 @@ struct EngineMetrics {
       em->postings_scanned = registry.GetCounter("query.postings_scanned");
       em->pages_skipped = registry.GetCounter("query.pages_skipped");
       em->blocks_pruned = registry.GetCounter("query.blocks_pruned");
+      em->docs_skipped = registry.GetCounter("query.docs_skipped");
+      em->pivot_advances = registry.GetCounter("query.pivot_advances");
       em->block_cache_hits = registry.GetCounter("query.block_cache_hits");
       em->btree_probes = registry.GetCounter("query.btree_probes");
       em->hash_probes = registry.GetCounter("query.hash_probes");
@@ -97,6 +101,16 @@ void RecordQueryMetrics(const query::QueryStats& stats) {
   m.postings_scanned->Increment(stats.postings_scanned);
   m.pages_skipped->Increment(stats.pages_skipped);
   m.blocks_pruned->Increment(stats.blocks_pruned);
+  m.docs_skipped->Increment(stats.docs_skipped);
+  m.pivot_advances->Increment(stats.pivot_advances);
+  if (!stats.algorithm.empty()) {
+    // Per-strategy query counts (query.algorithm.maxscore etc.); the name
+    // set is small and fixed, so the registry lookup off the fast path is
+    // fine.
+    metrics::Registry::Instance()
+        .GetCounter("query.algorithm." + stats.algorithm)
+        ->Increment();
+  }
   m.block_cache_hits->Increment(stats.block_cache_hits);
   m.btree_probes->Increment(stats.btree_probes);
   m.hash_probes->Increment(stats.hash_probes);

@@ -787,6 +787,7 @@ PostingFormat MakeWriterFormat(const PostingCodec* codec,
                           ? 1.0f
                           : ComputeRankScale(postings);
   format.delta_encode_ids = delta_encode_ids;
+  format.vbmw_lambda_milli = spec.vbmw_lambda_milli;
   return format;
 }
 

@@ -60,6 +60,14 @@ struct PostingFormatSpec {
   uint32_t codec_id = 0;  // kPostingCodecVarint
   RankEncoding ranks = RankEncoding::kFloat32;
 
+  // VBMW-style variable-sized skip blocks, in milli-rank units of waste.
+  // 0 keeps the legacy dense page-filling layout. A positive value lets
+  // the writer close a page early once the accumulated block-max waste
+  // (sum over buffered postings of page_max - decoded_rank) exceeds
+  // lambda = vbmw_lambda_milli / 1000, which tightens per-page `max_rank`
+  // bounds for block-max pruning at the cost of shorter pages.
+  uint32_t vbmw_lambda_milli = 0;
+
   bool operator==(const PostingFormatSpec& other) const = default;
 };
 
@@ -74,6 +82,7 @@ struct PostingFormat {
   RankEncoding ranks = RankEncoding::kFloat32;
   float rank_scale = 1.0f;
   bool delta_encode_ids = false;
+  uint32_t vbmw_lambda_milli = 0;  // writer-side block sizing; see the spec
 
   // The rank a reader will observe for a posting written with `rank` —
   // identity for kFloat32, quantize-then-dequantize otherwise. Writers

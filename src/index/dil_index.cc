@@ -17,7 +17,8 @@ struct DilShardOutput {
   // Skip-block descriptors per term; page indices are relative to each
   // list's run, so they need no rebasing after the splice.
   std::vector<std::vector<SkipEntry>> skips;
-  std::vector<float> rank_scales;  // per-term quantization scale
+  std::vector<float> rank_scales;    // per-term quantization scale
+  std::vector<float> max_doc_ranks;  // per-term sum-aggregation bound
   Status status = Status::OK();
 };
 
@@ -29,6 +30,7 @@ Status EncodeDilShard(
   out->extents.reserve(end - begin);
   out->skips.reserve(end - begin);
   out->rank_scales.reserve(end - begin);
+  out->max_doc_ranks.reserve(end - begin);
   for (size_t t = begin; t < end; ++t) {
     PostingFormat format = MakeWriterFormat(codec, spec, terms[t]->second,
                                             /*delta_encode_ids=*/true);
@@ -40,6 +42,7 @@ Status EncodeDilShard(
     out->extents.push_back(extent);
     out->skips.push_back(writer.TakeSkips());
     out->rank_scales.push_back(format.rank_scale);
+    out->max_doc_ranks.push_back(writer.max_doc_rank());
   }
   return Status::OK();
 }
@@ -108,6 +111,7 @@ Result<BuiltIndex> BuildDilIndex(const TermPostingsMap& dewey_postings,
       info.list = extent;
       info.skips = std::move(outputs[s].skips[i]);
       info.rank_scale = outputs[s].rank_scales[i];
+      info.max_doc_rank = outputs[s].max_doc_ranks[i];
       index.lexicon.Add(terms[shards[s].first + i]->first, std::move(info));
     }
   }

@@ -23,7 +23,8 @@ struct HdilShardOutput {
   // Skip-block descriptors for the full Dewey lists (page indices relative
   // to each list's run).
   std::vector<std::vector<SkipEntry>> skips;
-  std::vector<float> rank_scales;  // per-term quantization scale
+  std::vector<float> rank_scales;    // per-term quantization scale
+  std::vector<float> max_doc_ranks;  // per-term sum-aggregation bound
   Status status = Status::OK();
 };
 
@@ -38,6 +39,7 @@ Status EncodeHdilShard(
   out->rank_extents.reserve(end - begin);
   out->separators.reserve(end - begin);
   out->rank_scales.reserve(end - begin);
+  out->max_doc_ranks.reserve(end - begin);
   for (size_t t = begin; t < end; ++t) {
     const std::vector<Posting>& postings = terms[t]->second;
 
@@ -58,6 +60,7 @@ Status EncodeHdilShard(
     out->separators.push_back(std::move(separators));
     out->skips.push_back(writer.TakeSkips());
     out->rank_scales.push_back(format.rank_scale);
+    out->max_doc_ranks.push_back(writer.max_doc_rank());
 
     // Select the rank-ordered prefix: top max(min_rank_entries,
     // fraction * n) postings by ElemRank.
@@ -156,6 +159,7 @@ Result<BuiltIndex> BuildHdilIndex(const TermPostingsMap& dewey_postings,
       info.list = extent;
       info.skips = std::move(outputs[s].skips[i]);
       info.rank_scale = outputs[s].rank_scales[i];
+      info.max_doc_rank = outputs[s].max_doc_ranks[i];
       index.lexicon.Add(terms[shards[s].first + i]->first, std::move(info));
     }
   }

@@ -308,6 +308,9 @@ constexpr size_t kListUsedBytesOffset = 56;
 // legacy layout, so old index files open unchanged.
 constexpr size_t kCodecIdOffset = 64;
 constexpr size_t kRankEncodingOffset = 68;
+// VBMW block-sizing lambda (PR 7), milli-rank units; zero (also what every
+// pre-VBMW file carries) is the dense page-filling layout.
+constexpr size_t kVbmwLambdaOffset = 72;
 
 }  // namespace
 
@@ -371,6 +374,7 @@ Status WriteIndexTrailer(storage::PageFile* file, IndexKind kind,
   header.WriteU32(kCodecIdOffset, lexicon.format_spec().codec_id);
   header.WriteU32(kRankEncodingOffset,
                   static_cast<uint32_t>(lexicon.format_spec().ranks));
+  header.WriteU32(kVbmwLambdaOffset, lexicon.format_spec().vbmw_lambda_milli);
   XRANK_RETURN_NOT_OK(file->Write(0, header));
   return file->Sync();
 }
@@ -414,6 +418,7 @@ Result<BuiltIndex> OpenIndex(std::unique_ptr<storage::PageFile> file) {
   PostingFormatSpec spec;
   spec.codec_id = header.ReadU32(kCodecIdOffset);
   spec.ranks = static_cast<RankEncoding>(header.ReadU32(kRankEncodingOffset));
+  spec.vbmw_lambda_milli = header.ReadU32(kVbmwLambdaOffset);
   // Refuse cleanly rather than misdecode: an index written by a build with
   // codecs this binary does not register must not be served.
   XRANK_RETURN_NOT_OK(ResolvePostingCodec(spec).status());

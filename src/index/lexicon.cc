@@ -44,14 +44,21 @@ void Lexicon::Serialize(std::string* out) const {
     PutVarint32(out, info.hash_offset);
     if (spec_.ranks != RankEncoding::kFloat32) {
       // Per-list quantization scale, 4 raw IEEE-754 bytes. Only present
-      // under quantized rank encodings so float-rank blobs stay
-      // byte-identical to the pre-codec layout.
+      // under quantized rank encodings (the field is meaningless under
+      // float ranks).
       uint32_t scale_bits;
       static_assert(sizeof(scale_bits) == sizeof(info.rank_scale));
       std::memcpy(&scale_bits, &info.rank_scale, sizeof(scale_bits));
       out->append(reinterpret_cast<const char*>(&scale_bits),
                   sizeof(scale_bits));
     }
+    // Sum-aggregation list bound, 4 raw IEEE-754 bytes (present in every
+    // blob; 0 means "unknown" and query code degrades to no-prune).
+    uint32_t doc_rank_bits;
+    static_assert(sizeof(doc_rank_bits) == sizeof(info.max_doc_rank));
+    std::memcpy(&doc_rank_bits, &info.max_doc_rank, sizeof(doc_rank_bits));
+    out->append(reinterpret_cast<const char*>(&doc_rank_bits),
+                sizeof(doc_rank_bits));
     PutVarint64(out, info.skips.size());
     for (const SkipEntry& skip : info.skips) {
       PutVarint32(out, skip.page_index);
@@ -110,6 +117,13 @@ Result<Lexicon> Lexicon::Deserialize(std::string_view data,
         return Status::Corruption("lexicon rank scale not positive finite");
       }
     }
+    if (offset + sizeof(uint32_t) > data.size()) {
+      return Status::Corruption("truncated lexicon max doc rank");
+    }
+    uint32_t doc_rank_bits;
+    std::memcpy(&doc_rank_bits, data.data() + offset, sizeof(doc_rank_bits));
+    std::memcpy(&info.max_doc_rank, &doc_rank_bits, sizeof(doc_rank_bits));
+    offset += sizeof(doc_rank_bits);
     XRANK_ASSIGN_OR_RETURN(uint64_t skip_count, GetVarint64(data, &offset));
     if (skip_count > info.list.page_count) {
       return Status::Corruption("lexicon skip count exceeds list pages");

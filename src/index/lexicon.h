@@ -33,6 +33,13 @@ struct TermInfo {
   // serialized under the default float encoding. Shared by `list` and
   // `rank_list` (the rank prefix holds a subset of the same postings).
   float rank_scale = 1.0f;
+  // Upper bound on any single document's sum of decoded posting ranks for
+  // this term (PostingListWriter::max_doc_rank). Disjunctive pruning uses
+  // it as the term's list-level score bound under sum aggregation, where
+  // the per-page max_rank maxima alone would be unsound. 0 in blobs
+  // written before this field existed; query code treats non-positive or
+  // non-finite values as "no bound" (prune nothing) rather than an error.
+  float max_doc_rank = 0.0f;
   // Skip-block descriptors for `list` (one per page: the page's first Dewey
   // ID), in page order. Lets query cursors jump over pages whose ID range
   // precedes the merge frontier. Empty for index kinds that never scan the
@@ -71,6 +78,7 @@ class Lexicon {
     format.ranks = spec_.ranks;
     format.rank_scale = info.rank_scale;
     format.delta_encode_ids = delta_encode_ids;
+    format.vbmw_lambda_milli = spec_.vbmw_lambda_milli;
     return format;
   }
 

@@ -39,10 +39,11 @@ std::string SerializeManifest(const Manifest& manifest) {
   for (const ManifestEntry& entry : manifest.entries) {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "file %s kind %u pages %u crc %u codec %u ranks %u\n",
+                  "file %s kind %u pages %u crc %u codec %u ranks %u vbmw %u\n",
                   entry.file.c_str(), static_cast<unsigned>(entry.kind),
                   entry.page_count, entry.crc, entry.format.codec_id,
-                  static_cast<unsigned>(entry.format.ranks));
+                  static_cast<unsigned>(entry.format.ranks),
+                  entry.format.vbmw_lambda_milli);
     out += line;
   }
   char commit[64];
@@ -89,8 +90,10 @@ Result<Manifest> ParseManifest(std::string_view text) {
     std::vector<std::string_view> tokens = SplitString(line, " ");
     // 8 tokens: legacy (pre-codec) line, posting format defaults to
     // (varint, float32). 12 tokens: explicit codec/ranks suffix.
-    if ((tokens.size() != 8 && tokens.size() != 12) || tokens[0] != "file" ||
-        tokens[2] != "kind" || tokens[4] != "pages" || tokens[6] != "crc") {
+    // 14 tokens: adds the VBMW block-sizing lambda.
+    if ((tokens.size() != 8 && tokens.size() != 12 && tokens.size() != 14) ||
+        tokens[0] != "file" || tokens[2] != "kind" || tokens[4] != "pages" ||
+        tokens[6] != "crc") {
       return Status::Corruption("malformed MANIFEST line '" +
                                 std::string(line) + "'");
     }
@@ -106,7 +109,7 @@ Result<Manifest> ParseManifest(std::string_view text) {
     entry.page_count = static_cast<uint32_t>(pages);
     XRANK_ASSIGN_OR_RETURN(uint64_t crc, ParseU64(tokens[7], "file crc"));
     entry.crc = static_cast<uint32_t>(crc);
-    if (tokens.size() == 12) {
+    if (tokens.size() >= 12) {
       if (tokens[8] != "codec" || tokens[10] != "ranks") {
         return Status::Corruption("malformed MANIFEST line '" +
                                   std::string(line) + "'");
@@ -117,6 +120,15 @@ Result<Manifest> ParseManifest(std::string_view text) {
       XRANK_ASSIGN_OR_RETURN(uint64_t ranks,
                              ParseU64(tokens[11], "rank encoding"));
       entry.format.ranks = static_cast<RankEncoding>(ranks);
+    }
+    if (tokens.size() == 14) {
+      if (tokens[12] != "vbmw") {
+        return Status::Corruption("malformed MANIFEST line '" +
+                                  std::string(line) + "'");
+      }
+      XRANK_ASSIGN_OR_RETURN(uint64_t lambda,
+                             ParseU64(tokens[13], "vbmw lambda"));
+      entry.format.vbmw_lambda_milli = static_cast<uint32_t>(lambda);
     }
     XRANK_RETURN_NOT_OK(ResolvePostingCodec(entry.format).status());
     manifest.entries.push_back(std::move(entry));

@@ -1,6 +1,7 @@
 #include "index/posting.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/check.h"
@@ -21,6 +22,12 @@ PostingListWriter::PostingListWriter(storage::PageFile* file,
                                      bool delta_encode_ids)
     : PostingListWriter(file, DefaultPostingFormat(delta_encode_ids)) {}
 
+namespace {
+// VBMW pages are whole physical pages, so an early close costs real space;
+// never close a page with fewer postings than this, no matter the waste.
+constexpr uint32_t kVbmwMinPageEntries = 16;
+}  // namespace
+
 Status PostingListWriter::FlushPage() {
   XRANK_ASSIGN_OR_RETURN(storage::PageId page, file_->Allocate());
   if (!pages_.empty()) {
@@ -35,6 +42,8 @@ Status PostingListWriter::FlushPage() {
   XRANK_RETURN_NOT_OK(file_->Write(page, page_data));
   pages_.push_back(page);
   extent_.byte_count += used;
+  page_max_rank_ = 0.0f;
+  page_waste_ = 0.0;
   return Status::OK();
 }
 
@@ -57,10 +66,49 @@ Result<PostingLocation> PostingListWriter::Add(const Posting& posting) {
   // *as a reader will decode it* (identical under float ranks; the
   // quantized value under quantized encodings), so the top-k merge's bound
   // is exact for what queries actually score with.
-  skips_.back().max_rank = std::max(skips_.back().max_rank,
-                                    format_.DecodedRank(posting.elem_rank));
+  float decoded = format_.DecodedRank(posting.elem_rank);
+  skips_.back().max_rank = std::max(skips_.back().max_rank, decoded);
+
+  uint64_t doc = posting.id.document_id();
+  if (have_doc_ && doc == current_doc_) {
+    current_doc_sum_ += decoded;
+  } else {
+    if (have_doc_ && current_doc_sum_ > max_doc_sum_) {
+      max_doc_sum_ = current_doc_sum_;
+    }
+    have_doc_ = true;
+    current_doc_ = doc;
+    current_doc_sum_ = decoded;
+  }
+
   ++extent_.entry_count;
+
+  // VBMW block sizing (lambda-greedy): close the page once the accumulated
+  // block-max waste — how far below the page's max_rank its postings sit —
+  // exceeds lambda. A posting that raises the page max retroactively adds
+  // waste for every earlier posting in the page.
+  if (format_.vbmw_lambda_milli > 0 && std::isfinite(decoded)) {
+    uint32_t in_page = encoder_->count();
+    if (decoded > page_max_rank_) {
+      page_waste_ +=
+          static_cast<double>(decoded - page_max_rank_) * (in_page - 1);
+      page_max_rank_ = decoded;
+    } else {
+      page_waste_ += static_cast<double>(page_max_rank_ - decoded);
+    }
+    double lambda = static_cast<double>(format_.vbmw_lambda_milli) / 1000.0;
+    if (page_waste_ > lambda && in_page >= kVbmwMinPageEntries) {
+      XRANK_RETURN_NOT_OK(FlushPage());
+    }
+  }
   return loc;
+}
+
+float PostingListWriter::max_doc_rank() const {
+  double best = std::max(max_doc_sum_, have_doc_ ? current_doc_sum_ : 0.0);
+  // Inflate past double->float rounding so the stored bound never dips
+  // below the true sum (readers only ever need an upper bound).
+  return static_cast<float>(best * (1.0 + 1e-6));
 }
 
 Result<ListExtent> PostingListWriter::Finish() {

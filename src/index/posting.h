@@ -36,6 +36,14 @@ class PostingListWriter {
   const std::vector<SkipEntry>& skips() const { return skips_; }
   std::vector<SkipEntry> TakeSkips() { return std::move(skips_); }
 
+  // The largest per-document sum of decoded ranks seen so far: an upper
+  // bound on any element's sum-aggregated keyword rank for this term
+  // (decay <= 1 and subtree occurrences are a subset of the document's).
+  // Exact only when postings arrive grouped by document — true for the
+  // Dewey-ordered DIL/HDIL lists that disjunctive pruning runs on.
+  // Callers store it in TermInfo::max_doc_rank.
+  float max_doc_rank() const;
+
  private:
   Status FlushPage();
 
@@ -46,6 +54,14 @@ class PostingListWriter {
   std::vector<storage::PageId> pages_;
   std::vector<SkipEntry> skips_;
   bool finished_ = false;
+  // VBMW block sizing: decoded-rank waste accumulated in the open page.
+  float page_max_rank_ = 0.0f;
+  double page_waste_ = 0.0;
+  // Streaming per-document decoded-rank sum for max_doc_rank().
+  bool have_doc_ = false;
+  uint64_t current_doc_ = 0;
+  double current_doc_sum_ = 0.0;
+  double max_doc_sum_ = 0.0;
 };
 
 class BlockCache;

@@ -7,8 +7,10 @@
 #include "common/timer.h"
 #include "index/block_cache.h"
 #include "query/dewey_stack.h"
+#include "query/disjunctive_merge.h"
 #include "query/posting_cursor.h"
 #include "query/result_heap.h"
+#include "query/scored_cursor.h"
 #include "query/trace.h"
 
 namespace xrank::query {
@@ -73,14 +75,28 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   QueryResponse response;
   QueryTrace* trace = options.trace;
 
-  // Skipping a document is only sound when a document missing one keyword
-  // can contribute nothing — i.e. under conjunctive semantics.
-  const bool skipping =
-      use_skip_blocks_ && scoring_.semantics == QuerySemantics::kConjunctive;
+  const bool conjunctive = scoring_.semantics == QuerySemantics::kConjunctive;
+  // The PR-5 conjunctive DAAT path (frontier alignment + run-widening
+  // block-max pruning): the default for conjunctive queries. An explicit
+  // algorithm request routes conjunctive queries through the disjunctive
+  // machinery instead (its per-document bounds are sound for both
+  // semantics — "mixed mode"); kExhaustive forces the full merge.
+  const bool skipping = use_skip_blocks_ && conjunctive &&
+                        options.algorithm == MergeAlgorithm::kAuto;
   // Block-max pruning additionally needs the scoring function to be
   // dominated by the per-page rank maxima (max aggregation, decay <= 1).
   const bool pruning =
       skipping && use_block_max_pruning_ && SupportsBlockMaxPruning(scoring_);
+  // Disjunctive / mixed merge strategy. Pruned algorithms need the skip
+  // descriptors (targeted SkipToDocument advances and page-level bounds);
+  // a processor built without them — the oracle configuration — always
+  // merges exhaustively.
+  MergeAlgorithm algorithm = MergeAlgorithm::kExhaustive;
+  if (!skipping && use_skip_blocks_ && use_block_max_pruning_) {
+    algorithm =
+        ResolveMergeAlgorithm(options.algorithm, scoring_, keywords.size());
+  }
+  const bool pruned_disjunctive = algorithm != MergeAlgorithm::kExhaustive;
 
   // A keyword absent from the collection makes the conjunction empty.
   std::vector<const index::TermInfo*> infos;
@@ -101,7 +117,8 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   {
     ScopedSpan span(trace, "cursor_open");
     for (const index::TermInfo* info : infos) {
-      cursors.emplace_back(pool_, lexicon_, info, skipping, block_cache_);
+      cursors.emplace_back(pool_, lexicon_, info, skipping || pruned_disjunctive,
+                           block_cache_);
       cursors.back().set_deadline(deadline);
     }
   }
@@ -116,13 +133,42 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   std::vector<index::Posting> current(cursors.size());
   std::vector<bool> live(cursors.size(), false);
   std::vector<PostingCursor::RankBound> bounds(cursors.size());
-  uint64_t blocks_pruned = 0;
+  PruningCounters counters;
+  uint64_t& blocks_pruned = counters.blocks_pruned;
+
+  response.stats.algorithm =
+      skipping ? "daat" : MergeAlgorithmName(algorithm);
+  if (trace != nullptr) {
+    trace->AddAnnotation("merge", response.stats.algorithm);
+  }
 
   // The merge runs inside a lambda so a DeadlineExceeded from any depth —
   // the per-iteration checks here or the skip scan inside PostingCursor —
   // unwinds to one place where the partial-results decision is made.
   ScopedSpan merge_span(trace, "merge");
   Status merge_status = [&]() -> Status {
+    if (pruned_disjunctive) {
+      std::vector<ScoredCursor> scored;
+      scored.reserve(cursors.size());
+      for (size_t k = 0; k < cursors.size(); ++k) {
+        scored.emplace_back(&cursors[k], k,
+                            TermScoreBound(*infos[k], scoring_));
+        XRANK_RETURN_NOT_OK(scored.back().Init());
+      }
+      switch (algorithm) {
+        case MergeAlgorithm::kMaxScore:
+          return MaxScoreMerge(&scored, scoring_, &merger, &accumulator,
+                               deadline, &counters);
+        case MergeAlgorithm::kWand:
+        case MergeAlgorithm::kBlockMaxWand:
+          return WandMerge(&scored, scoring_,
+                           algorithm == MergeAlgorithm::kBlockMaxWand, &merger,
+                           &accumulator, deadline, &counters);
+        default:
+          return Status::Internal("unresolved merge algorithm");
+      }
+    }
+
     for (size_t k = 0; k < cursors.size(); ++k) {
       XRANK_ASSIGN_OR_RETURN(bool has, cursors[k].Next(&current[k]));
       live[k] = has;
@@ -155,6 +201,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
           XRANK_ASSIGN_OR_RETURN(
               bool has, cursors[k].SkipToDocument(target, &current[k]));
           live[k] = has;
+          ++counters.pivot_advances;
           if (!has || current[k].id.document_id() > target) aligned = false;
         }
         if (!aligned) continue;  // frontier moved — recompute it
@@ -181,6 +228,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
               ub += bounds[k].bound;
             }
             if (bounded && ub < theta) {
+              ++counters.docs_skipped;
               constexpr uint32_t kNoDoc = std::numeric_limits<uint32_t>::max();
               for (;;) {
                 XRANK_RETURN_NOT_OK(deadline->Check());
@@ -223,6 +271,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
                 XRANK_ASSIGN_OR_RETURN(
                     bool has, cursors[k].SkipToDocument(prune_to, &current[k]));
                 live[k] = has;
+                ++counters.pivot_advances;
               }
               uint64_t skipped_after = 0;
               for (const PostingCursor& cursor : cursors) {
@@ -287,6 +336,8 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   }
   response.stats.postings_scanned = merger.postings_consumed();
   response.stats.blocks_pruned = blocks_pruned;
+  response.stats.docs_skipped = counters.docs_skipped;
+  response.stats.pivot_advances = counters.pivot_advances;
   for (size_t k = 0; k < cursors.size(); ++k) {
     response.stats.pages_skipped += cursors[k].pages_skipped();
     response.stats.block_cache_hits += cursors[k].block_cache_hits();

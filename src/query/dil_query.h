@@ -19,13 +19,17 @@ namespace xrank::query {
 // has no posting for a document the others are skipped past it via the
 // lists' skip-block descriptors, which changes which pages are read but not
 // the produced results or their ranks (results never span documents).
+// Disjunctive (and, on request, conjunctive) queries run one of the safe
+// dynamic-pruning strategies — MaxScore, WAND, block-max WAND (see
+// query/disjunctive_merge.h) — chosen by QueryOptions::algorithm; all of
+// them return bitwise the same results as the exhaustive merge.
 class DilQueryProcessor {
  public:
   // `pool` must wrap a DIL (or HDIL — the full lists are format-compatible)
   // index file; `lexicon` describes it. Both are borrowed.
-  // `use_skip_blocks` == false forces the exhaustive merge even for
-  // conjunctive queries (baseline for correctness tests); disjunctive
-  // queries always scan exhaustively regardless.
+  // `use_skip_blocks` == false forces the exhaustive merge for every
+  // semantics and algorithm request (the oracle configuration for
+  // correctness tests).
   // `block_cache` (optional, borrowed) serves decoded posting pages.
   // `use_block_max_pruning` == false disables the block-max top-k pruning
   // on top of document skipping; pruning additionally requires scoring

@@ -1,0 +1,355 @@
+#include "query/disjunctive_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace xrank::query {
+
+namespace {
+
+constexpr uint32_t kNoDoc = ScoredCursor::kNoDocument;
+
+// Upper bounds are sums of per-term bounds that each dominate the true
+// keyword rank, but the merger sums the true ranks in a different order —
+// floating-point addition is not monotone across orders, so a raw
+// comparison could under-estimate by an ulp and prune a qualifying
+// element. Inflating the bound by this slack (and pruning only on
+// strictly-below) makes the comparison safe and keeps ties alive, which is
+// what makes pruned results bitwise equal to the exhaustive oracle.
+constexpr double kBoundSlack = 1.0 + 1e-9;
+
+// True when `bound` provably cannot reach the threshold.
+bool BelowThreshold(double bound, double theta) {
+  return bound * kBoundSlack < theta;
+}
+
+uint64_t TotalPagesSkipped(const std::vector<ScoredCursor>& cursors) {
+  uint64_t total = 0;
+  for (const ScoredCursor& sc : cursors) total += sc.cursor()->pages_skipped();
+  return total;
+}
+
+// One cursor's block-refined share of a candidate bound: the page-run bound
+// `rb` and the contribution min(list bound, rb.bound) currently summed into
+// the total.
+struct RefinedBound {
+  ScoredCursor* sc;
+  PostingCursor::RankBound rb;
+  double contribution;
+};
+
+// Greedy run widening, the same scheme as the conjunctive pruning path:
+// while the total stays provably below theta, extend the page run of
+// whichever bounded cursor ends first, so the eventual skip jumps as many
+// whole pages as the threshold allows instead of one run at a time.
+Status WidenRuns(std::vector<RefinedBound>* refined, double* total,
+                 double theta, QueryDeadline* deadline) {
+  for (;;) {
+    XRANK_RETURN_NOT_OK(deadline->Check());
+    RefinedBound* binding = nullptr;
+    for (RefinedBound& r : *refined) {
+      if (r.rb.next_doc == kNoDoc) continue;  // already at end of list
+      if (binding == nullptr || r.rb.next_doc < binding->rb.next_doc) {
+        binding = &r;
+      }
+    }
+    if (binding == nullptr) return Status::OK();
+    double widened = std::max(
+        binding->rb.bound, binding->sc->cursor()->NextPageRank(binding->rb));
+    double contribution = std::min(binding->sc->score_bound(), widened);
+    double candidate = *total - binding->contribution + contribution;
+    if (!BelowThreshold(candidate, theta)) return Status::OK();
+    *total = candidate;
+    binding->contribution = contribution;
+    binding->sc->cursor()->ExtendBound(&binding->rb);
+  }
+}
+
+// The widened runs extend to the end of every list: nothing ahead can beat
+// the top-k. Charge the never-read tails to the prune counter (matching
+// the conjunctive path) before the caller stops the merge.
+void ChargeUnreadTails(const std::vector<ScoredCursor>& cursors,
+                       PruningCounters* counters) {
+  for (const ScoredCursor& sc : cursors) {
+    uint32_t last = sc.cursor()->extent().page_count;
+    if (last > sc.cursor()->current_page_index() + 1) {
+      counters->blocks_pruned += last - sc.cursor()->current_page_index() - 1;
+    }
+  }
+}
+
+// Feeds every posting of document `d` — across all cursors standing on it —
+// into the merger in global Dewey order: repeatedly the smallest current id
+// among the cursors still inside the document. This is exactly the
+// subsequence of the exhaustive merge for `d`, so scoring is identical.
+Status FeedDocument(std::vector<ScoredCursor>* cursors, uint32_t d,
+                    DeweyStackMerger* merger, QueryDeadline* deadline) {
+  for (;;) {
+    XRANK_RETURN_NOT_OK(deadline->Check());
+    ScoredCursor* smallest = nullptr;
+    for (ScoredCursor& sc : *cursors) {
+      if (!sc.live() || sc.doc() != d) continue;
+      if (smallest == nullptr || sc.current().id < smallest->current().id) {
+        smallest = &sc;
+      }
+    }
+    if (smallest == nullptr) return Status::OK();  // document fully merged
+    merger->Add(smallest->term(), smallest->current());
+    XRANK_RETURN_NOT_OK(smallest->Next().status());
+  }
+}
+
+}  // namespace
+
+MergeAlgorithm ResolveMergeAlgorithm(MergeAlgorithm requested,
+                                     const ScoringOptions& scoring,
+                                     size_t num_terms) {
+  if (requested == MergeAlgorithm::kExhaustive) {
+    return MergeAlgorithm::kExhaustive;
+  }
+  if (!SupportsScorePruning(scoring)) return MergeAlgorithm::kExhaustive;
+  MergeAlgorithm algorithm = requested;
+  if (algorithm == MergeAlgorithm::kAuto) {
+    // Few-term queries profit most from per-page refinement (the pivot
+    // stays cheap); wide disjunctions favor MaxScore's partition, which
+    // does no per-candidate sort.
+    algorithm = (num_terms <= 4 && SupportsBlockMaxBounds(scoring))
+                    ? MergeAlgorithm::kBlockMaxWand
+                    : MergeAlgorithm::kMaxScore;
+  }
+  if (algorithm == MergeAlgorithm::kBlockMaxWand &&
+      !SupportsBlockMaxBounds(scoring)) {
+    algorithm = MergeAlgorithm::kWand;  // page bounds unsound under sum
+  }
+  return algorithm;
+}
+
+Status MaxScoreMerge(std::vector<ScoredCursor>* cursors,
+                     const ScoringOptions& scoring, DeweyStackMerger* merger,
+                     TopKAccumulator* accumulator, QueryDeadline* deadline,
+                     PruningCounters* counters) {
+  const size_t n = cursors->size();
+  const bool block_refine = SupportsBlockMaxBounds(scoring);
+  std::vector<RefinedBound> refined;  // reused across iterations
+  refined.reserve(n);
+
+  // Fixed ascending order by list-level bound; prefix[i] bounds what the i
+  // cheapest lists can jointly contribute to any one element.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*cursors)[a].score_bound() < (*cursors)[b].score_bound();
+  });
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + (*cursors)[order[i]].score_bound();
+  }
+
+  for (;;) {
+    XRANK_RETURN_NOT_OK(deadline->Check());
+    const double theta = accumulator->KthRank();  // -inf until the heap fills
+
+    // Non-essential prefix: the longest prefix whose joint bound stays
+    // below theta. A document appearing only in those lists can never
+    // reach the top-k, so the essential cursors alone drive candidates.
+    size_t p = 0;
+    while (p < n && BelowThreshold(prefix[p + 1], theta)) ++p;
+
+    uint32_t d = kNoDoc;
+    for (size_t i = p; i < n; ++i) {
+      d = std::min(d, (*cursors)[order[i]].doc());
+    }
+    if (d == kNoDoc) break;  // essential lists exhausted: nothing qualifies
+
+    if (std::isfinite(theta)) {
+      // Bound the candidate: the full non-essential prefix plus each
+      // essential list standing on `d` (essential cursors past `d` cannot
+      // contain it). Under max aggregation the per-page block maximum
+      // tightens the list bound and widens the skip across whole page runs.
+      double bound = prefix[p];
+      uint32_t next_essential = kNoDoc;  // first essential doc past d
+      refined.clear();
+      for (size_t i = p; i < n; ++i) {
+        ScoredCursor& sc = (*cursors)[order[i]];
+        if (!sc.live()) continue;
+        if (sc.doc() > d) {
+          next_essential = std::min(next_essential, sc.doc());
+          continue;
+        }
+        double u = sc.score_bound();
+        if (block_refine) {
+          PostingCursor::RankBound rb = sc.cursor()->DocumentRankBound(d);
+          if (rb.valid) {
+            u = std::min(u, rb.bound);
+            refined.push_back(RefinedBound{&sc, rb, u});
+          }
+        }
+        bound += u;
+      }
+      if (BelowThreshold(bound, theta)) {
+        ++counters->docs_skipped;
+        XRANK_RETURN_NOT_OK(WidenRuns(&refined, &bound, theta, deadline));
+        uint32_t run_end = kNoDoc;  // where the widened block bounds expire
+        for (const RefinedBound& r : refined) {
+          run_end = std::min(run_end, r.rb.next_doc);
+        }
+        // Every document in [d, target) is covered by the same bound: it
+        // can only appear in the non-essential lists or in the essential
+        // cursors currently at `d` (within their widened page runs).
+        const uint32_t target = std::min(run_end, next_essential);
+        if (target == kNoDoc) {
+          ChargeUnreadTails(*cursors, counters);
+          break;  // bound holds to the end of all lists
+        }
+        const uint64_t skipped_before = TotalPagesSkipped(*cursors);
+        for (size_t i = p; i < n; ++i) {
+          ScoredCursor& sc = (*cursors)[order[i]];
+          if (sc.live() && sc.doc() == d) {
+            XRANK_RETURN_NOT_OK(sc.SkipTo(target).status());
+            ++counters->pivot_advances;
+          }
+        }
+        counters->blocks_pruned += TotalPagesSkipped(*cursors) - skipped_before;
+        continue;
+      }
+    }
+
+    // Evaluate `d`: bring the lagging non-essential cursors up to it, then
+    // feed the whole document. Postings they discard on the way belong to
+    // documents already merged or provably below threshold.
+    for (size_t i = 0; i < p; ++i) {
+      ScoredCursor& sc = (*cursors)[order[i]];
+      if (sc.live() && sc.doc() < d) {
+        XRANK_RETURN_NOT_OK(sc.SkipTo(d).status());
+        ++counters->pivot_advances;
+      }
+    }
+    XRANK_RETURN_NOT_OK(FeedDocument(cursors, d, merger, deadline));
+  }
+  return Status::OK();
+}
+
+Status WandMerge(std::vector<ScoredCursor>* cursors,
+                 const ScoringOptions& scoring, bool block_max,
+                 DeweyStackMerger* merger, TopKAccumulator* accumulator,
+                 QueryDeadline* deadline, PruningCounters* counters) {
+  const size_t n = cursors->size();
+  const bool refine = block_max && SupportsBlockMaxBounds(scoring);
+  std::vector<RefinedBound> refined;  // reused across iterations
+  refined.reserve(n);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  for (;;) {
+    XRANK_RETURN_NOT_OK(deadline->Check());
+    // Document-order sort (exhausted cursors hold kNoDocument and sink to
+    // the back); ties by term slot for determinism.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const ScoredCursor& ca = (*cursors)[a];
+      const ScoredCursor& cb = (*cursors)[b];
+      if (ca.doc() != cb.doc()) return ca.doc() < cb.doc();
+      return ca.term() < cb.term();
+    });
+    if ((*cursors)[order[0]].doc() == kNoDoc) break;  // all exhausted
+
+    const double theta = accumulator->KthRank();
+    // Pivot: the first prefix of the sorted cursors whose joint bound can
+    // reach theta. Documents before the pivot document live only in the
+    // sub-threshold prefix — unreachable, skipped without cursor work.
+    size_t pivot = 0;
+    if (std::isfinite(theta)) {
+      double acc = 0.0;
+      pivot = n;
+      for (size_t i = 0; i < n; ++i) {
+        if ((*cursors)[order[i]].doc() == kNoDoc) break;
+        acc += (*cursors)[order[i]].score_bound();
+        if (!BelowThreshold(acc, theta)) {
+          pivot = i;
+          break;
+        }
+      }
+      if (pivot == n) break;  // even all lists jointly stay below theta
+    }
+    const uint32_t pivot_doc = (*cursors)[order[pivot]].doc();
+    if (pivot_doc == kNoDoc) break;
+
+    if ((*cursors)[order[0]].doc() != pivot_doc) {
+      // Lagging cursors leap to the pivot document; everything they hop
+      // over is covered by the sub-threshold prefix bound.
+      ++counters->docs_skipped;
+      const uint64_t skipped_before = TotalPagesSkipped(*cursors);
+      for (size_t i = 0; i < pivot; ++i) {
+        ScoredCursor& sc = (*cursors)[order[i]];
+        if (sc.live() && sc.doc() < pivot_doc) {
+          XRANK_RETURN_NOT_OK(sc.SkipTo(pivot_doc).status());
+          ++counters->pivot_advances;
+        }
+      }
+      counters->blocks_pruned += TotalPagesSkipped(*cursors) - skipped_before;
+      continue;
+    }
+
+    // Aligned: every cursor on pivot_doc (there may be more beyond the
+    // pivot index) participates in its score; find where they end.
+    size_t last_eq = pivot;
+    while (last_eq + 1 < n && (*cursors)[order[last_eq + 1]].doc() == pivot_doc) {
+      ++last_eq;
+    }
+
+    if (refine && std::isfinite(theta)) {
+      // Block-max check: replace list-level bounds with the page-run
+      // maxima of the aligned cursors. When even those cannot reach
+      // theta, no document until the first (widened) run boundary — or the
+      // next cursor's document — can, and the aligned pack leaps there.
+      double block_bound = 0.0;
+      bool valid = true;
+      refined.clear();
+      for (size_t i = 0; i <= last_eq; ++i) {
+        ScoredCursor& sc = (*cursors)[order[i]];
+        PostingCursor::RankBound rb = sc.cursor()->DocumentRankBound(pivot_doc);
+        if (!rb.valid) {
+          valid = false;
+          break;
+        }
+        double u = std::min(sc.score_bound(), rb.bound);
+        refined.push_back(RefinedBound{&sc, rb, u});
+        block_bound += u;
+      }
+      if (valid && BelowThreshold(block_bound, theta)) {
+        ++counters->docs_skipped;
+        XRANK_RETURN_NOT_OK(
+            WidenRuns(&refined, &block_bound, theta, deadline));
+        uint32_t run_end = kNoDoc;
+        for (const RefinedBound& r : refined) {
+          run_end = std::min(run_end, r.rb.next_doc);
+        }
+        const uint32_t next_doc = last_eq + 1 < n
+                                      ? (*cursors)[order[last_eq + 1]].doc()
+                                      : kNoDoc;
+        const uint32_t target = std::min(run_end, next_doc);
+        if (target == kNoDoc) {
+          ChargeUnreadTails(*cursors, counters);
+          break;  // bound holds to the end of all lists
+        }
+        const uint64_t skipped_before = TotalPagesSkipped(*cursors);
+        for (size_t i = 0; i <= last_eq; ++i) {
+          ScoredCursor& sc = (*cursors)[order[i]];
+          if (sc.live()) {
+            XRANK_RETURN_NOT_OK(sc.SkipTo(target).status());
+            ++counters->pivot_advances;
+          }
+        }
+        counters->blocks_pruned += TotalPagesSkipped(*cursors) - skipped_before;
+        continue;
+      }
+    }
+
+    XRANK_RETURN_NOT_OK(FeedDocument(cursors, pivot_doc, merger, deadline));
+  }
+  return Status::OK();
+}
+
+}  // namespace xrank::query

@@ -132,9 +132,12 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     return Status::InvalidArgument("query has no keywords");
   }
   if (scoring_.semantics == QuerySemantics::kDisjunctive) {
-    return Status::Unimplemented(
-        "disjunctive queries are evaluated via DIL (the threshold algorithm "
-        "here assumes conjunctive semantics, paper Section 4.3)");
+    // The threshold algorithm here assumes conjunctive semantics (paper
+    // Section 4.3). Disjunctive queries run on the same lists through the
+    // DIL processor, which picks a pruned merge (MaxScore / WAND / BMW)
+    // or the exhaustive oracle per QueryOptions::algorithm.
+    QueryDeadline deadline(options);
+    return ExecuteDil(keywords, m, options, &deadline);
   }
   WallTimer timer;
   const storage::CostModel* model = pool_->cost_model();
@@ -340,7 +343,10 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
     response.stats.postings_scanned += dil_response.stats.postings_scanned;
     response.stats.pages_skipped += dil_response.stats.pages_skipped;
     response.stats.blocks_pruned += dil_response.stats.blocks_pruned;
+    response.stats.docs_skipped += dil_response.stats.docs_skipped;
+    response.stats.pivot_advances += dil_response.stats.pivot_advances;
     response.stats.block_cache_hits += dil_response.stats.block_cache_hits;
+    response.stats.algorithm = dil_response.stats.algorithm;
     response.stats.switched_to_dil = true;
     response.stats.partial = dil_response.stats.partial;
   } else {

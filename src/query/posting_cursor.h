@@ -20,12 +20,15 @@ namespace xrank::query {
 // binary-searches the descriptors and re-enters the list at the first page
 // that can contain `d`, never decoding the pages in between.
 //
-// Skipping whole documents is result-preserving only under conjunctive
-// semantics: document ids are the first Dewey component, so every result
+// Skipping a document is result-preserving whenever the caller has proved
+// the document cannot matter. Under conjunctive semantics that proof is
+// structural — document ids are the first Dewey component, so every result
 // (depth >= 1) and all of its rank contributions lie within a single
 // document, and a document missing any query keyword can contribute
-// nothing. Callers must construct with `use_skip_blocks == false` for
-// disjunctive evaluation.
+// nothing. Under disjunctive semantics the proof is score-based: the
+// MaxScore/WAND algorithms (query/disjunctive_merge.h) only skip documents
+// whose rank upper bound stays below the current k-th result. Exhaustive
+// disjunctive evaluation constructs with `use_skip_blocks == false`.
 class PostingCursor {
  public:
   // `pool`, `lexicon` and `info` are borrowed and must outlive the cursor.

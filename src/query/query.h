@@ -12,6 +12,34 @@ namespace xrank::query {
 
 class QueryTrace;
 
+// Top-k merge strategy for the Dewey-ordered processors (DIL, and HDIL via
+// its DIL delegation). `kAuto` picks per query: the PR-5 conjunctive DAAT
+// path for conjunctive semantics, and the cheapest sound pruned algorithm
+// (block-max WAND for few terms under max aggregation, MaxScore otherwise)
+// for disjunctive semantics. `kExhaustive` is the full n-way merge — the
+// safe oracle every pruned algorithm must match result-for-result. The
+// pruned algorithms degrade themselves to sound variants (BMW -> WAND under
+// sum aggregation, anything -> exhaustive when no sound bound exists); see
+// DESIGN.md section 13.
+enum class MergeAlgorithm : uint8_t {
+  kAuto = 0,
+  kExhaustive,
+  kMaxScore,
+  kWand,
+  kBlockMaxWand,
+};
+
+inline const char* MergeAlgorithmName(MergeAlgorithm algorithm) {
+  switch (algorithm) {
+    case MergeAlgorithm::kAuto: return "auto";
+    case MergeAlgorithm::kExhaustive: return "exhaustive";
+    case MergeAlgorithm::kMaxScore: return "maxscore";
+    case MergeAlgorithm::kWand: return "wand";
+    case MergeAlgorithm::kBlockMaxWand: return "bmw";
+  }
+  return "unknown";
+}
+
 // Per-query execution limits, checked cooperatively inside the merge
 // loops and posting cursors (see query/deadline.h).
 struct QueryOptions {
@@ -32,6 +60,10 @@ struct QueryOptions {
   // trace (see query/trace.h). Borrowed; must outlive the query. Null (the
   // default) disables tracing at zero hot-path cost.
   QueryTrace* trace = nullptr;
+  // Top-k merge strategy (DIL/HDIL). Every choice returns identical results
+  // — pruned algorithms are exact, not approximate — so this is purely a
+  // performance knob plus the exhaustive oracle for verification.
+  MergeAlgorithm algorithm = MergeAlgorithm::kAuto;
 };
 
 // Execution statistics common to all processors. I/O counts come from the
@@ -43,11 +75,16 @@ struct QueryStats {
   uint64_t hash_probes = 0;        // Naive-Rank index probes
   uint64_t rounds = 0;             // threshold-algorithm iterations
   uint64_t blocks_pruned = 0;      // list pages skipped via block-max bounds
+  uint64_t docs_skipped = 0;       // prune decisions that bypassed documents
+  uint64_t pivot_advances = 0;     // cursor advances driven by bound logic
   uint64_t block_cache_hits = 0;   // pages served from the decoded cache
   uint64_t sequential_reads = 0;
   uint64_t random_reads = 0;
   double io_cost = 0.0;            // weighted cost-model units
   double wall_ms = 0.0;
+  // Merge strategy actually run ("daat", "exhaustive", "maxscore", "wand",
+  // "bmw"); empty for processors without a strategy choice.
+  std::string algorithm;
   bool switched_to_dil = false;    // HDIL adaptivity outcome
   bool threshold_terminated = false;  // TA stopped before exhausting lists
   bool result_cache_hit = false;   // served from the engine's top-k cache

@@ -1,0 +1,30 @@
+#include "query/scored_cursor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xrank::query {
+
+double TermScoreBound(const index::TermInfo& info,
+                      const ScoringOptions& scoring) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (scoring.decay > 1.0) return kInf;  // nothing shrinks the score
+  if (info.list.entry_count == 0) return 0.0;
+  if (scoring.aggregation == RankAggregation::kSum) {
+    // Non-positive means "unknown" (pre-field index, or an all-zero-rank
+    // list, where never pruning is merely conservative); non-finite means
+    // damage. Either way: no bound, no pruning.
+    float bound = info.max_doc_rank;
+    if (!std::isfinite(bound) || bound <= 0.0f) return kInf;
+    return static_cast<double>(bound);
+  }
+  if (info.skips.empty()) return kInf;
+  double best = 0.0;
+  for (const index::SkipEntry& skip : info.skips) {
+    if (!std::isfinite(skip.max_rank)) return kInf;  // damaged descriptor
+    best = std::max(best, static_cast<double>(skip.max_rank));
+  }
+  return best;
+}
+
+}  // namespace xrank::query

@@ -27,4 +27,12 @@ bool SupportsBlockMaxPruning(const ScoringOptions& options) {
          options.aggregation == RankAggregation::kMax && options.decay <= 1.0;
 }
 
+bool SupportsScorePruning(const ScoringOptions& options) {
+  return options.decay <= 1.0;
+}
+
+bool SupportsBlockMaxBounds(const ScoringOptions& options) {
+  return options.aggregation == RankAggregation::kMax && options.decay <= 1.0;
+}
+
 }  // namespace xrank::query

@@ -59,6 +59,25 @@ double AggregateRank(RankAggregation aggregation, double existing,
 // (always ≤ 1) only shrink the score. See DESIGN.md section 11.
 bool SupportsBlockMaxPruning(const ScoringOptions& options);
 
+// Soundness of the *disjunctive* pruning bounds (MaxScore / WAND / BMW in
+// query/disjunctive_merge.h), which — unlike the conjunctive run-widening
+// path above — need no conjunctive gate: they bound each document
+// individually, never assuming a missing keyword zeroes the score.
+//
+// SupportsScorePruning: list-level upper bounds exist for *both*
+// aggregations — max over the per-page block maxima under max aggregation,
+// the serialized per-term TermInfo::max_doc_rank (largest per-document
+// decoded-rank sum) under sum aggregation. Only decay <= 1 is required, so
+// every decay power and the proximity factor shrink the score.
+bool SupportsScorePruning(const ScoringOptions& options);
+
+// SupportsBlockMaxBounds: per-page maxima bound an element's keyword rank
+// only under max aggregation (under sum, N in-page occurrences can exceed
+// any single block maximum). Gates BMW's block refinement and the
+// block-level tightening inside MaxScore; when false, BMW degrades to
+// plain WAND and MaxScore to list-level bounds.
+bool SupportsBlockMaxBounds(const ScoringOptions& options);
+
 // Overall rank = Σ keyword ranks × proximity (paper Section 2.3.2.2).
 double CombineRanks(const std::vector<double>& keyword_ranks,
                     double proximity);

@@ -54,6 +54,16 @@ size_t QueryTrace::BeginSpan(std::string_view name) {
   return handle;
 }
 
+void QueryTrace::AddAnnotation(std::string_view key, std::string_view value) {
+  for (auto& entry : annotations_) {
+    if (entry.first == key) {
+      entry.second = std::string(value);
+      return;
+    }
+  }
+  annotations_.emplace_back(std::string(key), std::string(value));
+}
+
 void QueryTrace::EndSpan(size_t handle) {
   if (handle >= spans_.size() || !spans_[handle].open) return;
   Span& span = spans_[handle];
@@ -71,6 +81,9 @@ std::string QueryTrace::FormatTable() const {
     AppendF(&out, "trace for \"%s\"", query_text_.c_str());
     if (!index_kind_.empty()) AppendF(&out, " (%s)", index_kind_.c_str());
     out += ":\n";
+  }
+  for (const auto& [key, value] : annotations_) {
+    AppendF(&out, "  %s: %s\n", key.c_str(), value.c_str());
   }
   AppendF(&out, "  %-32s %12s %12s\n", "span", "start (us)", "dur (us)");
   for (const Span& span : spans_) {
@@ -100,7 +113,14 @@ std::string QueryTrace::FormatJson() const {
   AppendJsonString(&out, query_text_);
   out += ", \"kind\": ";
   AppendJsonString(&out, index_kind_);
-  out += ", \"spans\": [";
+  out += ", \"annotations\": {";
+  for (size_t i = 0; i < annotations_.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(&out, annotations_[i].first);
+    out += ": ";
+    AppendJsonString(&out, annotations_[i].second);
+  }
+  out += "}, \"spans\": [";
   for (size_t i = 0; i < spans_.size(); ++i) {
     const Span& span = spans_[i];
     if (i > 0) out += ", ";

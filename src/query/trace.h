@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace xrank::query {
@@ -52,6 +53,11 @@ class QueryTrace {
     terms_.push_back(std::move(stats));
   }
 
+  // Free-form key/value annotations attached by the processors (e.g. the
+  // merge algorithm that actually ran). Re-annotating a key overwrites it,
+  // so a fallback path (HDIL -> DIL) reports its final choice.
+  void AddAnnotation(std::string_view key, std::string_view value);
+
   // Query annotations (shown by the renderers and the slow-query log).
   void set_query_text(std::string text) { query_text_ = std::move(text); }
   void set_index_kind(std::string kind) { index_kind_ = std::move(kind); }
@@ -66,6 +72,9 @@ class QueryTrace {
 
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<TermStats>& terms() const { return terms_; }
+  const std::vector<std::pair<std::string, std::string>>& annotations() const {
+    return annotations_;
+  }
 
   // Human-readable rendering: an indented span tree with timings, then the
   // per-term counter table.
@@ -81,6 +90,7 @@ class QueryTrace {
   std::vector<Span> spans_;
   std::vector<size_t> open_stack_;  // handles of currently open spans
   std::vector<TermStats> terms_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
   std::string query_text_;
   std::string index_kind_;
 };

@@ -17,7 +17,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$DIR" -j "$(nproc)" --target bench_scaling --target bench_micro
+cmake --build "$DIR" -j "$(nproc)" --target bench_scaling --target bench_micro \
+  --target bench_topk_sweep
 
 # Micro-benchmark JSON (google-benchmark format + spliced metrics-registry
 # snapshot) rides along as a CI artifact for throughput trajectory tracking,
@@ -74,7 +75,37 @@ if bp128["bytes_per_posting"] > varint["bytes_per_posting"]:
 print(f"check_perf: bp128 decode {ratio:.2f}x varint throughput, "
       f"{bp128['bytes_per_posting'] / varint['bytes_per_posting']:.2f}x "
       "bytes/posting")
+
+# Disjunctive dynamic-pruning gate: on the skewed-rank corpus, MaxScore and
+# block-max WAND must each finish the disjunctive top-10 at >= 2x the
+# exhaustive merge (reference host: >100x; 2.0x only catches the pruning
+# collapsing into a full scan). Plain WAND is ungated — list-level bounds
+# legitimately cannot prune this corpus.
+dis_exhaustive = times.get("BM_TopkDisjunctiveExhaustive")
+for name, key in (("maxscore", "BM_TopkDisjunctiveMaxScore"),
+                  ("bmw", "BM_TopkDisjunctiveBmw")):
+    pruned_time = times.get(key)
+    if dis_exhaustive is None or pruned_time is None:
+        print("check_perf: FAIL — TopkDisjunctive benchmarks missing from",
+              sys.argv[1])
+        sys.exit(2)
+    speedup = dis_exhaustive / pruned_time if pruned_time > 0 else 0.0
+    print(f"check_perf: disjunctive {name} top-10 {speedup:.2f}x vs "
+          "exhaustive (gate: 2.0x)")
+    if speedup < 2.0:
+        print(f"check_perf: FAIL — disjunctive {name} below 2x the "
+              "exhaustive merge")
+        sys.exit(1)
 EOF
+
+# Oracle parity in the Release job: bench_topk_sweep re-runs every pruned
+# disjunctive query against the exhaustive (--safe) merge and exits
+# nonzero if any result id or rank diverges. A small corpus scale keeps
+# the gate fast; the parity check is scale-independent.
+TOPK_JSON="$DIR/check_perf_topk.json"
+XRANK_BENCH_SCALE="${XRANK_TOPK_SCALE:-0.1}" \
+  "$DIR/bench/bench_topk_sweep" --json "$TOPK_JSON" > /dev/null
+echo "check_perf: disjunctive pruned == exhaustive ids+ranks (topk sweep)"
 
 JSON="$DIR/check_perf_scaling.json"
 "$DIR/bench/bench_scaling" --json "$JSON"

@@ -15,7 +15,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-FILTER='CorruptionTest|FaultInjectionTest|CodecValidationTest|CodecPageTest|BitpackTest'
+FILTER='CorruptionTest|FaultInjectionTest|CodecValidationTest|CodecPageTest|BitpackTest|DisjunctivePruningTest|DisjunctiveCodecPruningTest|DisjunctiveSkewTest|VbmwBlockTest'
 
 for SAN in address undefined; do
   echo "=== robustness suites under ${SAN} sanitizer ==="

@@ -6,6 +6,13 @@
 //                                                  varint)
 //     --quant-ranks=u8|u16                        (quantized ElemRanks;
 //                                                  default lossless float)
+//     --vbmw-lambda=MILLI                         (variable-sized list
+//                                                  pages: close a page
+//                                                  early when its rank
+//                                                  waste exceeds
+//                                                  MILLI/1000; 0 = dense)
+//     --algorithm=auto|exhaustive|maxscore|       (disjunctive/mixed merge
+//                 wand|bmw                         strategy; default auto)
 //     --top=N                                     (default 10)
 //     --disjunctive                               (OR semantics, DIL only)
 //     --tfidf                                     (tf-idf posting ranks
@@ -43,6 +50,7 @@
 #include "core/engine.h"
 #include "index/codec.h"
 #include "index/manifest.h"
+#include "query/query.h"
 #include "query/trace.h"
 #include "xml/parser.h"
 
@@ -56,6 +64,8 @@ using xrank::index::IndexKind;
 struct CliOptions {
   IndexKind kind = IndexKind::kHdil;
   xrank::index::PostingFormatSpec format;
+  xrank::query::MergeAlgorithm algorithm =
+      xrank::query::MergeAlgorithm::kAuto;
   size_t top = 10;
   bool disjunctive = false;
   bool tfidf = false;
@@ -110,6 +120,25 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int first = 1) {
                      mode.c_str());
         return false;
       }
+    } else if (xrank::StartsWith(arg, "--algorithm=")) {
+      std::string name = arg.substr(12);
+      if (name == "auto") {
+        options->algorithm = xrank::query::MergeAlgorithm::kAuto;
+      } else if (name == "exhaustive") {
+        options->algorithm = xrank::query::MergeAlgorithm::kExhaustive;
+      } else if (name == "maxscore") {
+        options->algorithm = xrank::query::MergeAlgorithm::kMaxScore;
+      } else if (name == "wand") {
+        options->algorithm = xrank::query::MergeAlgorithm::kWand;
+      } else if (name == "bmw") {
+        options->algorithm = xrank::query::MergeAlgorithm::kBlockMaxWand;
+      } else {
+        std::fprintf(stderr, "unknown merge algorithm '%s'\n", name.c_str());
+        return false;
+      }
+    } else if (xrank::StartsWith(arg, "--vbmw-lambda=")) {
+      options->format.vbmw_lambda_milli = static_cast<uint32_t>(
+          std::strtoul(arg.c_str() + 14, nullptr, 10));
     } else if (xrank::StartsWith(arg, "--top=")) {
       options->top = std::strtoul(arg.c_str() + 6, nullptr, 10);
       if (options->top == 0) options->top = 10;
@@ -162,6 +191,13 @@ void PrintResponse(const EngineResponse& response) {
               response.stats.wall_ms,
               response.stats.switched_to_dil ? ", switched to DIL" : "",
               response.stats.result_cache_hit ? ", result-cache hit" : "");
+  if (!response.stats.algorithm.empty()) {
+    std::printf("  [merge=%s, %llu docs skipped, %llu pivot advances]\n",
+                response.stats.algorithm.c_str(),
+                static_cast<unsigned long long>(response.stats.docs_skipped),
+                static_cast<unsigned long long>(
+                    response.stats.pivot_advances));
+  }
 }
 
 // `xrank_cli verify <dir>`: offline integrity check of a committed index
@@ -286,6 +322,8 @@ void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [query] [--index=dil|rdil|hdil|naive-id|naive-rank] "
                "[--codec=varint|bp128|vgb] [--quant-ranks=u8|u16] "
+               "[--vbmw-lambda=MILLI] "
+               "[--algorithm=auto|exhaustive|maxscore|wand|bmw] "
                "[--top=N] [--disjunctive] [--tfidf] [--trace] [--json] "
                "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
                "       %s stats [--json] [options] <file.xml ...>\n"
@@ -351,6 +389,7 @@ int main(int argc, char** argv) {
   auto run = [&](const std::string& query) {
     xrank::query::QueryTrace trace;
     xrank::query::QueryOptions query_options;
+    query_options.algorithm = cli.algorithm;
     if (cli.trace) query_options.trace = &trace;
     auto response =
         (*engine)->Query(query, cli.top, cli.kind, query_options);
