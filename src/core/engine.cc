@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <set>
+#include <string_view>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "common/metrics.h"
@@ -60,6 +63,10 @@ struct EngineMetrics {
   metrics::Counter* slow_queries = nullptr;
   metrics::Gauge* slow_query_log_size = nullptr;
   metrics::Histogram* latency_us = nullptr;
+  // Per-strategy query counts (query.algorithm.<name>), pre-resolved for
+  // every label QueryStats::algorithm can carry so the per-query path does
+  // no string concatenation or registry lookup.
+  std::array<std::pair<std::string_view, metrics::Counter*>, 5> algorithm{};
 
   static const EngineMetrics& Get() {
     static const EngineMetrics* m = [] {
@@ -82,6 +89,12 @@ struct EngineMetrics {
       em->switched_to_dil = registry.GetCounter("query.switched_to_dil");
       em->sequential_reads = registry.GetCounter("query.sequential_reads");
       em->random_reads = registry.GetCounter("query.random_reads");
+      size_t slot = 0;
+      for (std::string_view name :
+           {"daat", "exhaustive", "maxscore", "wand", "bmw"}) {
+        em->algorithm[slot++] = {
+            name, registry.GetCounter("query.algorithm." + std::string(name))};
+      }
       em->slow_queries = registry.GetCounter("engine.slow_queries");
       em->slow_query_log_size =
           registry.GetGauge("engine.slow_query_log_entries");
@@ -104,12 +117,21 @@ void RecordQueryMetrics(const query::QueryStats& stats) {
   m.docs_skipped->Increment(stats.docs_skipped);
   m.pivot_advances->Increment(stats.pivot_advances);
   if (!stats.algorithm.empty()) {
-    // Per-strategy query counts (query.algorithm.maxscore etc.); the name
-    // set is small and fixed, so the registry lookup off the fast path is
-    // fine.
-    metrics::Registry::Instance()
-        .GetCounter("query.algorithm." + stats.algorithm)
-        ->Increment();
+    bool matched = false;
+    for (const auto& [name, counter] : m.algorithm) {
+      if (name == stats.algorithm) {
+        counter->Increment();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      // A label outside the fixed set (shouldn't happen) still counts;
+      // registry lookup off the pre-resolved path.
+      metrics::Registry::Instance()
+          .GetCounter("query.algorithm." + stats.algorithm)
+          ->Increment();
+    }
   }
   m.block_cache_hits->Increment(stats.block_cache_hits);
   m.btree_probes->Increment(stats.btree_probes);

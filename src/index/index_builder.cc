@@ -311,6 +311,11 @@ constexpr size_t kRankEncodingOffset = 68;
 // VBMW block-sizing lambda (PR 7), milli-rank units; zero (also what every
 // pre-VBMW file carries) is the dense page-filling layout.
 constexpr size_t kVbmwLambdaOffset = 72;
+// Lexicon blob layout version (kLexiconFormatVersion). Zero — what every
+// pre-versioning file carries in this slot — is the legacy layout without
+// per-term max_doc_rank, so old files deserialize unchanged; versions this
+// binary does not know are refused at open instead of misparsed.
+constexpr size_t kLexFormatVersionOffset = 76;
 
 }  // namespace
 
@@ -375,6 +380,7 @@ Status WriteIndexTrailer(storage::PageFile* file, IndexKind kind,
   header.WriteU32(kRankEncodingOffset,
                   static_cast<uint32_t>(lexicon.format_spec().ranks));
   header.WriteU32(kVbmwLambdaOffset, lexicon.format_spec().vbmw_lambda_milli);
+  header.WriteU32(kLexFormatVersionOffset, kLexiconFormatVersion);
   XRANK_RETURN_NOT_OK(file->Write(0, header));
   return file->Sync();
 }
@@ -422,7 +428,15 @@ Result<BuiltIndex> OpenIndex(std::unique_ptr<storage::PageFile> file) {
   // Refuse cleanly rather than misdecode: an index written by a build with
   // codecs this binary does not register must not be served.
   XRANK_RETURN_NOT_OK(ResolvePostingCodec(spec).status());
-  XRANK_ASSIGN_OR_RETURN(index.lexicon, Lexicon::Deserialize(blob, spec));
+  uint32_t lex_version = header.ReadU32(kLexFormatVersionOffset);
+  if (lex_version > kLexiconFormatVersion) {
+    return Status::Corruption(
+        "lexicon format version " + std::to_string(lex_version) +
+        " is newer than this build supports (" +
+        std::to_string(kLexiconFormatVersion) + ")");
+  }
+  XRANK_ASSIGN_OR_RETURN(index.lexicon,
+                         Lexicon::Deserialize(blob, spec, lex_version));
   index.file = std::move(file);
   return index;
 }

@@ -24,7 +24,7 @@ Status Lexicon::SetFormatSpec(const PostingFormatSpec& spec) {
   return Status::OK();
 }
 
-void Lexicon::Serialize(std::string* out) const {
+void Lexicon::Serialize(std::string* out, uint32_t format_version) const {
   PutVarint64(out, terms_.size());
   for (const auto& [term, info] : terms_) {
     PutVarint32(out, static_cast<uint32_t>(term.size()));
@@ -52,13 +52,15 @@ void Lexicon::Serialize(std::string* out) const {
       out->append(reinterpret_cast<const char*>(&scale_bits),
                   sizeof(scale_bits));
     }
-    // Sum-aggregation list bound, 4 raw IEEE-754 bytes (present in every
-    // blob; 0 means "unknown" and query code degrades to no-prune).
-    uint32_t doc_rank_bits;
-    static_assert(sizeof(doc_rank_bits) == sizeof(info.max_doc_rank));
-    std::memcpy(&doc_rank_bits, &info.max_doc_rank, sizeof(doc_rank_bits));
-    out->append(reinterpret_cast<const char*>(&doc_rank_bits),
-                sizeof(doc_rank_bits));
+    if (format_version >= 1) {
+      // Sum-aggregation list bound, 4 raw IEEE-754 bytes (format version 1;
+      // 0 means "unknown" and query code degrades to no-prune).
+      uint32_t doc_rank_bits;
+      static_assert(sizeof(doc_rank_bits) == sizeof(info.max_doc_rank));
+      std::memcpy(&doc_rank_bits, &info.max_doc_rank, sizeof(doc_rank_bits));
+      out->append(reinterpret_cast<const char*>(&doc_rank_bits),
+                  sizeof(doc_rank_bits));
+    }
     PutVarint64(out, info.skips.size());
     for (const SkipEntry& skip : info.skips) {
       PutVarint32(out, skip.page_index);
@@ -75,7 +77,8 @@ void Lexicon::Serialize(std::string* out) const {
 }
 
 Result<Lexicon> Lexicon::Deserialize(std::string_view data,
-                                     const PostingFormatSpec& spec) {
+                                     const PostingFormatSpec& spec,
+                                     uint32_t format_version) {
   Lexicon lexicon;
   XRANK_RETURN_NOT_OK(lexicon.SetFormatSpec(spec));
   size_t offset = 0;
@@ -117,13 +120,17 @@ Result<Lexicon> Lexicon::Deserialize(std::string_view data,
         return Status::Corruption("lexicon rank scale not positive finite");
       }
     }
-    if (offset + sizeof(uint32_t) > data.size()) {
-      return Status::Corruption("truncated lexicon max doc rank");
+    if (format_version >= 1) {
+      // Version-0 blobs predate the field; TermInfo's default 0 means "no
+      // bound" there, so old index files keep opening byte-exact.
+      if (offset + sizeof(uint32_t) > data.size()) {
+        return Status::Corruption("truncated lexicon max doc rank");
+      }
+      uint32_t doc_rank_bits;
+      std::memcpy(&doc_rank_bits, data.data() + offset, sizeof(doc_rank_bits));
+      std::memcpy(&info.max_doc_rank, &doc_rank_bits, sizeof(doc_rank_bits));
+      offset += sizeof(doc_rank_bits);
     }
-    uint32_t doc_rank_bits;
-    std::memcpy(&doc_rank_bits, data.data() + offset, sizeof(doc_rank_bits));
-    std::memcpy(&info.max_doc_rank, &doc_rank_bits, sizeof(doc_rank_bits));
-    offset += sizeof(doc_rank_bits);
     XRANK_ASSIGN_OR_RETURN(uint64_t skip_count, GetVarint64(data, &offset));
     if (skip_count > info.list.page_count) {
       return Status::Corruption("lexicon skip count exceeds list pages");

@@ -13,6 +13,14 @@
 
 namespace xrank::index {
 
+// Version of the serialized lexicon blob layout, recorded in the index
+// header page. Pre-versioning header pages are zero-initialized at this
+// offset, so old index files read as version 0 — exactly the layout they
+// were written with — and OpenIndex refuses versions from the future.
+//   0: legacy layout (through PR 6): no per-term max_doc_rank field.
+//   1: adds the 4-byte TermInfo::max_doc_rank bound after the hash fields.
+inline constexpr uint32_t kLexiconFormatVersion = 1;
+
 // Per-term index metadata. Which fields are populated depends on the index
 // kind: DIL uses only `list`; RDIL adds `btree_root` (dense B+-tree on Dewey
 // IDs); HDIL adds `rank_list` (rank-ordered prefix) and a sparse
@@ -36,8 +44,9 @@ struct TermInfo {
   // Upper bound on any single document's sum of decoded posting ranks for
   // this term (PostingListWriter::max_doc_rank). Disjunctive pruning uses
   // it as the term's list-level score bound under sum aggregation, where
-  // the per-page max_rank maxima alone would be unsound. 0 in blobs
-  // written before this field existed; query code treats non-positive or
+  // the per-page max_rank maxima alone would be unsound. Serialized only
+  // since lexicon format version 1; version-0 blobs lack the field and
+  // deserialize to the default 0 here. Query code treats non-positive or
   // non-finite values as "no bound" (prune nothing) rather than an error.
   float max_doc_rank = 0.0f;
   // Skip-block descriptors for `list` (one per page: the page's first Dewey
@@ -82,13 +91,18 @@ class Lexicon {
     return format;
   }
 
-  void Serialize(std::string* out) const;
-  // `spec` must be the format the blob was serialized under (it gates the
-  // presence of per-term quantization fields); callers read it from the
-  // index header page before deserializing. The default spec matches every
-  // pre-codec index blob.
-  static Result<Lexicon> Deserialize(std::string_view data,
-                                     const PostingFormatSpec& spec = {});
+  // `format_version` selects the blob layout to emit; anything but the
+  // current version exists only so tests can produce genuine legacy blobs.
+  void Serialize(std::string* out,
+                 uint32_t format_version = kLexiconFormatVersion) const;
+  // `spec` and `format_version` must be what the blob was serialized under
+  // (they gate the presence of per-term fields); callers read both from the
+  // index header page before deserializing. The defaults match a blob
+  // written by this build; pre-codec index files carry the default spec and
+  // a zero (legacy) version in their zero-initialized header slots.
+  static Result<Lexicon> Deserialize(
+      std::string_view data, const PostingFormatSpec& spec = {},
+      uint32_t format_version = kLexiconFormatVersion);
 
  private:
   std::map<std::string, TermInfo, std::less<>> terms_;

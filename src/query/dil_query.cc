@@ -76,27 +76,33 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   QueryTrace* trace = options.trace;
 
   const bool conjunctive = scoring_.semantics == QuerySemantics::kConjunctive;
-  // The PR-5 conjunctive DAAT path (frontier alignment + run-widening
-  // block-max pruning): the default for conjunctive queries. An explicit
-  // algorithm request routes conjunctive queries through the disjunctive
-  // machinery instead (its per-document bounds are sound for both
-  // semantics — "mixed mode"); kExhaustive forces the full merge.
-  const bool skipping = use_skip_blocks_ && conjunctive &&
-                        options.algorithm == MergeAlgorithm::kAuto;
-  // Block-max pruning additionally needs the scoring function to be
-  // dominated by the per-page rank maxima (max aggregation, decay <= 1).
-  const bool pruning =
-      skipping && use_block_max_pruning_ && SupportsBlockMaxPruning(scoring_);
   // Disjunctive / mixed merge strategy. Pruned algorithms need the skip
   // descriptors (targeted SkipToDocument advances and page-level bounds);
   // a processor built without them — the oracle configuration — always
-  // merges exhaustively.
+  // merges exhaustively. Conjunctive queries default (kAuto) to the PR-5
+  // DAAT path below; an explicit pruned-algorithm request routes them
+  // through the disjunctive machinery instead (its per-document bounds are
+  // sound for both semantics — "mixed mode").
   MergeAlgorithm algorithm = MergeAlgorithm::kExhaustive;
-  if (!skipping && use_skip_blocks_ && use_block_max_pruning_) {
+  if (use_skip_blocks_ && use_block_max_pruning_ &&
+      !(conjunctive && options.algorithm == MergeAlgorithm::kAuto)) {
     algorithm =
         ResolveMergeAlgorithm(options.algorithm, scoring_, keywords.size());
   }
   const bool pruned_disjunctive = algorithm != MergeAlgorithm::kExhaustive;
+  // The PR-5 conjunctive DAAT path (frontier alignment + run-widening
+  // block-max pruning): the kAuto default for conjunctive queries, and the
+  // fallback when a pruned algorithm was requested but cannot run (this
+  // processor lacks pruning, or the scoring function has no sound bound) —
+  // the request degrades to the next-fastest exact path, never silently to
+  // the exhaustive merge. Only an explicit kExhaustive forces the oracle.
+  const bool skipping = use_skip_blocks_ && conjunctive &&
+                        !pruned_disjunctive &&
+                        options.algorithm != MergeAlgorithm::kExhaustive;
+  // Block-max pruning additionally needs the scoring function to be
+  // dominated by the per-page rank maxima (max aggregation, decay <= 1).
+  const bool pruning =
+      skipping && use_block_max_pruning_ && SupportsBlockMaxPruning(scoring_);
 
   // A keyword absent from the collection makes the conjunction empty.
   std::vector<const index::TermInfo*> infos;

@@ -80,24 +80,60 @@ void ChargeUnreadTails(const std::vector<ScoredCursor>& cursors,
   }
 }
 
-// Feeds every posting of document `d` — across all cursors standing on it —
-// into the merger in global Dewey order: repeatedly the smallest current id
-// among the cursors still inside the document. This is exactly the
+// Feeds every posting of document `d` into the merger in global Dewey
+// order: repeatedly the smallest current id among the cursors still inside
+// the document. `on_doc` holds exactly the cursors standing on `d` (the
+// caller collects them once, so each posting costs a min over that subset,
+// not a rescan of every cursor); it is consumed. This is exactly the
 // subsequence of the exhaustive merge for `d`, so scoring is identical.
-Status FeedDocument(std::vector<ScoredCursor>* cursors, uint32_t d,
+Status FeedDocument(std::vector<ScoredCursor*>* on_doc, uint32_t d,
                     DeweyStackMerger* merger, QueryDeadline* deadline) {
-  for (;;) {
+  while (!on_doc->empty()) {
     XRANK_RETURN_NOT_OK(deadline->Check());
-    ScoredCursor* smallest = nullptr;
-    for (ScoredCursor& sc : *cursors) {
-      if (!sc.live() || sc.doc() != d) continue;
-      if (smallest == nullptr || sc.current().id < smallest->current().id) {
-        smallest = &sc;
+    size_t smallest = 0;
+    for (size_t i = 1; i < on_doc->size(); ++i) {
+      if ((*on_doc)[i]->current().id < (*on_doc)[smallest]->current().id) {
+        smallest = i;
       }
     }
-    if (smallest == nullptr) return Status::OK();  // document fully merged
-    merger->Add(smallest->term(), smallest->current());
-    XRANK_RETURN_NOT_OK(smallest->Next().status());
+    ScoredCursor* sc = (*on_doc)[smallest];
+    merger->Add(sc->term(), sc->current());
+    XRANK_RETURN_NOT_OK(sc->Next().status());
+    if (!sc->live() || sc->doc() != d) {
+      (*on_doc)[smallest] = on_doc->back();
+      on_doc->pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+// Document-order comparison for WandMerge's cursor ordering (exhausted
+// cursors hold kNoDocument and sink to the back); ties break by term slot
+// for determinism.
+bool DocOrderLess(const std::vector<ScoredCursor>& cursors, size_t a,
+                  size_t b) {
+  const ScoredCursor& ca = cursors[a];
+  const ScoredCursor& cb = cursors[b];
+  if (ca.doc() != cb.doc()) return ca.doc() < cb.doc();
+  return ca.term() < cb.term();
+}
+
+// Restores sortedness after the first `moved` entries of `order` advanced:
+// each is re-inserted into the tail it now belongs in (the tail is sorted —
+// those cursors did not move, and entries are processed back to front).
+// O(moved × n) per decision instead of a full re-sort, the classic WAND
+// bookkeeping.
+void Reposition(std::vector<size_t>* order,
+                const std::vector<ScoredCursor>& cursors, size_t moved) {
+  for (size_t i = moved; i-- > 0;) {
+    const size_t value = (*order)[i];
+    size_t j = i;
+    while (j + 1 < order->size() &&
+           DocOrderLess(cursors, (*order)[j + 1], value)) {
+      (*order)[j] = (*order)[j + 1];
+      ++j;
+    }
+    (*order)[j] = value;
   }
 }
 
@@ -132,8 +168,10 @@ Status MaxScoreMerge(std::vector<ScoredCursor>* cursors,
                      PruningCounters* counters) {
   const size_t n = cursors->size();
   const bool block_refine = SupportsBlockMaxBounds(scoring);
-  std::vector<RefinedBound> refined;  // reused across iterations
+  std::vector<RefinedBound> refined;   // reused across iterations
   refined.reserve(n);
+  std::vector<ScoredCursor*> on_doc;  // reused across evaluated documents
+  on_doc.reserve(n);
 
   // Fixed ascending order by list-level bound; prefix[i] bounds what the i
   // cheapest lists can jointly contribute to any one element.
@@ -226,7 +264,11 @@ Status MaxScoreMerge(std::vector<ScoredCursor>* cursors,
         ++counters->pivot_advances;
       }
     }
-    XRANK_RETURN_NOT_OK(FeedDocument(cursors, d, merger, deadline));
+    on_doc.clear();
+    for (ScoredCursor& sc : *cursors) {
+      if (sc.live() && sc.doc() == d) on_doc.push_back(&sc);
+    }
+    XRANK_RETURN_NOT_OK(FeedDocument(&on_doc, d, merger, deadline));
   }
   return Status::OK();
 }
@@ -237,22 +279,21 @@ Status WandMerge(std::vector<ScoredCursor>* cursors,
                  QueryDeadline* deadline, PruningCounters* counters) {
   const size_t n = cursors->size();
   const bool refine = block_max && SupportsBlockMaxBounds(scoring);
-  std::vector<RefinedBound> refined;  // reused across iterations
+  std::vector<RefinedBound> refined;   // reused across iterations
   refined.reserve(n);
+  std::vector<ScoredCursor*> on_doc;  // reused across evaluated documents
+  on_doc.reserve(n);
 
+  // Sorted by current document once; every later advance only moves a
+  // prefix of the order forward, which Reposition re-inserts into the
+  // still-sorted tail instead of re-sorting all n cursors per iteration.
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return DocOrderLess(*cursors, a, b); });
 
   for (;;) {
     XRANK_RETURN_NOT_OK(deadline->Check());
-    // Document-order sort (exhausted cursors hold kNoDocument and sink to
-    // the back); ties by term slot for determinism.
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      const ScoredCursor& ca = (*cursors)[a];
-      const ScoredCursor& cb = (*cursors)[b];
-      if (ca.doc() != cb.doc()) return ca.doc() < cb.doc();
-      return ca.term() < cb.term();
-    });
     if ((*cursors)[order[0]].doc() == kNoDoc) break;  // all exhausted
 
     const double theta = accumulator->KthRank();
@@ -289,6 +330,7 @@ Status WandMerge(std::vector<ScoredCursor>* cursors,
         }
       }
       counters->blocks_pruned += TotalPagesSkipped(*cursors) - skipped_before;
+      Reposition(&order, *cursors, pivot);
       continue;
     }
 
@@ -343,11 +385,18 @@ Status WandMerge(std::vector<ScoredCursor>* cursors,
           }
         }
         counters->blocks_pruned += TotalPagesSkipped(*cursors) - skipped_before;
+        Reposition(&order, *cursors, last_eq + 1);
         continue;
       }
     }
 
-    XRANK_RETURN_NOT_OK(FeedDocument(cursors, pivot_doc, merger, deadline));
+    // The cursors standing on pivot_doc are exactly the aligned prefix.
+    on_doc.clear();
+    for (size_t i = 0; i <= last_eq; ++i) {
+      on_doc.push_back(&(*cursors)[order[i]]);
+    }
+    XRANK_RETURN_NOT_OK(FeedDocument(&on_doc, pivot_doc, merger, deadline));
+    Reposition(&order, *cursors, last_eq + 1);
   }
   return Status::OK();
 }

@@ -368,6 +368,33 @@ TEST(CodecValidationTest, OpenIndexRefusesUnregisteredCodecId) {
   }
 }
 
+TEST(CodecValidationTest, OpenIndexRefusesFutureLexiconFormatVersion) {
+  // A lexicon format version this binary does not know means the blob may
+  // carry fields we cannot parse; Open must refuse with a clean Status
+  // instead of misaligning the decode.
+  TermPostingsMap postings;
+  postings["alpha"] = MakeBlockPostings(50, 31);
+  auto built = BuildDilIndex(postings, storage::PageFile::CreateInMemory());
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  auto copy = storage::PageFile::CreateInMemory();
+  storage::Page page;
+  for (storage::PageId p = 0; p < built->file->page_count(); ++p) {
+    ASSERT_TRUE(built->file->Read(p, &page).ok());
+    if (p == 0) {
+      // Offset 76: lexicon format version (see index_builder.cc).
+      page.WriteU32(76, kLexiconFormatVersion + 1);
+    }
+    ASSERT_TRUE(copy->Allocate().ok());
+    ASSERT_TRUE(copy->Write(p, page).ok());
+  }
+  auto reopened = OpenIndex(std::move(copy));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().message().find("lexicon format version"),
+            std::string::npos)
+      << reopened.status();
+}
+
 TEST(CodecValidationTest, ManifestRefusesUnknownCodecId) {
   Manifest manifest;
   ManifestEntry entry;

@@ -180,6 +180,51 @@ TEST_P(DisjunctivePruningTest, MixedModeConjunctiveMatchesOracle) {
   }
 }
 
+// A pruned-algorithm request on a processor that cannot run it (built
+// without block-max pruning) degrades to the conjunctive DAAT skip path —
+// the next-fastest exact strategy — not silently to the exhaustive merge;
+// the stats label reports what actually ran.
+TEST_P(DisjunctivePruningTest, UnavailablePrunedRequestFallsBackToDaat) {
+  auto corpus = BuildIndexedCorpus(RandomCorpus(GetParam() + 8500, 8));
+  datagen::Vocabulary vocab(8);
+  Random rng(GetParam() * 41 + 13);
+
+  query::DilQueryProcessor oracle(corpus->pool(IndexKind::kDil),
+                                  corpus->lexicon(IndexKind::kDil),
+                                  ScoringOptions{},
+                                  /*use_skip_blocks=*/false);
+  query::DilQueryProcessor skip_only(corpus->pool(IndexKind::kDil),
+                                     corpus->lexicon(IndexKind::kDil),
+                                     ScoringOptions{},
+                                     /*use_skip_blocks=*/true,
+                                     /*block_cache=*/nullptr,
+                                     /*use_block_max_pruning=*/false);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::set<std::string> chosen;
+    while (chosen.size() < 2) chosen.insert(vocab.Word(rng.Uniform(8)));
+    std::vector<std::string> keywords(chosen.begin(), chosen.end());
+    auto expected = oracle.Execute(keywords, 10);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    for (MergeAlgorithm algorithm : kPrunedAlgorithms) {
+      QueryOptions options;
+      options.algorithm = algorithm;
+      auto got = skip_only.Execute(keywords, 10, options);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(got->stats.algorithm, "daat")
+          << MergeAlgorithmName(algorithm);
+      ExpectIdenticalResponses(*got, *expected,
+                               std::string("daat fallback from ") +
+                                   MergeAlgorithmName(algorithm));
+    }
+    // An explicit exhaustive request still forces the oracle merge.
+    QueryOptions exhaustive;
+    exhaustive.algorithm = MergeAlgorithm::kExhaustive;
+    auto forced = skip_only.Execute(keywords, 10, exhaustive);
+    ASSERT_TRUE(forced.ok()) << forced.status();
+    EXPECT_EQ(forced->stats.algorithm, "exhaustive");
+  }
+}
+
 // The HDIL processor now serves disjunctive queries by delegating to DIL.
 TEST_P(DisjunctivePruningTest, HdilDelegatesDisjunctiveQueries) {
   auto corpus = BuildIndexedCorpus(RandomCorpus(GetParam() + 9000, 8));

@@ -386,5 +386,52 @@ TEST(LexiconTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Lexicon::Deserialize("\xFF\xFF\xFF").ok());
 }
 
+TEST(LexiconTest, MaxDocRankRoundTripsAtCurrentVersion) {
+  Lexicon lexicon;
+  TermInfo info;
+  info.list = ListExtent{2, 1, 8};
+  info.max_doc_rank = 3.25f;
+  lexicon.Add("term", info);
+  std::string blob;
+  lexicon.Serialize(&blob);
+  auto restored = Lexicon::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->Find("term")->max_doc_rank, 3.25f);
+}
+
+TEST(LexiconTest, VersionZeroBlobParsesWithoutMaxDocRank) {
+  // A format-version-0 blob — what every index file written before the
+  // max_doc_rank field carries — must deserialize byte-exact when the
+  // header says version 0, with the absent field defaulting to 0 (query
+  // code then treats the bound as unknown and prunes nothing).
+  Lexicon lexicon;
+  TermInfo info;
+  info.list = ListExtent{5, 3, 120};
+  info.btree_root = storage::MakeNodeRef(9, 128);
+  info.max_doc_rank = 7.5f;  // must NOT be serialized at version 0
+  info.skips.push_back(SkipEntry{0, dewey::DeweyId({1, 2}), 0.75f});
+  info.skips.push_back(SkipEntry{1, dewey::DeweyId({4}), 123.5f});
+  lexicon.Add("xql", info);
+
+  std::string legacy_blob;
+  lexicon.Serialize(&legacy_blob, /*format_version=*/0);
+  std::string current_blob;
+  lexicon.Serialize(&current_blob);
+  // The legacy layout is strictly smaller: no 4-byte bound per term.
+  EXPECT_EQ(legacy_blob.size() + sizeof(uint32_t), current_blob.size());
+
+  auto restored =
+      Lexicon::Deserialize(legacy_blob, PostingFormatSpec{},
+                           /*format_version=*/0);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const TermInfo* xql = restored->Find("xql");
+  ASSERT_NE(xql, nullptr);
+  EXPECT_EQ(xql->max_doc_rank, 0.0f);  // absent field -> no-prune default
+  EXPECT_EQ(xql->list.first_page, 5u);
+  EXPECT_EQ(xql->list.entry_count, 120u);
+  EXPECT_EQ(xql->btree_root, storage::MakeNodeRef(9, 128));
+  EXPECT_EQ(xql->skips, info.skips);  // skip descriptors stay aligned
+}
+
 }  // namespace
 }  // namespace xrank::index
