@@ -2,7 +2,9 @@
 #define XRANK_COMMON_BACKOFF_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "common/status.h"
@@ -20,6 +22,69 @@ struct BackoffPolicy {
   std::chrono::microseconds initial_delay{100};
   double multiplier = 4.0;
   std::chrono::microseconds max_delay{5000};
+  // Decorrelated jitter (the AWS architecture-blog variant): each delay is
+  // drawn uniformly from [initial_delay, min(max_delay, 3 * previous)].
+  // Without it, N writers that hit the same transient fault at the same
+  // instant retry in lockstep and collide again on every attempt; jitter
+  // spreads the herd. Disable only for tests that assert exact delays.
+  bool decorrelated_jitter = true;
+  // 0 seeds each retry loop from a process-wide counter (every loop gets an
+  // independent stream); non-zero fixes the stream for reproducible tests.
+  uint64_t jitter_seed = 0;
+};
+
+// The delay schedule of one retry loop, exposed separately so the bounds
+// are unit-testable without sleeping. Every delay returned is within
+// [policy.initial_delay, policy.max_delay] whether or not jitter is on.
+class BackoffDelays {
+ public:
+  explicit BackoffDelays(const BackoffPolicy& policy)
+      : policy_(policy), delay_(policy.initial_delay) {
+    uint64_t seed = policy.jitter_seed;
+    if (seed == 0) {
+      static std::atomic<uint64_t> counter{0x9E3779B97F4A7C15ull};
+      seed = counter.fetch_add(0xBF58476D1CE4E5B9ull,
+                               std::memory_order_relaxed);
+    }
+    state_ = seed;
+  }
+
+  // Delay to sleep before the next attempt; advances the schedule.
+  std::chrono::microseconds Next() {
+    std::chrono::microseconds current = Clamp(delay_);
+    if (policy_.decorrelated_jitter) {
+      // next ~ U[initial, min(max, 3 * current)]
+      int64_t lo = policy_.initial_delay.count();
+      int64_t hi = std::min<int64_t>(policy_.max_delay.count(),
+                                     3 * std::max<int64_t>(current.count(), 1));
+      if (hi < lo) hi = lo;
+      current = Clamp(std::chrono::microseconds(
+          lo + static_cast<int64_t>(NextRandom() %
+                                    static_cast<uint64_t>(hi - lo + 1))));
+      delay_ = current;
+    } else {
+      delay_ = Clamp(std::chrono::microseconds(static_cast<int64_t>(
+          static_cast<double>(current.count()) * policy_.multiplier)));
+    }
+    return current;
+  }
+
+ private:
+  std::chrono::microseconds Clamp(std::chrono::microseconds d) const {
+    return std::min(policy_.max_delay, std::max(policy_.initial_delay, d));
+  }
+
+  uint64_t NextRandom() {
+    // splitmix64: one multiply-xor-shift chain per draw, no allocation.
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  BackoffPolicy policy_;
+  std::chrono::microseconds delay_;
+  uint64_t state_ = 0;
 };
 
 // Calls `op` (returning Status) up to `policy.max_attempts` times, sleeping
@@ -28,16 +93,12 @@ struct BackoffPolicy {
 template <typename Op, typename RetryablePred>
 Status RetryWithBackoff(const BackoffPolicy& policy, const Op& op,
                         const RetryablePred& retryable) {
-  std::chrono::microseconds delay = policy.initial_delay;
+  BackoffDelays delays(policy);
   Status status;
   for (int attempt = 0; attempt < std::max(policy.max_attempts, 1);
        ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(delay);
-      delay = std::min(
-          policy.max_delay,
-          std::chrono::microseconds(static_cast<int64_t>(
-              static_cast<double>(delay.count()) * policy.multiplier)));
+      std::this_thread::sleep_for(delays.Next());
     }
     status = op();
     if (status.ok() || !retryable(status)) return status;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,6 +17,9 @@ enum class Action {
   kError,     // the operation reports a failure without side effects
   kTornWrite, // a write persists only a prefix of the payload
   kBitFlip,   // the payload is silently corrupted by one flipped bit
+  kCrash,     // the process dies on the spot (as if SIGKILLed) — the
+              // crash-recovery harness arms this at commit-protocol
+              // windows and asserts that reopen finds a consistent state
 };
 
 // Trigger schedule of one failpoint. Scripted control comes from
@@ -68,6 +72,15 @@ class FailPoints {
   // Fast path: number of armed points; 0 means Evaluate returns instantly.
   std::atomic<uint64_t> armed_{0};
 };
+
+// Realizes a kCrash-scheduled hit: the process exits immediately with
+// status 137 (the SIGKILL convention) — no atexit handlers, no stream
+// flushes, no destructors, exactly the state a power cut leaves behind.
+// Call sites that participate in a commit protocol evaluate their failpoint
+// and pass the hit through here before mapping other actions onto errors.
+inline void DieIfCrashRequested(const std::optional<FailPointHit>& hit) {
+  if (hit.has_value() && hit->action == Action::kCrash) std::_Exit(137);
+}
 
 // RAII arming for tests: disarms (and clears counters) on scope exit.
 class ScopedFailPoint {

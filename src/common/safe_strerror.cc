@@ -1,0 +1,34 @@
+#include "common/safe_strerror.h"
+
+#include <string.h>
+
+namespace xrank {
+
+namespace {
+
+// strerror_r has two incompatible signatures: the XSI form returns int
+// (0 on success, always writing into the buffer) and the GNU form returns
+// char* (which may point at static immutable storage instead of the
+// buffer). Overload resolution on the actual return type picks the right
+// adaptor without any feature-macro guessing. Exactly one overload is
+// selected per platform; the other is intentionally unused.
+[[maybe_unused]] const char* AdoptStrErrorResult(int rc, const char* buffer) {
+  return rc == 0 ? buffer : nullptr;
+}
+[[maybe_unused]] const char* AdoptStrErrorResult(const char* result,
+                                                 const char* /*buffer*/) {
+  return result;
+}
+
+}  // namespace
+
+std::string SafeStrError(int errnum) {
+  char buffer[256];
+  buffer[0] = '\0';
+  const char* message =
+      AdoptStrErrorResult(strerror_r(errnum, buffer, sizeof(buffer)), buffer);
+  if (message != nullptr && message[0] != '\0') return message;
+  return "error " + std::to_string(errnum);
+}
+
+}  // namespace xrank

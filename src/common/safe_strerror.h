@@ -1,0 +1,18 @@
+#ifndef XRANK_COMMON_SAFE_STRERROR_H_
+#define XRANK_COMMON_SAFE_STRERROR_H_
+
+#include <string>
+
+namespace xrank {
+
+// Thread-safe strerror. The classic strerror(errno) returns a pointer to
+// internal static storage that another thread's concurrent failure can
+// rewrite mid-read — under concurrent I/O errors (the exact situation in
+// which error strings are being built) the reported message can interleave
+// two unrelated errors. This wraps strerror_r, which formats into a
+// caller-owned buffer, and degrades to "error <n>" when even that fails.
+std::string SafeStrError(int errnum);
+
+}  // namespace xrank
+
+#endif  // XRANK_COMMON_SAFE_STRERROR_H_

@@ -2,13 +2,15 @@
 #define XRANK_CORE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -16,13 +18,16 @@
 #include "query/trace.h"
 #include "graph/graph.h"
 #include "index/block_cache.h"
+#include "index/delta_segment.h"
 #include "index/hdil_index.h"
 #include "index/index_builder.h"
+#include "index/manifest.h"
 #include "query/hdil_query.h"
 #include "query/query.h"
 #include "rank/elem_rank.h"
 #include "storage/buffer_pool.h"
 #include "storage/cost_model.h"
+#include "storage/wal.h"
 #include "xml/node.h"
 
 namespace xrank::core {
@@ -62,15 +67,17 @@ struct EngineOptions {
   storage::CostModelOptions cost;
 
   // Capacity of the engine-level top-k result cache, in entries across all
-  // index kinds (0 disables it). The cache is invalidated wholesale by
-  // DeleteDocument and CompactDeletions.
+  // index kinds (0 disables it). Keys embed the engine's content version,
+  // so AddDocument/DeleteDocument invalidate prior entries by construction
+  // while flushes and compactions keep every hit warm.
   size_t result_cache_entries = 256;
 
   // Byte budget of the decoded posting-block cache shared by all index
   // kinds (0 disables it). Entries are keyed by (page file id, page id), so
-  // one cache safely serves every index file; invalidated wholesale with
-  // the result cache, and dropped at query start in cold_cache_per_query
-  // mode (the paper's cold-cache setup must not serve pre-decoded pages).
+  // one cache safely serves every index file — including the live-update
+  // segments; a flush or compaction evicts only the retired segment's
+  // entries. Dropped at query start in cold_cache_per_query mode (the
+  // paper's cold-cache setup must not serve pre-decoded pages).
   size_t block_cache_bytes = 8u << 20;
 
   // Engine-wide default per-query limits (deadline, cancellation, partial
@@ -98,6 +105,25 @@ struct EngineOptions {
   // "answer node" mechanism of Section 2.2); a result is mapped to its
   // nearest ancestor-or-self answer node. Empty: all elements qualify.
   std::vector<std::string> answer_node_tags;
+
+  // --- live updates (AddDocument / background flush + compaction) ---
+
+  // Hard bound on the in-memory mutable delta: once it holds this many
+  // documents, AddDocument blocks (backpressure — slow, never fail) until a
+  // flush drains it. The wait is surfaced in update.backpressure_us.
+  size_t max_delta_documents = 8;
+  // Delta size that schedules a background flush (<= max_delta_documents).
+  size_t flush_delta_documents = 4;
+  // Number of flushed segments that schedules a background merge
+  // compaction (0 disables automatic compaction).
+  size_t compact_segment_count = 4;
+  // Run flush/compaction on a background maintenance thread (started
+  // lazily by the first AddDocument). Off: maintenance runs inline — an
+  // AddDocument that fills the delta flushes it synchronously, and
+  // Flush()/CompactSegments() remain available to callers.
+  bool background_maintenance = true;
+  // Buffer pool pages for each live segment's index (segments are small).
+  size_t segment_pool_pages = 256;
 };
 
 // A query result decoded back to the document structure.
@@ -116,17 +142,23 @@ struct EngineResponse {
 
 // The XRANK system facade.
 //
-// Thread safety: after Build returns, the graph, ElemRanks and index files
-// are immutable, and Query/QueryKeywords/QueryWithPath may be called from
-// any number of threads concurrently. Every query on an index runs against
-// that index's shared sharded buffer pool (lock striping keeps readers of
-// distinct pages from contending); in the default cold-cache mode each
-// query additionally drops the pool at its start, reproducing the paper's
-// cold-OS-cache measurements when queries run one at a time. Repeated
-// queries are answered from a sharded top-k result cache. DeleteDocument
-// and CompactDeletions are writers: they take an exclusive lock (and
-// invalidate the result cache) and may run concurrently with queries
-// (queries observe the state before or after, never mid-update).
+// Thread safety: queries (Query/QueryKeywords/QueryWithPath) may run from
+// any number of threads concurrently, and concurrently with every update
+// operation. Each query pins an immutable snapshot of the serving state —
+// the base indexes, the flushed live segments, the mutable delta, and the
+// tombstone set — behind reference-counted pointers, so a flush or
+// compaction swapping segments underneath it can never expose a partially
+// updated view, and queries never wait on update work (the snapshot hand-
+// off is a pointer copy under a lock held for nanoseconds).
+//
+// Updates (AddDocument / DeleteDocument / Flush / CompactSegments /
+// CompactDeletions) are serialized among themselves. AddDocument is
+// crash-safe when disk-backed: the document is appended to a checksummed
+// write-ahead log and fsynced before it becomes visible, and Open replays
+// the log — truncating a torn tail — so every acknowledged add survives a
+// kill at any instant. Background maintenance migrates the delta into
+// immutable on-disk segments through the same rename + MANIFEST commit
+// protocol as the base build.
 class XRankEngine {
  public:
   ~XRankEngine();
@@ -142,12 +174,15 @@ class XRankEngine {
 
   // Re-opens the committed on-disk indexes under `options.disk_dir`
   // (written by a previous disk-backed Build over the same documents).
-  // The graph and ElemRanks are re-derived in memory — they are not
+  // The base graph and ElemRanks are re-derived in memory — they are not
   // persisted — but physical index construction is skipped: the committed
-  // files are validated against the MANIFEST and served as-is. A directory
-  // with no MANIFEST (crash before the commit point), a torn MANIFEST, or
-  // files whose length/checksum disagree with it is refused with a precise
-  // error naming the file (and first bad page when verify_on_open is set).
+  // files are validated against the MANIFEST and served as-is. Flushed
+  // live segments are reopened from their committed index + docs files,
+  // and the write-ahead log is replayed (a torn tail is truncated; records
+  // a committed segment already covers are skipped), so documents added
+  // before a crash are served again. A directory with no MANIFEST (crash
+  // before the commit point), a torn MANIFEST, or files whose length/
+  // checksum disagree with it is refused with a precise error.
   static Result<std::unique_ptr<XRankEngine>> Open(
       std::vector<xml::Document> documents, const EngineOptions& options);
 
@@ -190,27 +225,77 @@ class XRankEngine {
   bool has_index(index::IndexKind kind) const;
 
   // ElemRank of the element with the given Dewey ID (display helper).
+  // Resolves live-segment documents too (their ranks are per-document).
   Result<double> ElemRankOf(const dewey::DeweyId& id) const;
 
-  // --- document-granularity updates (paper Section 4.5) ---
+  // --- live updates (LSM-style delta + WAL, paper Section 4.5 extended) ---
+
+  // Parses and ingests one XML document. Disk-backed engines append the
+  // document to the write-ahead log and fsync it before anything becomes
+  // visible — once AddDocument returns OK, the document survives a crash
+  // at any later instant and is immediately queryable through every built
+  // index kind. New documents are ranked by per-document ElemRank (see
+  // index/delta_segment.h for the invariance argument); a full offline
+  // rebuild restores exact global ranks. Blocks (bounded by flush latency)
+  // when the delta is full. InvalidArgument when a live document — added or
+  // from the base corpus — holds the same URI.
+  Status AddDocument(std::string_view uri, std::string_view xml_text);
 
   // Marks a document deleted. Its elements disappear from query results
   // immediately (results are post-filtered on the document id, which is the
   // first Dewey component — the property Section 4.5 relies on); the
-  // physical postings remain until CompactDeletions. NotFound for an
-  // unknown URI.
+  // physical postings remain until a compaction. Disk-backed engines log
+  // the delete, so tombstones survive reopen. NotFound for an unknown (or
+  // already deleted) URI.
   Status DeleteDocument(std::string_view uri);
 
-  // Rebuilds every physical index without the deleted documents' postings —
-  // the offline merge step of traditional inverted-list maintenance that
-  // the paper defers to (Brown et al. / Tomasic et al.).
+  // Migrates the mutable delta into an immutable flushed segment: an
+  // on-disk DIL index plus a checksummed source-document log, committed
+  // through the MANIFEST, after which the WAL is rewritten without the
+  // covered records. Queries in flight keep serving their pinned snapshot;
+  // the result cache stays warm (content is unchanged). No-op with an
+  // empty delta. Runs in the background when the delta fills; this is the
+  // synchronous form for tests and tools.
+  Status Flush();
+
+  // Merges every flushed segment into one, dropping tombstoned documents.
+  // No-op with fewer than two segments and nothing to drop.
+  Status CompactSegments();
+
+  // Rebuilds every base physical index without the deleted base documents'
+  // postings — the offline merge step of traditional inverted-list
+  // maintenance that the paper defers to (Brown et al. / Tomasic et al.).
+  // Flushed segments and the delta are untouched.
   Status CompactDeletions();
 
-  size_t deleted_document_count() const { return deleted_documents_.size(); }
+  // Blocks until scheduled background maintenance has drained; returns the
+  // most recent background failure (sticky until a later success), OK
+  // otherwise.
+  Status WaitForMaintenance();
 
-  // Monotonic fast-path counters: the index's buffer-pool hit/miss totals
-  // plus the engine-wide result-cache totals. Benches diff snapshots to
-  // report per-phase hit rates.
+  size_t deleted_document_count() const;
+
+  // Live-update observability (mirrored into the process-wide metrics
+  // registry as update.* series).
+  struct UpdateCounters {
+    uint64_t wal_appends = 0;           // records appended this process
+    uint64_t wal_replayed_records = 0;  // records read back by Open
+    uint64_t wal_dropped_bytes = 0;     // torn tail truncated by Open
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t backpressure_waits = 0;    // AddDocument calls that blocked
+    uint64_t backpressure_us_total = 0;
+    uint64_t segment_count = 0;         // flushed segments, current
+    uint64_t delta_documents = 0;       // mutable delta size, current
+    uint64_t added_documents = 0;       // live (non-base) docs, current
+    uint64_t content_seq = 0;
+    uint64_t epoch = 0;                 // snapshot swaps since open
+  };
+  UpdateCounters update_counters() const;
+
+  // Monotonic fast-path counters: the base index's buffer-pool hit/miss
+  // totals plus the engine-wide result-cache totals. Benches diff
+  // snapshots to report per-phase hit rates.
   struct ServingCounters {
     uint64_t pool_hits = 0;
     uint64_t pool_misses = 0;
@@ -225,10 +310,11 @@ class XRankEngine {
   };
   ServingCounters serving_counters(index::IndexKind kind) const;
 
-  // Evicts every warm structure — each index's buffer pool, the result
-  // cache, and the decoded-block cache — without touching index state.
-  // Benches call this between measurement phases to re-establish a cold
-  // baseline while serving with cold_cache_per_query = false.
+  // Evicts every warm structure — each index's buffer pool (segments
+  // included), the result cache, and the decoded-block cache — without
+  // touching index state. Benches call this between measurement phases to
+  // re-establish a cold baseline while serving with
+  // cold_cache_per_query = false.
   void DropCaches();
 
   // --- slow-query log (EngineOptions::slow_query_ms) ---
@@ -245,20 +331,6 @@ class XRankEngine {
  private:
   XRankEngine() = default;
 
-  Result<EngineResponse> Decorate(query::QueryResponse response,
-                                  index::IndexKind kind, size_t m);
-  // Maps a raw result onto the answer-node set (nearest qualifying
-  // ancestor-or-self), if configured.
-  Result<dewey::DeweyId> MapToAnswerNode(const dewey::DeweyId& id) const;
-
-  EngineOptions options_;
-  graph::XmlGraph graph_;
-  std::vector<double> elem_ranks_;
-  rank::ElemRankResult elem_rank_result_;
-  index::Analyzer analyzer_{index::AnalyzerOptions{}};
-  // Maps naive element ordinals back to Dewey IDs.
-  std::vector<dewey::DeweyId> ordinal_to_dewey_;
-
   struct IndexInstance {
     index::BuiltIndex built;
     // Shared by all concurrent queries on this index, in both cache modes
@@ -267,25 +339,150 @@ class XRankEngine {
     std::unique_ptr<storage::CostModel> cost_model;
     std::unique_ptr<storage::BufferPool> pool;
   };
+
+  // The base corpus's physical indexes plus the naive-ordinal mapping that
+  // decodes their results. Immutable once published; CompactDeletions
+  // publishes a replacement.
+  struct BaseState {
+    std::map<index::IndexKind, IndexInstance> indexes;
+    // Maps naive element ordinals back to Dewey IDs.
+    std::vector<dewey::DeweyId> ordinal_to_dewey;
+  };
+
+  // One immutable snapshot of everything a query reads. Queries copy the
+  // shared_ptr (pinning the whole set by refcount) and never re-read
+  // engine state, so updates swapping `live_` cannot expose half a swap.
+  struct LiveState {
+    std::shared_ptr<const BaseState> base;
+    // Flushed segments in doc_base order, then the mutable delta (null
+    // when empty). Segment documents are contiguous global-id ranges
+    // continuing past the base corpus.
+    std::vector<std::shared_ptr<const index::LiveSegment>> segments;
+    std::shared_ptr<const index::LiveSegment> delta;
+    // Global doc ids filtered out of every response.
+    std::shared_ptr<const std::set<uint32_t>> tombstones;
+    // Advances when query answers may change (add/delete), NOT on flush or
+    // compaction — result-cache keys embed it.
+    uint64_t content_seq = 1;
+    uint64_t epoch = 1;  // advances on every publish
+
+    const index::LiveSegment* SegmentForDoc(uint32_t global_doc) const;
+    bool HasLiveDocs() const { return !segments.empty() || delta != nullptr; }
+  };
+
+  // One raw hit of the merged base + segment result streams, pre-
+  // decoration. For base hits `segment` is null and local == global.
+  struct RawHit {
+    double rank = 0.0;
+    dewey::DeweyId global_id;
+    dewey::DeweyId local_id;
+    const index::LiveSegment* segment = nullptr;
+  };
+
+  std::shared_ptr<const LiveState> Snapshot() const;
+  void Publish(std::shared_ptr<LiveState> next);
+
+  Result<EngineResponse> QueryKeywordsSnapshot(
+      const std::shared_ptr<const LiveState>& state,
+      const std::vector<std::string>& keywords, size_t m,
+      index::IndexKind kind, const query::QueryOptions& query_options);
+  Result<EngineResponse> Decorate(const LiveState& state,
+                                  std::vector<RawHit> hits,
+                                  query::QueryStats stats, size_t m);
+  // Maps a raw result onto the answer-node set (nearest qualifying
+  // ancestor-or-self), if configured. Ids are local to `graph`.
+  Result<dewey::DeweyId> MapToAnswerNode(const graph::XmlGraph& graph,
+                                         const dewey::DeweyId& id) const;
+
   // Builds one physical index of the given kind over extracted postings.
   Result<IndexInstance> BuildInstance(index::IndexKind kind,
                                       const index::ExtractionResult& extracted);
   // Shared by Build and Open: graph construction + ElemRank (steps 1-2).
   Status PrepareBase(const std::vector<xml::Document>& documents,
                      const std::vector<xml::Document>& html_documents);
-  // Disk-backed engines only: renames the freshly built `<kind>.xrank.tmp`
+  // Disk-backed engines only: renames freshly built `<kind>.xrank.tmp`
   // files to their final names and commits them through a durable MANIFEST
-  // (see index/manifest.h for the protocol). No-op for in-memory engines.
-  Status CommitToDisk();
+  // (see index/manifest.h for the protocol), preserving the committed
+  // segment entries. No-op for in-memory engines. Caller holds
+  // update_mutex_ (or is still single-threaded in Build/Open).
+  Status CommitBaseLocked(std::map<index::IndexKind, IndexInstance>& indexes);
 
-  std::map<index::IndexKind, IndexInstance> indexes_;
-  std::set<uint32_t> deleted_documents_;
+  // Live-update internals; all *Locked members require update_mutex_.
+  index::LiveSegmentOptions SegmentOptions() const;
+  Status OpenWalLocked();
+  Status ReplayWalLocked(LiveState* state);
+  Status AppendWalLocked(const storage::LogRecord& record);
+  // Rewrites the WAL keeping delete records and adds not covered by
+  // `covered` seq ranges; reopens the writer on the rewritten file.
+  Status RewriteWalLocked(
+      const std::vector<std::pair<uint64_t, uint64_t>>& covered);
+  Status FlushLocked();
+  Status CompactSegmentsLocked();
+  Status CompactDeletionsLocked();
+  // Resolves a URI against `state` (delta first, then segments newest-
+  // first, then the base corpus), skipping tombstoned docs. Returns the
+  // global doc id and the durable WAL handle ("base:<id>" / "seq:<seq>").
+  std::optional<std::pair<uint32_t, std::string>> ResolveLiveUri(
+      const LiveState& state, std::string_view uri) const;
+  // Background maintenance.
+  void RequestMaintenance();
+  void MaintenanceLoop();
+  Status MaintainOnce();
+  void StopMaintenanceThread();
+
+  EngineOptions options_;
+  graph::XmlGraph graph_;
+  std::vector<double> elem_ranks_;
+  rank::ElemRankResult elem_rank_result_;
+  index::Analyzer analyzer_{index::AnalyzerOptions{}};
+  uint32_t base_doc_count_ = 0;
+
+  // Current serving snapshot. live_mutex_ guards only the pointer — the
+  // pointee is immutable. Queries copy it; mutators (which additionally
+  // hold update_mutex_) replace it.
+  std::shared_ptr<const LiveState> live_;
+  mutable std::mutex live_mutex_;
+
+  // Serializes every mutator end-to-end. An AddDocument blocked on
+  // backpressure waits on backpressure_cv_ with this mutex released, so
+  // the flush that drains the delta can proceed.
+  std::mutex update_mutex_;
+  std::condition_variable backpressure_cv_;
+  // WAL writer and the in-memory mirror of its records (used to rewrite
+  // the file after a flush retires covered adds). Null / empty for
+  // in-memory engines. Guarded by update_mutex_.
+  std::unique_ptr<storage::LogWriter> wal_;
+  std::vector<storage::LogRecord> wal_records_;
+  uint64_t next_seq_ = 1;
+  // Committed on-disk state (base entries + segment entries); rewritten at
+  // every commit point. Guarded by update_mutex_.
+  index::Manifest manifest_;
+
+  // Background maintenance thread (lazy; see background_maintenance).
+  std::thread maintenance_thread_;
+  std::mutex maintenance_mutex_;
+  std::condition_variable maintenance_cv_;       // wakes the worker
+  std::condition_variable maintenance_idle_cv_;  // wakes WaitForMaintenance
+  bool maintenance_stop_ = false;
+  bool maintenance_requested_ = false;
+  bool maintenance_active_ = false;
+  Status maintenance_status_;  // sticky last failure, cleared on success
+
+  // Monotonic update counters (relaxed; readers take no locks).
+  std::atomic<uint64_t> wal_appends_{0};
+  std::atomic<uint64_t> wal_replayed_records_{0};
+  std::atomic<uint64_t> wal_dropped_bytes_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> backpressure_waits_{0};
+  std::atomic<uint64_t> backpressure_us_total_{0};
+
   // Null when EngineOptions::result_cache_entries == 0.
   std::unique_ptr<ResultCache> result_cache_;
   // Decoded posting-block cache shared by every index kind (page-file ids
   // keep entries distinct). Null when EngineOptions::block_cache_bytes == 0.
   std::unique_ptr<index::BlockCache> block_cache_;
-  // Deadline outcomes, incremented under the shared lock.
+  // Deadline outcomes.
   mutable std::atomic<uint64_t> deadline_exceeded_queries_{0};
   mutable std::atomic<uint64_t> partial_result_queries_{0};
   // Slow-query ring buffer: fills to capacity, then overwrites the oldest
@@ -296,8 +493,6 @@ class XRankEngine {
   std::vector<SlowQueryEntry> slow_query_ring_;
   size_t slow_query_next_ = 0;
   uint64_t slow_query_total_ = 0;
-  // Readers: Query paths. Writers: DeleteDocument / CompactDeletions.
-  mutable std::shared_mutex state_mutex_;
 };
 
 }  // namespace xrank::core

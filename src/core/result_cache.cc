@@ -37,8 +37,11 @@ ResultCache::ResultCache(size_t capacity_entries, size_t num_shards)
 }
 
 std::string ResultCache::MakeKey(const std::vector<std::string>& terms,
-                                 size_t m, index::IndexKind kind) {
+                                 size_t m, index::IndexKind kind,
+                                 uint64_t content_seq) {
   std::string key;
+  key += std::to_string(content_seq);
+  key += '\x1f';
   key += std::to_string(static_cast<int>(kind));
   key += '\x1f';
   key += std::to_string(m);

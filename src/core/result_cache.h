@@ -18,12 +18,13 @@ namespace xrank::core {
 // index kind) -> fully decorated results, sharded by key hash like the
 // buffer pool so concurrent lookups of different queries never contend.
 //
-// Consistency: entries are inserted and looked up while the engine holds
-// its state lock in shared mode, and Clear() is called by every writer
-// (DeleteDocument / CompactDeletions) while it holds the lock exclusively —
-// so a cached response can never outlive the engine state it was computed
-// from. There is no per-entry invalidation: updates are rare and wholesale
-// invalidation keeps the writer path trivially correct.
+// Consistency: keys embed the engine's content_seq (see MakeKey), so a
+// writer that changes what queries may return (AddDocument/DeleteDocument)
+// invalidates every prior entry by construction — stale keys simply stop
+// being looked up and age out of the LRU. Segment flushes and compactions,
+// which regroup identical content, leave the keys (and therefore every
+// cached hit) intact. Clear() remains for wholesale eviction (DropCaches,
+// cold-cache benchmarking).
 class ResultCache {
  public:
   // `capacity_entries` > 0; `num_shards` == 0 picks an automatic stripe
@@ -35,8 +36,12 @@ class ResultCache {
 
   // Canonical cache key. Keyword order is preserved (a permuted query is a
   // legal separate entry — same results, fewer hits, never wrong).
+  // `content_seq` is the engine's logical-content version: it advances on
+  // every AddDocument/DeleteDocument but NOT on flush or compaction, so
+  // entries go stale exactly when the answer could change — a flush that
+  // only regroups identical content keeps every hit warm.
   static std::string MakeKey(const std::vector<std::string>& terms, size_t m,
-                             index::IndexKind kind);
+                             index::IndexKind kind, uint64_t content_seq);
 
   // On hit, copies the cached response into *out, promotes the entry to
   // most-recently-used, and returns true.

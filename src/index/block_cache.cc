@@ -28,7 +28,9 @@ BlockCache::BlockCache(size_t capacity_bytes, size_t num_shards)
       registry_evictions_(
           metrics::Registry::Instance().GetCounter("block_cache.evictions")),
       registry_bytes_(
-          metrics::Registry::Instance().GetGauge("block_cache.bytes")) {
+          metrics::Registry::Instance().GetGauge("block_cache.bytes")),
+      registry_invalidations_(metrics::Registry::Instance().GetCounter(
+          "cache.segment_invalidations")) {
   size_t shards = ResolveShardCount(capacity_bytes, num_shards);
   shard_capacity_bytes_ = capacity_bytes / shards;
   shards_.reserve(shards);
@@ -123,6 +125,26 @@ void BlockCache::Clear() {
     shard->lru.clear();
     shard->index.clear();
   }
+}
+
+size_t BlockCache::EraseFile(uint64_t file_id) {
+  size_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.file_id != file_id) {
+        ++it;
+        continue;
+      }
+      shard->charged_bytes -= it->charge;
+      registry_bytes_->Add(-static_cast<int64_t>(it->charge));
+      shard->index.erase(it->key);
+      it = shard->lru.erase(it);
+      ++erased;
+    }
+  }
+  if (erased > 0) registry_invalidations_->Increment(erased);
+  return erased;
 }
 
 size_t BlockCache::cached_blocks() const {

@@ -61,6 +61,15 @@ class BlockCache {
   // Drops every entry (writer-side wholesale invalidation).
   void Clear();
 
+  // Drops only the entries of one page file — the per-segment invalidation
+  // the live-update path uses when a flush or compaction retires a segment:
+  // untouched segments (and the base index) keep their decoded blocks warm.
+  // Counts the dropped blocks into cache.segment_invalidations and returns
+  // the number dropped. File ids are process-unique, so a retired file's
+  // keys can never alias a later file; erasing is about returning memory
+  // promptly, not correctness.
+  size_t EraseFile(uint64_t file_id);
+
   // Approximate memory charge of a decoded block: vector headers plus the
   // postings' inline and heap (positions) storage.
   static size_t BlockCharge(const Block& block);
@@ -115,6 +124,7 @@ class BlockCache {
   metrics::Counter* registry_insertions_;
   metrics::Counter* registry_evictions_;
   metrics::Gauge* registry_bytes_;
+  metrics::Counter* registry_invalidations_;
 };
 
 }  // namespace xrank::index

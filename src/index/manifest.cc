@@ -9,8 +9,10 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "common/safe_strerror.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "storage/wal.h"
 
 namespace xrank::index {
 
@@ -46,11 +48,94 @@ std::string SerializeManifest(const Manifest& manifest) {
                   entry.format.vbmw_lambda_milli);
     out += line;
   }
+  for (const SegmentManifestEntry& seg : manifest.segments) {
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "segment file %s kind %u pages %u crc %u codec %u ranks %u vbmw %u "
+        "docs %s bytes %" PRIu64 " dcrc %u base %u count %u seq %" PRIu64
+        " %" PRIu64 "\n",
+        seg.index.file.c_str(), static_cast<unsigned>(seg.index.kind),
+        seg.index.page_count, seg.index.crc, seg.index.format.codec_id,
+        static_cast<unsigned>(seg.index.format.ranks),
+        seg.index.format.vbmw_lambda_milli, seg.docs_file.c_str(),
+        seg.docs_bytes, seg.docs_crc, seg.doc_base, seg.doc_count,
+        seg.first_seq, seg.last_seq);
+    out += line;
+  }
   char commit[64];
   std::snprintf(commit, sizeof(commit), "commit %u\n", Crc32c(out));
   out += commit;
   return out;
 }
+
+namespace {
+
+// Parses one "segment ..." line (tokens[0] == "segment"). The layout is a
+// fixed sequence of key/value tokens so a truncated or reordered line is
+// rejected with the offending key named.
+Result<SegmentManifestEntry> ParseSegmentLine(
+    const std::vector<std::string_view>& tokens, std::string_view line) {
+  constexpr std::string_view kKeys[] = {"file", "kind", "pages",  "crc",
+                                        "codec", "ranks", "vbmw", "docs",
+                                        "bytes", "dcrc",  "base",  "count"};
+  constexpr size_t kNumKeys = sizeof(kKeys) / sizeof(kKeys[0]);
+  // 1 ("segment") + 12 key/value pairs + "seq <first> <last>".
+  if (tokens.size() != 1 + 2 * kNumKeys + 3) {
+    return Status::Corruption("malformed MANIFEST segment line '" +
+                              std::string(line) + "'");
+  }
+  for (size_t i = 0; i < kNumKeys; ++i) {
+    if (tokens[1 + 2 * i] != kKeys[i]) {
+      return Status::Corruption("MANIFEST segment line expects '" +
+                                std::string(kKeys[i]) + "', got '" +
+                                std::string(tokens[1 + 2 * i]) + "'");
+    }
+  }
+  if (tokens[1 + 2 * kNumKeys] != "seq") {
+    return Status::Corruption("MANIFEST segment line missing seq range");
+  }
+  SegmentManifestEntry seg;
+  seg.index.file = std::string(tokens[2]);
+  XRANK_ASSIGN_OR_RETURN(uint64_t kind, ParseU64(tokens[4], "segment kind"));
+  if (kind < 1 || kind > 5) {
+    return Status::Corruption("bad segment index kind " +
+                              std::to_string(kind) + " in MANIFEST");
+  }
+  seg.index.kind = static_cast<IndexKind>(kind);
+  XRANK_ASSIGN_OR_RETURN(uint64_t pages,
+                         ParseU64(tokens[6], "segment page count"));
+  seg.index.page_count = static_cast<uint32_t>(pages);
+  XRANK_ASSIGN_OR_RETURN(uint64_t crc, ParseU64(tokens[8], "segment crc"));
+  seg.index.crc = static_cast<uint32_t>(crc);
+  XRANK_ASSIGN_OR_RETURN(uint64_t codec_id,
+                         ParseU64(tokens[10], "segment codec"));
+  seg.index.format.codec_id = static_cast<uint32_t>(codec_id);
+  XRANK_ASSIGN_OR_RETURN(uint64_t ranks,
+                         ParseU64(tokens[12], "segment rank encoding"));
+  seg.index.format.ranks = static_cast<RankEncoding>(ranks);
+  XRANK_ASSIGN_OR_RETURN(uint64_t lambda,
+                         ParseU64(tokens[14], "segment vbmw lambda"));
+  seg.index.format.vbmw_lambda_milli = static_cast<uint32_t>(lambda);
+  seg.docs_file = std::string(tokens[16]);
+  XRANK_ASSIGN_OR_RETURN(seg.docs_bytes,
+                         ParseU64(tokens[18], "segment docs bytes"));
+  XRANK_ASSIGN_OR_RETURN(uint64_t dcrc, ParseU64(tokens[20], "docs crc"));
+  seg.docs_crc = static_cast<uint32_t>(dcrc);
+  XRANK_ASSIGN_OR_RETURN(uint64_t base, ParseU64(tokens[22], "doc base"));
+  seg.doc_base = static_cast<uint32_t>(base);
+  XRANK_ASSIGN_OR_RETURN(uint64_t count, ParseU64(tokens[24], "doc count"));
+  seg.doc_count = static_cast<uint32_t>(count);
+  XRANK_ASSIGN_OR_RETURN(seg.first_seq, ParseU64(tokens[26], "first seq"));
+  XRANK_ASSIGN_OR_RETURN(seg.last_seq, ParseU64(tokens[27], "last seq"));
+  if (seg.last_seq < seg.first_seq) {
+    return Status::Corruption("MANIFEST segment seq range inverted");
+  }
+  XRANK_RETURN_NOT_OK(ResolvePostingCodec(seg.index.format).status());
+  return seg;
+}
+
+}  // namespace
 
 Result<Manifest> ParseManifest(std::string_view text) {
   // The trailer CRC covers everything before the "commit " line; find it
@@ -88,6 +173,12 @@ Result<Manifest> ParseManifest(std::string_view text) {
       continue;
     }
     std::vector<std::string_view> tokens = SplitString(line, " ");
+    if (!tokens.empty() && tokens[0] == "segment") {
+      XRANK_ASSIGN_OR_RETURN(SegmentManifestEntry seg,
+                             ParseSegmentLine(tokens, line));
+      manifest.segments.push_back(std::move(seg));
+      continue;
+    }
     // 8 tokens: legacy (pre-codec) line, posting format defaults to
     // (varint, float32). 12 tokens: explicit codec/ranks suffix.
     // 14 tokens: adds the VBMW block-sizing lambda.
@@ -138,13 +229,14 @@ Result<Manifest> ParseManifest(std::string_view text) {
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
-  if (fail::FailPoints::Instance().Evaluate("manifest.rename")) {
+  if (auto hit = fail::FailPoints::Instance().Evaluate("manifest.rename")) {
+    fail::DieIfCrashRequested(hit);
     return Status::IOError("injected rename failure '" + from + "' -> '" +
                            to + "'");
   }
   if (::rename(from.c_str(), to.c_str()) != 0) {
     return Status::IOError("rename '" + from + "' -> '" + to +
-                           "' failed: " + std::strerror(errno));
+                           "' failed: " + SafeStrError(errno));
   }
   return Status::OK();
 }
@@ -153,11 +245,11 @@ Status SyncDirectory(const std::string& dir) {
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
     return Status::IOError("cannot open directory '" + dir +
-                           "': " + std::strerror(errno));
+                           "': " + SafeStrError(errno));
   }
   if (::fsync(fd) != 0) {
     Status status = Status::IOError("fsync of directory '" + dir +
-                                    "' failed: " + std::strerror(errno));
+                                    "' failed: " + SafeStrError(errno));
     ::close(fd);
     return status;
   }
@@ -173,7 +265,7 @@ Status WriteManifestFile(const std::string& dir, const Manifest& manifest) {
   int fd = ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) {
     return Status::IOError("cannot create '" + tmp_path +
-                           "': " + std::strerror(errno));
+                           "': " + SafeStrError(errno));
   }
   size_t written = 0;
   while (written < blob.size()) {
@@ -181,7 +273,7 @@ Status WriteManifestFile(const std::string& dir, const Manifest& manifest) {
     if (n < 0) {
       if (errno == EINTR) continue;
       Status status = Status::IOError("write of '" + tmp_path +
-                                      "' failed: " + std::strerror(errno));
+                                      "' failed: " + SafeStrError(errno));
       ::close(fd);
       return status;
     }
@@ -189,7 +281,7 @@ Status WriteManifestFile(const std::string& dir, const Manifest& manifest) {
   }
   if (::fsync(fd) != 0) {
     Status status = Status::IOError("fsync of '" + tmp_path +
-                                    "' failed: " + std::strerror(errno));
+                                    "' failed: " + SafeStrError(errno));
     ::close(fd);
     return status;
   }
@@ -209,7 +301,7 @@ Result<Manifest> ReadManifestFile(const std::string& dir) {
           "interrupted the build before its commit point)");
     }
     return Status::IOError("cannot open '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + SafeStrError(errno));
   }
   std::string blob;
   char buffer[4096];
@@ -218,7 +310,7 @@ Result<Manifest> ReadManifestFile(const std::string& dir) {
     if (n < 0) {
       if (errno == EINTR) continue;
       Status status = Status::IOError("read of '" + path +
-                                      "' failed: " + std::strerror(errno));
+                                      "' failed: " + SafeStrError(errno));
       ::close(fd);
       return status;
     }
@@ -265,6 +357,26 @@ Status VerifyManifestEntry(const std::string& dir, const ManifestEntry& entry,
                               std::to_string(crc) +
                               " does not match MANIFEST (" +
                               std::to_string(entry.crc) + ")");
+  }
+  return Status::OK();
+}
+
+Status VerifySegmentEntry(const std::string& dir,
+                          const SegmentManifestEntry& entry,
+                          storage::PageId* first_bad_page) {
+  XRANK_RETURN_NOT_OK(VerifyManifestEntry(dir, entry.index, first_bad_page));
+  std::string docs_path = dir + "/" + entry.docs_file;
+  XRANK_ASSIGN_OR_RETURN(auto checksum, storage::ChecksumFile(docs_path));
+  if (checksum.first != entry.docs_bytes) {
+    return Status::Corruption(
+        "'" + docs_path + "' is " + std::to_string(checksum.first) +
+        " bytes, MANIFEST expects " + std::to_string(entry.docs_bytes));
+  }
+  if (checksum.second != entry.docs_crc) {
+    return Status::Corruption("'" + docs_path + "' content checksum " +
+                              std::to_string(checksum.second) +
+                              " does not match MANIFEST (" +
+                              std::to_string(entry.docs_crc) + ")");
   }
   return Status::OK();
 }

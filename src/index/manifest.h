@@ -37,12 +37,37 @@ struct ManifestEntry {
   PostingFormatSpec format;
 };
 
+// One immutable flushed segment of the live-update path: a DIL index page
+// file over the segment's documents plus a framed `.docs` source log (WAL
+// record framing) that regenerates those documents on open or compaction.
+// The seq range ties the segment back to the write-ahead log: WAL replay
+// skips AddDocument records whose seq a committed segment already covers,
+// which makes replay after a crash between segment commit and WAL rewrite
+// idempotent.
+struct SegmentManifestEntry {
+  // The segment's index page file; `index.kind` is always kDil (the only
+  // processor the segment merge path queries).
+  ManifestEntry index;
+  std::string docs_file;  // framed document log, basename within the dir
+  uint64_t docs_bytes = 0;
+  uint32_t docs_crc = 0;   // whole-file CRC32C of the docs log
+  uint32_t doc_base = 0;   // first global document id in this segment
+  uint32_t doc_count = 0;  // contiguous ids [doc_base, doc_base + doc_count)
+  uint64_t first_seq = 0;  // WAL sequence range covered, inclusive
+  uint64_t last_seq = 0;
+};
+
 struct Manifest {
   std::vector<ManifestEntry> entries;
+  // Flushed live-update segments, in doc_base order. Empty for an index
+  // directory that has never absorbed live updates (and for every legacy
+  // manifest, which parses unchanged).
+  std::vector<SegmentManifestEntry> segments;
 };
 
 // Text round-trip (format: "xrank-manifest v1" header, one "file ..." line
-// per entry, "commit <crc>" trailer covering all preceding bytes).
+// per base-index entry and one "segment ..." line per flushed segment,
+// "commit <crc>" trailer covering all preceding bytes).
 std::string SerializeManifest(const Manifest& manifest);
 Result<Manifest> ParseManifest(std::string_view text);
 
@@ -64,6 +89,12 @@ Result<uint32_t> ChecksumPageFile(const storage::PageFile& file);
 // page, or kInvalidPage when the mismatch is file-level.
 Status VerifyManifestEntry(const std::string& dir, const ManifestEntry& entry,
                            storage::PageId* first_bad_page = nullptr);
+
+// Full integrity check of one flushed segment: its index page file (as
+// VerifyManifestEntry) plus the docs log's byte count and whole-file CRC.
+Status VerifySegmentEntry(const std::string& dir,
+                          const SegmentManifestEntry& entry,
+                          storage::PageId* first_bad_page = nullptr);
 
 // Renames `from` -> `to` (same filesystem), with strerror detail.
 Status RenameFile(const std::string& from, const std::string& to);

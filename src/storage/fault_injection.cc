@@ -39,7 +39,9 @@ Status FaultInjectionPageFile::Read(PageId page, Page* out) const {
 
 Status FaultInjectionPageFile::Write(PageId page, const Page& page_data) {
   if (auto hit = fail::FailPoints::Instance().Evaluate(write_site_)) {
+    fail::DieIfCrashRequested(hit);
     switch (hit->action) {
+      case fail::Action::kCrash:  // unreachable: handled above
       case fail::Action::kError:
         return Status::IOError("injected write error on page " +
                                std::to_string(page) + " at '" + site_ + "'");

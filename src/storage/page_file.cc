@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/backoff.h"
+#include "common/safe_strerror.h"
 #include "common/crc32.h"
 #include "common/failpoint.h"
 
@@ -31,7 +32,7 @@ std::string IoErrorMessage(const char* op, const std::string& path,
   std::string msg = std::string(op) + " failed on page " +
                     std::to_string(page) + " of '" + path + "': ";
   if (n < 0) {
-    msg += std::strerror(errno);
+    msg += SafeStrError(errno);
   } else {
     msg += "short transfer (" + std::to_string(n) + " of " +
            std::to_string(expected) + " bytes)";
@@ -218,7 +219,7 @@ class DiskPageFile final : public PageFile {
     }
     if (::fsync(fd_) != 0) {
       return Status::IOError("fsync failed on '" + path_ +
-                             "': " + std::strerror(errno));
+                             "': " + SafeStrError(errno));
     }
     return Status::OK();
   }
@@ -245,7 +246,7 @@ Result<std::unique_ptr<PageFile>> PageFile::CreateOnDisk(
   int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
   if (fd < 0) {
     return Status::IOError("cannot create '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + SafeStrError(errno));
   }
   return std::unique_ptr<PageFile>(new DiskPageFile(fd, path, 0));
 }
@@ -255,7 +256,7 @@ Result<std::unique_ptr<PageFile>> PageFile::OpenOnDisk(
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
     return Status::IOError("cannot open '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + SafeStrError(errno));
   }
   off_t size = ::lseek(fd, 0, SEEK_END);
   if (size < 0 || size % static_cast<off_t>(kRecordSize) != 0) {

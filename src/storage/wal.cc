@@ -1,0 +1,292 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/backoff.h"
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "common/safe_strerror.h"
+
+namespace xrank::storage {
+
+namespace {
+
+constexpr size_t kFrameHeaderSize = 12;  // magic + payload_len + payload crc
+// payload: type(1) + seq(8) + uri_len(4) + uri + body_len(4) + body
+constexpr size_t kPayloadFixedSize = 17;
+// Refuse absurd lengths before allocating: no legal record approaches this
+// (documents are parsed in memory anyway), and it keeps a corrupted length
+// field from turning into a multi-gigabyte allocation.
+constexpr uint32_t kMaxPayloadSize = 256u << 20;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write of '" + path +
+                             "' failed: " + SafeStrError(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeLogRecord(const LogRecord& record) {
+  std::string payload;
+  payload.reserve(kPayloadFixedSize + record.uri.size() + record.body.size());
+  payload.push_back(static_cast<char>(record.type));
+  AppendU64(&payload, record.seq);
+  AppendU32(&payload, static_cast<uint32_t>(record.uri.size()));
+  payload += record.uri;
+  AppendU32(&payload, static_cast<uint32_t>(record.body.size()));
+  payload += record.body;
+
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendU32(&frame, kLogRecordMagic);
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32c(payload));
+  frame += payload;
+  return frame;
+}
+
+LogWriter::LogWriter(int fd, std::string path, uint64_t file_bytes)
+    : fd_(fd), path_(std::move(path)), file_bytes_(file_bytes) {}
+
+LogWriter::~LogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<LogWriter>> LogWriter::Open(const std::string& path,
+                                                   bool truncate) {
+  int flags = O_CREAT | O_WRONLY | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open log '" + path +
+                           "': " + SafeStrError(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot size log '" + path +
+                           "': " + SafeStrError(errno));
+  }
+  return std::unique_ptr<LogWriter>(
+      new LogWriter(fd, path, static_cast<uint64_t>(size)));
+}
+
+Status LogWriter::Append(const LogRecord& record) {
+  auto& failpoints = fail::FailPoints::Instance();
+  if (auto hit = failpoints.Evaluate("wal.append")) {
+    fail::DieIfCrashRequested(hit);
+    return Status::IOError("injected append failure on '" + path_ + "'");
+  }
+  std::string frame = EncodeLogRecord(record);
+  size_t write_len = frame.size();
+  if (auto hit = failpoints.Evaluate("wal.torn_append")) {
+    fail::DieIfCrashRequested(hit);
+    // A crash mid-append: a strict prefix of the frame reaches the medium.
+    write_len = 1 + static_cast<size_t>(hit->random % (frame.size() - 1));
+  }
+  Status written = RetryWithBackoff(BackoffPolicy{}, [&] {
+    return WriteFully(fd_, frame.data(), write_len, path_);
+  });
+  XRANK_RETURN_NOT_OK(written);
+  if (write_len != frame.size()) {
+    // The simulated process died mid-write. Corruption (not IOError) so no
+    // retry layer re-runs the append and doubles the record.
+    return Status::Corruption("injected torn append on '" + path_ + "'");
+  }
+  file_bytes_ += frame.size();
+  ++appended_records_;
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  if (auto hit = fail::FailPoints::Instance().Evaluate("wal.sync")) {
+    fail::DieIfCrashRequested(hit);
+    return Status::IOError("injected fsync failure on '" + path_ + "'");
+  }
+  return RetryWithBackoff(BackoffPolicy{}, [&]() -> Status {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync of '" + path_ +
+                             "' failed: " + SafeStrError(errno));
+    }
+    return Status::OK();
+  });
+}
+
+Result<LogReadResult> ReadLogFile(const std::string& path,
+                                  bool allow_torn_tail) {
+  LogReadResult result;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return result;  // never written: empty, clean
+    return Status::IOError("cannot open log '" + path +
+                           "': " + SafeStrError(errno));
+  }
+  std::string blob;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IOError("read of '" + path +
+                                      "' failed: " + SafeStrError(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    blob.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t offset = 0;
+  std::string damage;
+  while (offset < blob.size()) {
+    size_t remaining = blob.size() - offset;
+    if (remaining < kFrameHeaderSize) {
+      damage = "truncated frame header";
+      break;
+    }
+    const char* frame = blob.data() + offset;
+    if (LoadU32(frame) != kLogRecordMagic) {
+      damage = "bad record magic";
+      break;
+    }
+    uint32_t payload_len = LoadU32(frame + 4);
+    uint32_t stored_crc = LoadU32(frame + 8);
+    if (payload_len > kMaxPayloadSize) {
+      damage = "implausible payload length";
+      break;
+    }
+    if (remaining < kFrameHeaderSize + payload_len) {
+      damage = "truncated payload";
+      break;
+    }
+    const char* payload = frame + kFrameHeaderSize;
+    if (Crc32c(payload, static_cast<size_t>(payload_len)) != stored_crc) {
+      damage = "payload checksum mismatch";
+      break;
+    }
+    if (payload_len < kPayloadFixedSize) {
+      damage = "payload shorter than fixed fields";
+      break;
+    }
+    LogRecord record;
+    uint8_t type = static_cast<uint8_t>(payload[0]);
+    if (type != static_cast<uint8_t>(LogRecord::Type::kAddDocument) &&
+        type != static_cast<uint8_t>(LogRecord::Type::kDeleteDocument)) {
+      damage = "unknown record type " + std::to_string(type);
+      break;
+    }
+    record.type = static_cast<LogRecord::Type>(type);
+    record.seq = LoadU64(payload + 1);
+    uint32_t uri_len = LoadU32(payload + 9);
+    if (static_cast<uint64_t>(uri_len) + 13 + 4 > payload_len) {
+      damage = "uri length overruns payload";
+      break;
+    }
+    record.uri.assign(payload + 13, uri_len);
+    uint32_t body_len = LoadU32(payload + 13 + uri_len);
+    if (static_cast<uint64_t>(uri_len) + 17 + body_len != payload_len) {
+      damage = "body length disagrees with payload length";
+      break;
+    }
+    record.body.assign(payload + 17 + uri_len, body_len);
+    result.records.push_back(std::move(record));
+    offset += kFrameHeaderSize + payload_len;
+  }
+  result.valid_bytes = offset;
+  result.dropped_bytes = blob.size() - offset;
+  result.torn_tail = result.dropped_bytes > 0;
+  if (result.torn_tail && !allow_torn_tail) {
+    return Status::Corruption("log '" + path + "' damaged at offset " +
+                              std::to_string(offset) + ": " + damage);
+  }
+  return result;
+}
+
+Status TruncateLogFile(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open log '" + path +
+                           "' for truncation: " + SafeStrError(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    Status status = Status::IOError("truncate of '" + path +
+                                    "' failed: " + SafeStrError(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IOError("fsync of '" + path +
+                                    "' failed: " + SafeStrError(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Result<std::pair<uint64_t, uint32_t>> ChecksumFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "': " + SafeStrError(errno));
+  }
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IOError("read of '" + path +
+                                      "' failed: " + SafeStrError(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    crc = Crc32c(buffer, static_cast<size_t>(n), crc);
+    bytes += static_cast<uint64_t>(n);
+  }
+  ::close(fd);
+  return std::make_pair(bytes, crc);
+}
+
+}  // namespace xrank::storage

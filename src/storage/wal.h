@@ -1,0 +1,117 @@
+#ifndef XRANK_STORAGE_WAL_H_
+#define XRANK_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xrank::storage {
+
+// Write-ahead log for live index updates (and the same framing for the
+// immutable per-segment document files a flush writes).
+//
+// On-disk format: a sequence of records, each framed as
+//
+//   u32 magic "XWL1" | u32 payload_len | u32 crc32c(payload) | payload
+//
+// with payload = u8 type | u64 seq | u32 uri_len | uri | u32 body_len | body
+// (all little-endian). The CRC covers the whole payload, so a torn append
+// (power cut mid-write) or tail bit rot is detected on the first damaged
+// record. Recovery semantics differ by file role:
+//
+//   * WAL: the log's tail is the only place a crash can legally tear, so
+//     ReadLogFile(allow_torn_tail=true) stops at the first damaged record,
+//     reports how many bytes it dropped, and the caller truncates the file
+//     there. Records before the tear are intact — an acknowledged (synced)
+//     append is never lost.
+//   * segment .docs files: written and fsynced before their MANIFEST commit,
+//     never appended to afterwards — any damage is real corruption, so
+//     ReadLogFile(allow_torn_tail=false) refuses the file instead.
+//
+// Records carry a monotonic sequence number assigned by the engine. A
+// segment committed to the MANIFEST records the seq range it covers, so WAL
+// replay after a crash between segment commit and WAL truncation simply
+// skips records the manifest already accounts for (replay is idempotent).
+inline constexpr uint32_t kLogRecordMagic = 0x314C5758;  // "XWL1"
+inline constexpr char kWalFileName[] = "wal.log";
+
+struct LogRecord {
+  enum class Type : uint8_t {
+    kAddDocument = 1,     // uri + serialized XML body
+    kDeleteDocument = 2,  // uri only
+  };
+  Type type = Type::kAddDocument;
+  uint64_t seq = 0;
+  std::string uri;
+  std::string body;
+};
+
+// Appender with CRC framing and durable-append discipline. Failpoint sites
+// (all crash-capable via fail::Action::kCrash):
+//   "wal.append"       — the append fails (or the process dies) before any
+//                        byte reaches the file
+//   "wal.torn_append"  — only a prefix of the framed record is written,
+//                        then the writer reports an IOError (the simulated
+//                        process died mid-write)
+//   "wal.sync"         — fsync fails / process dies before durability
+class LogWriter {
+ public:
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  // Opens `path` for appending, creating it when absent. `truncate` starts
+  // the file over (used by WAL rewrites and segment doc-file writes).
+  static Result<std::unique_ptr<LogWriter>> Open(const std::string& path,
+                                                 bool truncate);
+
+  // Appends one framed record. Not durable until Sync().
+  Status Append(const LogRecord& record);
+
+  // fsyncs the file: every previously appended record survives power loss.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  LogWriter(int fd, std::string path, uint64_t file_bytes);
+
+  int fd_;
+  std::string path_;
+  uint64_t file_bytes_;
+  uint64_t appended_records_ = 0;
+};
+
+// Serialized frame of one record (exposed so tests can craft torn tails).
+std::string EncodeLogRecord(const LogRecord& record);
+
+struct LogReadResult {
+  std::vector<LogRecord> records;
+  uint64_t valid_bytes = 0;    // prefix length covered by intact records
+  uint64_t dropped_bytes = 0;  // torn/damaged tail length (0 = clean)
+  bool torn_tail = false;
+};
+
+// Reads every intact record of `path`. A missing file yields an empty,
+// clean result (a WAL that was never written). With `allow_torn_tail`, a
+// damaged record ends the scan and the damage is reported in the result;
+// without it the same damage is a Corruption error naming the offset.
+Result<LogReadResult> ReadLogFile(const std::string& path,
+                                  bool allow_torn_tail);
+
+// Truncates `path` to `size` bytes and fsyncs it — discards a torn tail in
+// place so the next append starts at a record boundary.
+Status TruncateLogFile(const std::string& path, uint64_t size);
+
+// Whole-file CRC32C over the raw bytes of `path` (MANIFEST integrity
+// sealing for segment .docs files), plus the byte count.
+Result<std::pair<uint64_t, uint32_t>> ChecksumFile(const std::string& path);
+
+}  // namespace xrank::storage
+
+#endif  // XRANK_STORAGE_WAL_H_

@@ -3,11 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <limits>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/backoff.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/safe_strerror.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/varint.h"
@@ -205,6 +213,96 @@ TEST(StringUtilTest, BytesToHuman) {
 TEST(StringUtilTest, StringPrintf) {
   EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StringPrintf("%.2f", 1.5), "1.50");
+}
+
+TEST(BackoffTest, JitteredDelaysStayWithinPolicyBounds) {
+  BackoffPolicy policy;
+  policy.jitter_seed = 42;
+  BackoffDelays delays(policy);
+  for (int i = 0; i < 200; ++i) {
+    auto d = delays.Next();
+    EXPECT_GE(d, policy.initial_delay) << i;
+    EXPECT_LE(d, policy.max_delay) << i;
+  }
+}
+
+TEST(BackoffTest, JitterEnvelopeIsDecorrelated) {
+  // Each delay is drawn from [initial, min(max, 3 * previous)] — verify the
+  // per-step envelope, not just the global clamp.
+  BackoffPolicy policy;
+  policy.jitter_seed = 7;
+  policy.max_delay = std::chrono::microseconds{1000000};  // roomy ceiling
+  BackoffDelays delays(policy);
+  auto previous = policy.initial_delay;
+  for (int i = 0; i < 200; ++i) {
+    auto d = delays.Next();
+    EXPECT_GE(d.count(), policy.initial_delay.count()) << i;
+    EXPECT_LE(d.count(), std::max<int64_t>(3 * previous.count(),
+                                           policy.initial_delay.count()))
+        << i;
+    previous = d;
+  }
+}
+
+TEST(BackoffTest, FixedSeedIsReproducibleAndSeedsDiverge) {
+  BackoffPolicy policy;
+  policy.jitter_seed = 1234;
+  BackoffDelays a(policy);
+  BackoffDelays b(policy);
+  bool same_seed_equal = true;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() != b.Next()) same_seed_equal = false;
+  }
+  EXPECT_TRUE(same_seed_equal);
+
+  BackoffPolicy other = policy;
+  other.jitter_seed = 1235;
+  BackoffDelays c(policy);
+  BackoffDelays d(other);
+  bool diverged = false;
+  for (int i = 0; i < 50; ++i) {
+    if (c.Next() != d.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, WithoutJitterScheduleIsExactExponential) {
+  BackoffPolicy policy;
+  policy.decorrelated_jitter = false;
+  BackoffDelays delays(policy);
+  EXPECT_EQ(delays.Next().count(), 100);   // initial
+  EXPECT_EQ(delays.Next().count(), 400);   // * 4
+  EXPECT_EQ(delays.Next().count(), 1600);  // * 4
+  EXPECT_EQ(delays.Next().count(), 5000);  // clamped to max
+  EXPECT_EQ(delays.Next().count(), 5000);  // stays clamped
+}
+
+TEST(SafeStrErrorTest, KnownAndUnknownErrnos) {
+  EXPECT_FALSE(SafeStrError(ENOENT).empty());
+  // An out-of-range errno still yields a printable description.
+  std::string unknown = SafeStrError(99999);
+  EXPECT_NE(unknown.find("99999"), std::string::npos);
+}
+
+TEST(SafeStrErrorTest, ConcurrentCallsAreIndependent) {
+  // The thread-safety property: concurrent calls from many threads must not
+  // corrupt each other's buffers (strerror's shared static would).
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      int err = (t % 2 == 0) ? ENOENT : EACCES;
+      std::string expected = SafeStrError(err);
+      for (int i = 0; i < 1000; ++i) {
+        if (SafeStrError(err) != expected) {
+          mismatch.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: kill the ingest process (SIGKILL via the kCrash
+# failpoint action, exit 137) inside every commit window of the live-update
+# path, then reopen the index directory and prove that
+#
+#   1. reopen succeeds (WAL replay + torn-tail truncation + segment chain),
+#   2. `xrank_cli verify` finds no damaged files,
+#   3. every operation the crashed run ACKed on stdout is still served:
+#      acknowledged adds appear in query results, acknowledged deletes
+#      do not (the ACK line is the durability contract).
+#
+# Unacknowledged operations may or may not survive — both are correct.
+#
+#   tools/check_recovery.sh [build-dir]
+#
+# Environment:
+#   XRANK_RECOVERY_SEED=N   seed for the extra randomized skip-count pass
+#                           (default 20260808; set for reproduction).
+
+set -uo pipefail
+
+DIR="${1:-build-recovery}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+SEED="${XRANK_RECOVERY_SEED:-20260808}"
+
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || exit 1
+cmake --build "$DIR" --target xrank_cli -j "$(nproc)" >/dev/null || exit 1
+CLI="$DIR/tools/xrank_cli"
+[[ -x "$CLI" ]] || { echo "missing $CLI"; exit 1; }
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/xrank_recovery.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# Small corpus: three base documents plus six live additions. Every
+# document matches the probe query "shared", so presence/absence in the
+# top-k is exactly the live/deleted set.
+CORPUS="$WORK/corpus"
+mkdir -p "$CORPUS"
+for i in 1 2 3; do
+  printf '<a><t>shared base doc%d</t></a>\n' "$i" > "$CORPUS/base$i.xml"
+done
+for i in 1 2 3 4 5 6; do
+  printf '<a><t>shared live fresh%d</t></a>\n' "$i" > "$CORPUS/live$i.xml"
+done
+
+# The full operation stream a run tries to apply. --flush-every=2 turns
+# adds 2/4/6 into flush commits, --compact merges the segments, and the
+# delete exercises tombstone durability. A crash can land in any window.
+ingest_ops() {
+  local out_dir="$1"
+  shift
+  "$CLI" ingest "--disk-dir=$out_dir" --index=dil \
+    "--base=$CORPUS/base1.xml" "--base=$CORPUS/base2.xml" \
+    "--base=$CORPUS/base3.xml" \
+    "--add=$CORPUS/live1.xml" "--add=$CORPUS/live2.xml" \
+    "--add=$CORPUS/live3.xml" "--add=$CORPUS/live4.xml" \
+    "--delete=$CORPUS/live2.xml" \
+    "--add=$CORPUS/live5.xml" "--add=$CORPUS/live6.xml" \
+    --flush-every=2 --compact "$@"
+}
+
+# Reopen passes the same base documents: the engine re-parses base XML on
+# Open (the on-disk state is the index files, segments, and WAL).
+reopen_query() {
+  "$CLI" ingest "--disk-dir=$1" --index=dil \
+    "--base=$CORPUS/base1.xml" "--base=$CORPUS/base2.xml" \
+    "--base=$CORPUS/base3.xml" \
+    --query=shared --top=32
+}
+
+# Extract the document URIs a query served: result lines look like
+#   "  1. <t> /path/live1.xml  rank=0.1234567  dewey=..."
+query_uris() {
+  sed -n 's/^ *[0-9][0-9]*\. <[^>]*> \([^ ]*\) .*/\1/p' "$1" | sort -u
+}
+
+FAILURES=0
+RUNS=0
+CRASHES=0
+
+check_one() {
+  local label="$1" point="$2"
+  local dir="$WORK/run_$RUNS"
+  RUNS=$((RUNS + 1))
+  local pre="$dir.pre.log" post="$dir.post.log" verify="$dir.verify.log"
+  mkdir -p "$dir"
+
+  ingest_ops "$dir" "--crash-at=$point" > "$pre" 2> "$dir.pre.err"
+  local status=$?
+  if [[ $status -eq 137 ]]; then
+    CRASHES=$((CRASHES + 1))
+  elif [[ $status -ne 0 ]]; then
+    # A crash window may not be reached on this schedule (skip count past
+    # the last hit) — that run simply completes. Any other exit is a bug.
+    echo "FAIL [$label] ingest exited $status (want 137 or 0)"
+    sed 's/^/    /' "$dir.pre.err"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+
+  if ! reopen_query "$dir" > "$post" 2> "$dir.post.err"; then
+    echo "FAIL [$label] reopen after crash failed"
+    sed 's/^/    /' "$dir.post.err"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! "$CLI" verify "--disk-dir=$dir" > "$verify" 2>&1; then
+    echo "FAIL [$label] post-crash verify found damage"
+    sed 's/^/    /' "$verify"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+
+  # Durability contract: ACKed adds present, ACKed deletes absent. A
+  # delete ACK supersedes the earlier add ACK for the same URI.
+  local served
+  served="$(query_uris "$post")"
+  local ok=1
+  local uri
+  while read -r uri; do
+    [[ -n "$uri" ]] || continue
+    if ! grep -qx "$uri" <<< "$served"; then
+      echo "FAIL [$label] acked add '$uri' missing after recovery"
+      ok=0
+    fi
+  done < <(awk '$1 == "ACK" && $2 == "add" { add[$3] = 1 }
+                $1 == "ACK" && $2 == "delete" { delete add[$3] }
+                END { for (u in add) print u }' "$pre")
+  while read -r uri; do
+    [[ -n "$uri" ]] || continue
+    if grep -qx "$uri" <<< "$served"; then
+      echo "FAIL [$label] acked delete '$uri' still served after recovery"
+      ok=0
+    fi
+  done < <(awk '$1 == "ACK" && $2 == "delete" { print $3 }' "$pre")
+  if [[ $ok -eq 1 ]]; then
+    local verdict="completed"
+    [[ $status -eq 137 ]] && verdict="crashed + recovered"
+    echo "ok   [$label] $verdict, $(wc -l <<< "$served") docs served"
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# Baseline: the same stream with no fault must complete and serve all
+# base docs plus live1..6 minus the deleted live2 (8 documents).
+BASE_DIR="$WORK/baseline"
+mkdir -p "$BASE_DIR"
+ingest_ops "$BASE_DIR" --query=shared --top=32 > "$WORK/baseline.log" 2>&1 \
+  || { echo "FAIL baseline ingest"; cat "$WORK/baseline.log"; exit 1; }
+BASELINE_COUNT="$(query_uris "$WORK/baseline.log" | wc -l)"
+if [[ "$BASELINE_COUNT" -ne 8 ]]; then
+  echo "FAIL baseline served $BASELINE_COUNT docs, want 8"
+  cat "$WORK/baseline.log"
+  exit 1
+fi
+echo "ok   [baseline] no-fault run serves $BASELINE_COUNT docs"
+
+# Every crash-capable failpoint in the update path, first hit.
+POINTS=(
+  wal.append
+  wal.sync
+  wal.torn_append
+  wal.rewrite_rename
+  segment_flush.before_rename
+  segment_flush.before_manifest
+  segment_compact.before_rename
+  segment_compact.before_manifest
+  manifest.rename
+)
+for point in "${POINTS[@]}"; do
+  check_one "$point" "$point"
+done
+
+# Randomized skip counts: crash on a later hit of each point, so the
+# window lands mid-stream (after some operations are already durable).
+for point in wal.append wal.sync segment_flush.before_rename \
+             segment_flush.before_manifest wal.rewrite_rename; do
+  skip=$(( (SEED + RUNS * 2654435761) % 4 + 1 ))
+  check_one "$point:$skip" "$point:$skip"
+done
+
+echo
+echo "recovery check: $RUNS fault runs, $CRASHES crashed, $FAILURES failures"
+if [[ $CRASHES -eq 0 ]]; then
+  echo "FAIL no run actually crashed — failpoints not reached"
+  exit 1
+fi
+[[ $FAILURES -eq 0 ]] || exit 1
+echo "recovery check OK"

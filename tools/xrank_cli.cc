@@ -33,7 +33,25 @@
 //   xrank_cli verify [--disk-dir=]<index-dir>
 //     Offline integrity check of a committed index directory: validates the
 //     MANIFEST, then every file's page count, per-page checksums, and
-//     whole-file CRC. Reports the first bad page of each damaged file.
+//     whole-file CRC — base index files and flushed live segments alike —
+//     and finally reads the write-ahead log (a torn tail is reported but is
+//     not damage: recovery truncates it). Reports the first bad page of
+//     each damaged file.
+//
+//   xrank_cli ingest --disk-dir=DIR [options] [--base=f.xml ...]
+//             [--add=f.xml ...] [--delete=uri ...]
+//     Live-update driver (and crash-recovery harness hook). Builds the base
+//     index into DIR on the first run (--base files), re-opens it on later
+//     runs, then applies --add/--delete in argv order with inline
+//     maintenance. After every acknowledged operation an "ACK <op> <arg>"
+//     line is written to stdout and flushed, so a harness that kill -9s the
+//     process knows exactly which operations were durably acknowledged.
+//       --flush-every=N      flush the delta after every N adds
+//       --compact            merge all flushed segments at the end
+//       --crash-at=NAME[:K]  arm failpoint NAME (skip first K hits) with
+//                            the crash action — the process dies with
+//                            status 137 at that commit-protocol window
+//       --query="..."        run a query after ingest and print results
 //
 // Example:
 //   ./build/tools/xrank_cli --top=5 corpus/*.xml
@@ -45,6 +63,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/engine.h"
@@ -52,6 +71,7 @@
 #include "index/manifest.h"
 #include "query/query.h"
 #include "query/trace.h"
+#include "storage/wal.h"
 #include "xml/parser.h"
 
 namespace {
@@ -259,12 +279,244 @@ int RunVerify(int argc, char** argv) {
                   status.ToString().c_str());
     }
   }
+  // Flushed live segments: index pages plus the framed docs log, both
+  // checked against the MANIFEST checksums.
+  for (const auto& segment : manifest->segments) {
+    xrank::Status status =
+        xrank::index::VerifySegmentEntry(dir, segment, nullptr);
+    if (status.ok()) {
+      std::printf(
+          "  %-16s segment  docs [%u, %u)  seqs [%llu, %llu]  "
+          "crc %08x/%08x  OK\n",
+          segment.index.file.c_str(), segment.doc_base,
+          segment.doc_base + segment.doc_count,
+          static_cast<unsigned long long>(segment.first_seq),
+          static_cast<unsigned long long>(segment.last_seq),
+          segment.index.crc, segment.docs_crc);
+      continue;
+    }
+    ++damaged;
+    std::printf("  %-16s DAMAGED: %s\n", segment.index.file.c_str(),
+                status.ToString().c_str());
+  }
+  // The WAL is allowed to end in a torn record (a crash mid-append);
+  // anything else — a bad CRC in the middle — is damage.
+  auto wal = xrank::storage::ReadLogFile(
+      dir + "/" + xrank::storage::kWalFileName, /*allow_torn_tail=*/true);
+  if (!wal.ok()) {
+    ++damaged;
+    std::printf("  %-16s DAMAGED: %s\n", xrank::storage::kWalFileName,
+                wal.status().ToString().c_str());
+  } else if (wal->torn_tail) {
+    std::printf("  %-16s %zu record(s), torn tail (%llu byte(s) will be "
+                "truncated on recovery)  OK\n",
+                xrank::storage::kWalFileName, wal->records.size(),
+                static_cast<unsigned long long>(wal->dropped_bytes));
+  } else {
+    std::printf("  %-16s %zu record(s)  OK\n", xrank::storage::kWalFileName,
+                wal->records.size());
+  }
   if (damaged > 0) {
-    std::printf("verification FAILED: %d of %zu file(s) damaged\n", damaged,
-                manifest->entries.size());
+    std::printf("verification FAILED: %d file(s) damaged\n", damaged);
     return 1;
   }
   std::printf("verification OK\n");
+  return 0;
+}
+
+// Reads a whole file into `out`; false (with errno intact) when unreadable.
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+// `xrank_cli ingest`: apply live updates to a disk-backed index directory,
+// acknowledging each durable operation on stdout. The crash-recovery
+// harness (tools/check_recovery.sh) drives this with --crash-at and
+// compares the acknowledged operations against what a reopen serves.
+int RunIngest(int argc, char** argv) {
+  std::string dir;
+  IndexKind kind = IndexKind::kDil;
+  std::vector<std::string> base_files;
+  // (operation, argument) in argv order: "add" -> file, "delete" -> uri,
+  // "flush"/"compact" -> explicit maintenance.
+  std::vector<std::pair<std::string, std::string>> ops;
+  size_t flush_every = 0;
+  bool compact = false;
+  std::string query;
+  size_t top = 10;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (xrank::StartsWith(arg, "--disk-dir=")) {
+      dir = arg.substr(11);
+    } else if (xrank::StartsWith(arg, "--index=")) {
+      if (!ParseIndexKind(arg.substr(8), &kind)) {
+        std::fprintf(stderr, "unknown index kind '%s'\n", arg.c_str() + 8);
+        return 2;
+      }
+    } else if (xrank::StartsWith(arg, "--base=")) {
+      base_files.push_back(arg.substr(7));
+    } else if (xrank::StartsWith(arg, "--add=")) {
+      ops.emplace_back("add", arg.substr(6));
+    } else if (xrank::StartsWith(arg, "--delete=")) {
+      ops.emplace_back("delete", arg.substr(9));
+    } else if (arg == "--flush") {
+      ops.emplace_back("flush", "");
+    } else if (xrank::StartsWith(arg, "--flush-every=")) {
+      flush_every = std::strtoul(arg.c_str() + 14, nullptr, 10);
+    } else if (arg == "--compact") {
+      compact = true;
+    } else if (xrank::StartsWith(arg, "--crash-at=")) {
+      std::string spec_text = arg.substr(11);
+      xrank::fail::FailPointSpec spec;
+      spec.action = xrank::fail::Action::kCrash;
+      size_t colon = spec_text.rfind(':');
+      if (colon != std::string::npos) {
+        spec.skip = std::strtoull(spec_text.c_str() + colon + 1, nullptr, 10);
+        spec_text.resize(colon);
+      }
+      if (spec_text.empty()) {
+        std::fprintf(stderr, "--crash-at needs a failpoint name\n");
+        return 2;
+      }
+      xrank::fail::FailPoints::Instance().Arm(spec_text, spec);
+    } else if (xrank::StartsWith(arg, "--query=")) {
+      query = arg.substr(8);
+    } else if (xrank::StartsWith(arg, "--top=")) {
+      top = std::strtoul(arg.c_str() + 6, nullptr, 10);
+      if (top == 0) top = 10;
+    } else {
+      std::fprintf(stderr, "unknown ingest option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: %s ingest --disk-dir=DIR [--base=f.xml ...] "
+                 "[--add=f.xml ...] [--delete=uri ...] [--flush-every=N] "
+                 "[--flush] [--compact] [--crash-at=NAME[:K]] "
+                 "[--query=\"...\"]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<xrank::xml::Document> base_docs;
+  for (const std::string& path : base_files) {
+    auto doc = xrank::xml::ParseFile(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    base_docs.push_back(std::move(doc).value());
+  }
+
+  EngineOptions options;
+  options.indexes = {kind};
+  options.disk_dir = dir;
+  // Inline maintenance: every flush/compaction happens at a deterministic
+  // point in the operation stream, so --crash-at windows are reproducible.
+  options.background_maintenance = false;
+
+  // First run builds the base index; later runs re-open the directory
+  // (MANIFEST present) and replay the WAL.
+  std::string manifest_path =
+      dir + "/" + std::string(xrank::index::kManifestFileName);
+  bool reopen = false;
+  if (std::FILE* f = std::fopen(manifest_path.c_str(), "rb")) {
+    std::fclose(f);
+    reopen = true;
+  }
+  auto engine = reopen ? XRankEngine::Open(std::move(base_docs), options)
+                       : XRankEngine::Build(std::move(base_docs), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", reopen ? "open" : "build",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  auto counters = (*engine)->update_counters();
+  std::printf("OPEN %s docs=%zu live=%llu replayed=%llu\n",
+              reopen ? "reopened" : "built",
+              (*engine)->graph().document_count(),
+              static_cast<unsigned long long>(counters.added_documents),
+              static_cast<unsigned long long>(counters.wal_replayed_records));
+  std::fflush(stdout);
+
+  size_t adds_since_flush = 0;
+  for (const auto& [op, operand] : ops) {
+    xrank::Status status;
+    if (op == "add") {
+      std::string body;
+      if (!ReadFileBytes(operand, &body)) {
+        std::fprintf(stderr, "%s: cannot read\n", operand.c_str());
+        return 1;
+      }
+      status = (*engine)->AddDocument(operand, body);
+      if (status.ok()) ++adds_since_flush;
+    } else if (op == "delete") {
+      status = (*engine)->DeleteDocument(operand);
+    } else if (op == "flush") {
+      status = (*engine)->Flush();
+      adds_since_flush = 0;
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s %s failed: %s\n", op.c_str(), operand.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    // The ack line is the harness contract: once printed, the operation
+    // must survive any later crash.
+    std::printf("ACK %s %s\n", op.c_str(), operand.c_str());
+    std::fflush(stdout);
+    if (flush_every > 0 && adds_since_flush >= flush_every) {
+      status = (*engine)->Flush();
+      if (!status.ok()) {
+        std::fprintf(stderr, "flush failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      adds_since_flush = 0;
+      std::printf("ACK flush auto\n");
+      std::fflush(stdout);
+    }
+  }
+  if (compact) {
+    xrank::Status status = (*engine)->CompactSegments();
+    if (!status.ok()) {
+      std::fprintf(stderr, "compact failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("ACK compact all\n");
+    std::fflush(stdout);
+  }
+
+  counters = (*engine)->update_counters();
+  std::printf("STATE live=%llu deleted=%zu segments=%llu delta=%llu\n",
+              static_cast<unsigned long long>(counters.added_documents),
+              (*engine)->deleted_document_count(),
+              static_cast<unsigned long long>(counters.segment_count),
+              static_cast<unsigned long long>(counters.delta_documents));
+  if (!query.empty()) {
+    auto response = (*engine)->Query(query, top, kind);
+    if (!response.ok()) {
+      std::fprintf(stderr, "query error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("QUERY %s\n", query.c_str());
+    PrintResponse(*response);
+  }
+  std::printf("DONE\n");
+  std::fflush(stdout);
   return 0;
 }
 
@@ -327,8 +579,11 @@ void PrintUsage(const char* prog) {
                "[--top=N] [--disjunctive] [--tfidf] [--trace] [--json] "
                "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
                "       %s stats [--json] [options] <file.xml ...>\n"
-               "       %s verify [--disk-dir=]<index-dir>\n",
-               prog, prog, prog);
+               "       %s verify [--disk-dir=]<index-dir>\n"
+               "       %s ingest --disk-dir=DIR [--base=f.xml ...] "
+               "[--add=f.xml ...] [--delete=uri ...] [--flush-every=N] "
+               "[--compact] [--crash-at=NAME[:K]] [--query=\"...\"]\n",
+               prog, prog, prog, prog);
 }
 
 // `xrank_cli stats`: build the index, optionally run --query against it,
@@ -370,6 +625,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
     return RunStats(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "ingest") == 0) {
+    return RunIngest(argc, argv);
   }
   int first_arg = 1;
   if (argc >= 2 && std::strcmp(argv[1], "query") == 0) first_arg = 2;
