@@ -1,8 +1,13 @@
 // Thread-scaling benchmark for the parallel execution layer: ElemRank
-// power iteration, posting extraction + physical index construction, and
-// concurrent query serving, each at 1/2/4/8 threads. The parallel paths
-// are deterministic — ElemRank results and index bytes are identical for
-// every thread count — so this harness measures pure wall-clock scaling.
+// power iteration, posting extraction + physical index construction,
+// concurrent query serving (each at 1/2/4/8 threads), and document-sharded
+// serving through the shard router at 1/2/4/8/16 shards over a Zipf-skewed
+// corpus. The parallel paths are deterministic — ElemRank results, index
+// bytes, and sharded top-k answers are identical for every thread/shard
+// count — so this harness measures pure wall-clock scaling.
+//
+// `--sharding-only` runs just the sharded section (the CI sharding lane's
+// perf gate uses it; see tools/check_sharding.sh).
 //
 // Note: speedups only materialize on multi-core hosts; on a single
 // hardware thread every configuration degenerates to sequential work plus
@@ -13,6 +18,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "core/shard_router.h"
 #include "graph/builder.h"
 #include "index/dil_index.h"
 #include "index/hdil_index.h"
@@ -219,6 +225,101 @@ void RunQueryScaling(const char* name, core::XRankEngine* engine,
   }
 }
 
+// Corpus for the sharded-serving benchmark: per-document body size follows
+// a Zipf-like 1/(rank+1) curve, with ranks interleaved across the doc-id
+// space so every contiguous shard range draws the same skewed mix — the
+// imbalance lives *inside* each shard's postings (long vs. short lists),
+// which is what the forwarded θ prunes.
+std::vector<xml::Document> MakeSkewedShardCorpus(size_t num_docs,
+                                                 size_t max_sections) {
+  std::vector<xml::Document> docs;
+  docs.reserve(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    size_t rank = i % 16;
+    size_t sections = std::max<size_t>(1, max_sections / (rank + 1));
+    std::string text = "<paper><title>alpha beta gamma</title>";
+    for (size_t s = 0; s < sections; ++s) {
+      text += "<sec><p>alpha beta filler" +
+              std::to_string((i * 131 + s) % 97) + "</p></sec>";
+    }
+    text += "</paper>";
+    auto parsed = xml::ParseDocument(
+        text, "skew-" + std::to_string(i) + ".xml");
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   parsed.status().ToString().c_str());
+      std::abort();
+    }
+    docs.push_back(std::move(parsed).value());
+  }
+  return docs;
+}
+
+// Document-sharded serving: the same corpus and query pool at every shard
+// count, scatter-gather through the router (parallel scatter, θ forwarded
+// between shards). Answers are bitwise-identical across shard counts; the
+// benchmark reports throughput, per-shard-count speedup vs. the one-shard
+// fleet, and how often the shared θ floor was raised.
+void RunShardScaling(JsonReport* report) {
+  constexpr size_t kShardCounts[] = {1, 2, 4, 8, 16};
+  constexpr size_t kRounds = 4;
+  const size_t num_docs =
+      std::max<size_t>(64, static_cast<size_t>(256 * BenchScale()));
+
+  std::vector<std::vector<std::string>> queries;
+  queries.push_back({"alpha", "beta"});
+  queries.push_back({"alpha", "gamma"});
+  for (int k = 0; k < 14; ++k) {
+    queries.push_back({"alpha", "filler" + std::to_string(k * 7)});
+  }
+
+  std::printf("\nsharded scatter-gather serving (DIL, disjunctive, "
+              "%zu Zipf-skewed documents, %zu queries x %zu rounds):\n",
+              num_docs, queries.size(), kRounds);
+  double base_qps = 0.0;
+  for (size_t shards : kShardCounts) {
+    core::ShardRouterOptions options;
+    options.num_shards = shards;
+    options.engine.indexes = {index::IndexKind::kDil};
+    options.engine.scoring.semantics = query::QuerySemantics::kDisjunctive;
+    auto router =
+        core::ShardRouter::Build(MakeSkewedShardCorpus(num_docs, 48),
+                                 options);
+    if (!router.ok()) {
+      std::fprintf(stderr, "FATAL: sharded build failed: %s\n",
+                   router.status().ToString().c_str());
+      std::abort();
+    }
+    size_t total = queries.size() * kRounds;
+    double seconds = TimeSeconds([&] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (const auto& keywords : queries) {
+          auto response = (*router)->QueryKeywords(keywords, 10,
+                                                   index::IndexKind::kDil);
+          if (!response.ok()) {
+            std::fprintf(stderr, "FATAL: sharded query failed: %s\n",
+                         response.status().ToString().c_str());
+            std::abort();
+          }
+        }
+      }
+    });
+    double qps = seconds > 0 ? static_cast<double>(total) / seconds : 0.0;
+    if (shards == 1) base_qps = qps;
+    double speedup = base_qps > 0 ? qps / base_qps : 0.0;
+    auto counters = (*router)->router_counters();
+    std::printf("  shards=%-2zu: %8.1f QPS (%.3f s for %zu queries, "
+                "speedup %.2fx, %llu theta raises)\n",
+                shards, qps, seconds, total, speedup,
+                static_cast<unsigned long long>(counters.theta_raises));
+    std::string prefix = "sharded/shards=" + std::to_string(shards);
+    report->Add(prefix + "/qps", qps);
+    report->Add(prefix + "/throughput_x", speedup);
+    report->Add(prefix + "/theta_raises",
+                static_cast<double>(counters.theta_raises));
+  }
+}
+
 }  // namespace
 }  // namespace xrank::bench
 
@@ -228,13 +329,23 @@ int main(int argc, char** argv) {
 
   JsonReport report("bench_scaling");
   argc = report.ParseFlag(argc, argv);
-  (void)argc;
+  bool sharding_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sharding-only") sharding_only = true;
+  }
 
   std::printf("=== Thread scaling: ElemRank / index build / query serving "
-              "===\n");
+              "/ sharded serving ===\n");
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
   report.Add("hardware_threads", std::thread::hardware_concurrency());
+
+  if (sharding_only) {
+    RunShardScaling(&report);
+    report.SetRegistrySnapshot(
+        metrics::RenderJson(metrics::Registry::Instance().Snapshot()));
+    return report.Write() ? 0 : 1;
+  }
 
   // The serving benchmark needs a large pool of *distinct* queries: with
   // the default 8 planted quadruple sets the pool collapses to 8 queries
@@ -295,6 +406,9 @@ int main(int argc, char** argv) {
     RunQueryScaling(dataset.name, engine.get(), queries, &report);
     PrintRule();
   }
+
+  RunShardScaling(&report);
+  PrintRule();
 
   report.SetRegistrySnapshot(
       metrics::RenderJson(metrics::Registry::Instance().Snapshot()));

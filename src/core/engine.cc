@@ -197,23 +197,10 @@ void RecordStageMetrics(const query::QueryTrace& trace) {
   }
 }
 
-// Adds a segment scan's execution counters into the merged per-query stats
-// (the base index's algorithm label and cache/switch flags are kept).
-void MergeQueryStats(query::QueryStats* into, const query::QueryStats& from) {
-  into->postings_scanned += from.postings_scanned;
-  into->pages_skipped += from.pages_skipped;
-  into->btree_probes += from.btree_probes;
-  into->hash_probes += from.hash_probes;
-  into->rounds += from.rounds;
-  into->blocks_pruned += from.blocks_pruned;
-  into->docs_skipped += from.docs_skipped;
-  into->pivot_advances += from.pivot_advances;
-  into->block_cache_hits += from.block_cache_hits;
-  into->sequential_reads += from.sequential_reads;
-  into->random_reads += from.random_reads;
-  into->io_cost += from.io_cost;
-  into->partial = into->partial || from.partial;
-}
+// Segment scans fold into the merged per-query stats via
+// query::MergeQueryStats (shared with the shard router's gather); the base
+// index's algorithm label and cache/switch flags are kept.
+using query::MergeQueryStats;
 
 // Maps a segment-local Dewey ID into the global document-id space (the
 // first component is the document id; everything below is unchanged).
@@ -344,7 +331,23 @@ Status XRankEngine::PrepareBase(
   XRANK_ASSIGN_OR_RETURN(graph_, std::move(builder).Finalize());
   base_doc_count_ = static_cast<uint32_t>(graph_.document_count());
 
-  // 2. ElemRank computation (Section 3).
+  // 2. ElemRank computation (Section 3) — or injection, when the caller
+  // (the shard router) already computed ranks over a larger graph this
+  // corpus is a contiguous slice of.
+  if (!options_.precomputed_elem_ranks.empty()) {
+    if (options_.precomputed_elem_ranks.size() != graph_.node_count()) {
+      return Status::InvalidArgument(
+          "precomputed_elem_ranks holds " +
+          std::to_string(options_.precomputed_elem_ranks.size()) +
+          " entries but the graph has " + std::to_string(graph_.node_count()) +
+          " nodes");
+    }
+    elem_rank_result_ = rank::ElemRankResult{};
+    elem_rank_result_.ranks = options_.precomputed_elem_ranks;
+    elem_rank_result_.converged = true;
+    elem_ranks_ = elem_rank_result_.ranks;
+    return Status::OK();
+  }
   XRANK_ASSIGN_OR_RETURN(elem_rank_result_,
                          rank::ComputeElemRank(graph_, options_.elem_rank));
   elem_ranks_ = elem_rank_result_.ranks;
@@ -1540,8 +1543,13 @@ Result<EngineResponse> XRankEngine::QueryKeywordsSnapshot(
   // Fast path: a repeated (terms, m, kind) query is answered from the
   // result cache without touching the index. Keys embed the snapshot's
   // content version, so anything found here is current by construction.
+  // A fleet query (shared θ attached) bypasses the cache both ways: its
+  // response may be truncated below the fleet threshold, and a cached
+  // standalone response would defeat the θ forwarding it exists for.
+  const bool use_result_cache =
+      result_cache_ != nullptr && query_options.shared_threshold == nullptr;
   std::string cache_key;
-  if (result_cache_ != nullptr) {
+  if (use_result_cache) {
     query::ScopedSpan cache_span(trace, "cache");
     cache_key = ResultCache::MakeKey(normalized, m, kind, state->content_seq);
     EngineResponse cached;
@@ -1704,8 +1712,9 @@ Result<EngineResponse> XRankEngine::QueryKeywordsSnapshot(
   XRANK_RETURN_NOT_OK(decorate_result.status());
   EngineResponse decorated = std::move(decorate_result).value();
   // A partial response reflects this query's budget, not the index: caching
-  // it would serve truncated results to later unconstrained queries.
-  if (result_cache_ != nullptr && !decorated.stats.partial) {
+  // it would serve truncated results to later unconstrained queries. The
+  // same goes for θ-truncated fleet responses (use_result_cache above).
+  if (use_result_cache && !decorated.stats.partial) {
     result_cache_->Insert(cache_key, decorated);
   }
   RecordQueryMetrics(decorated.stats);

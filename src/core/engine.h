@@ -39,6 +39,16 @@ class ResultCache;
 struct EngineOptions {
   graph::BuilderOptions graph;
   rank::ElemRankOptions elem_rank;
+  // Non-empty: skip the ElemRank power iteration and use these ranks, one
+  // entry per graph node in node-id order (refused if the size disagrees
+  // with the built graph). The shard router computes ElemRank once over
+  // the *global* graph — the kFinal formula's random-jump mass depends on
+  // the corpus-wide document count, so per-shard recomputation would not
+  // match a monolithic build — and hands each shard its slice: graph nodes
+  // are created document-by-document, so a contiguous document range owns
+  // a contiguous node range and shard-local node ids are global ids minus
+  // the shard's first node.
+  std::vector<double> precomputed_elem_ranks;
   index::ExtractionOptions extraction;
   index::HdilOptions hdil;
   query::ScoringOptions scoring;

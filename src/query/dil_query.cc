@@ -104,19 +104,35 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   const bool pruning =
       skipping && use_block_max_pruning_ && SupportsBlockMaxPruning(scoring_);
 
-  // A keyword absent from the collection makes the conjunction empty.
-  std::vector<const index::TermInfo*> infos;
+  // A keyword absent from the collection empties the conjunction; under
+  // disjunctive semantics it contributes an empty list and the union runs
+  // over the terms this index has seen. The keyword keeps its scoring slot
+  // either way, so an element's keyword-rank vector — and its aggregated
+  // score — is bitwise what an index holding every term would compute (the
+  // shard router's parity contract relies on this: a term missing from one
+  // shard's lexicon is usually present in another's).
+  std::vector<const index::TermInfo*> infos;  // present terms only
+  std::vector<size_t> slots;                  // their original keyword slots
   infos.reserve(keywords.size());
+  slots.reserve(keywords.size());
   {
     ScopedSpan span(trace, "lexicon");
-    for (const std::string& keyword : keywords) {
-      const index::TermInfo* info = lexicon_->Find(keyword);
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      const index::TermInfo* info = lexicon_->Find(keywords[k]);
       if (info == nullptr) {
-        response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
-        return response;
+        if (conjunctive) {
+          response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+          return response;
+        }
+        continue;
       }
       infos.push_back(info);
+      slots.push_back(k);
     }
+  }
+  if (infos.empty()) {
+    response.stats.wall_ms = timer.ElapsedSeconds() * 1e3;
+    return response;
   }
   std::vector<PostingCursor> cursors;
   cursors.reserve(infos.size());
@@ -130,6 +146,9 @@ Result<QueryResponse> DilQueryProcessor::Execute(
   }
 
   TopKAccumulator accumulator(m);
+  if (options.shared_threshold != nullptr) {
+    accumulator.AttachShared(options.shared_threshold);
+  }
   DeweyStackMerger merger(keywords.size(), scoring_, /*min_result_depth=*/1,
                           [&](const CandidateResult& candidate) {
                             accumulator.Add(candidate.id,
@@ -157,7 +176,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
       std::vector<ScoredCursor> scored;
       scored.reserve(cursors.size());
       for (size_t k = 0; k < cursors.size(); ++k) {
-        scored.emplace_back(&cursors[k], k,
+        scored.emplace_back(&cursors[k], slots[k],
                             TermScoreBound(*infos[k], scoring_));
         XRANK_RETURN_NOT_OK(scored.back().Init());
       }
@@ -299,7 +318,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
             }
           }
           if (smallest == cursors.size()) break;  // document fully merged
-          merger.Add(smallest, current[smallest]);
+          merger.Add(slots[smallest], current[smallest]);
           XRANK_ASSIGN_OR_RETURN(bool has,
                                  cursors[smallest].Next(&current[smallest]));
           live[smallest] = has;
@@ -319,7 +338,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
           }
         }
         if (smallest == cursors.size()) break;  // all lists exhausted
-        merger.Add(smallest, current[smallest]);
+        merger.Add(slots[smallest], current[smallest]);
         XRANK_ASSIGN_OR_RETURN(bool has,
                                cursors[smallest].Next(&current[smallest]));
         live[smallest] = has;
@@ -349,7 +368,7 @@ Result<QueryResponse> DilQueryProcessor::Execute(
     response.stats.block_cache_hits += cursors[k].block_cache_hits();
     if (trace != nullptr) {
       QueryTrace::TermStats term;
-      term.term = keywords[k];
+      term.term = keywords[slots[k]];
       term.codec = std::string(lexicon_->codec_name());
       term.postings_read = cursors[k].postings_read();
       term.pages_skipped = cursors[k].pages_skipped();

@@ -199,7 +199,15 @@ Status MaxScoreMerge(std::vector<ScoredCursor>* cursors,
     for (size_t i = p; i < n; ++i) {
       d = std::min(d, (*cursors)[order[i]].doc());
     }
-    if (d == kNoDoc) break;  // essential lists exhausted: nothing qualifies
+    if (d == kNoDoc) {
+      // Either the essential lists are exhausted, or (p == n) theta already
+      // dominates every list jointly — e.g. a shard-router θ floor raised
+      // by an earlier shard before this one scanned anything. Any pages the
+      // live cursors never read were avoided by pruning; charge them so the
+      // fleet-wide stats reflect the saved work.
+      ChargeUnreadTails(*cursors, counters);
+      break;
+    }
 
     if (std::isfinite(theta)) {
       // Bound the candidate: the full non-essential prefix plus each
@@ -312,7 +320,13 @@ Status WandMerge(std::vector<ScoredCursor>* cursors,
           break;
         }
       }
-      if (pivot == n) break;  // even all lists jointly stay below theta
+      if (pivot == n) {
+        // Even all lists jointly stay below theta (with a shared θ floor
+        // this can hold before anything was scanned). The unread pages
+        // were pruned, not merely unvisited — account for them.
+        ChargeUnreadTails(*cursors, counters);
+        break;
+      }
     }
     const uint32_t pivot_doc = (*cursors)[order[pivot]].doc();
     if (pivot_doc == kNoDoc) break;

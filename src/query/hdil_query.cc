@@ -177,6 +177,9 @@ Result<QueryResponse> HdilQueryProcessor::Execute(
   std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
+  if (options.shared_threshold != nullptr) {
+    accumulator.AttachShared(options.shared_threshold);
+  }
 
   auto verify = [&](const dewey::DeweyId& lcp) -> Status {
     struct Hit {

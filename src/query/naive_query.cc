@@ -105,6 +105,9 @@ Result<QueryResponse> NaiveIdQueryProcessor::Execute(
   std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
+  if (options.shared_threshold != nullptr) {
+    accumulator.AttachShared(options.shared_threshold);
+  }
   std::vector<index::Posting> current(n);
   std::vector<bool> live(n, false);
   ScopedSpan merge_span(trace, "merge");
@@ -229,6 +232,9 @@ Result<QueryResponse> NaiveRankQueryProcessor::Execute(
   std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
+  if (options.shared_threshold != nullptr) {
+    accumulator.AttachShared(options.shared_threshold);
+  }
   ScopedSpan merge_span(trace, "merge");
   QueryDeadline deadline(options);
   std::vector<double> last_rank(n, std::numeric_limits<double>::infinity());

@@ -11,6 +11,7 @@
 namespace xrank::query {
 
 class QueryTrace;
+class SharedTopKThreshold;
 
 // Top-k merge strategy for the Dewey-ordered processors (DIL, and HDIL via
 // its DIL delegation). `kAuto` picks per query: the PR-5 conjunctive DAAT
@@ -64,6 +65,18 @@ struct QueryOptions {
   // — pruned algorithms are exact, not approximate — so this is purely a
   // performance knob plus the exhaustive oracle for verification.
   MergeAlgorithm algorithm = MergeAlgorithm::kAuto;
+  // When non-null, the query's TopKAccumulator publishes its running
+  // m-th-best rank into this shared floor and prunes against the maximum
+  // of its local θ and the floor (see query/result_heap.h). The shard
+  // router hands the same object to every shard of a scatter-gather query
+  // so later/slower shards inherit the θ earlier shards have already
+  // established. Sound because every pruning test is strictly-below-θ and
+  // a cooperating accumulator's m-th-best is a lower bound on the global
+  // one — but the local top-k may then omit elements below the fleet θ,
+  // so engines bypass their result cache when this is set (a θ-truncated
+  // response reflects fleet state, not this index). Borrowed; must
+  // outlive the query.
+  SharedTopKThreshold* shared_threshold = nullptr;
 };
 
 // Execution statistics common to all processors. I/O counts come from the
@@ -95,6 +108,28 @@ struct QueryResponse {
   std::vector<RankedResult> results;  // rank-descending, at most m
   QueryStats stats;
 };
+
+// Adds one scan's execution counters into a merged per-query stats block —
+// used by the engine to fold live-segment scans into the base index's
+// stats, and by the shard router to fold per-shard stats into one coherent
+// fleet-wide block. Counters sum; `partial` ORs (one budget-cut scan makes
+// the whole response partial); the label and cache/switch flags are the
+// caller's to set.
+inline void MergeQueryStats(QueryStats* into, const QueryStats& from) {
+  into->postings_scanned += from.postings_scanned;
+  into->pages_skipped += from.pages_skipped;
+  into->btree_probes += from.btree_probes;
+  into->hash_probes += from.hash_probes;
+  into->rounds += from.rounds;
+  into->blocks_pruned += from.blocks_pruned;
+  into->docs_skipped += from.docs_skipped;
+  into->pivot_advances += from.pivot_advances;
+  into->block_cache_hits += from.block_cache_hits;
+  into->sequential_reads += from.sequential_reads;
+  into->random_reads += from.random_reads;
+  into->io_cost += from.io_cost;
+  into->partial = into->partial || from.partial;
+}
 
 }  // namespace xrank::query
 

@@ -89,6 +89,9 @@ Result<QueryResponse> RdilQueryProcessor::Execute(
   std::vector<QueryTrace::TermStats> term_stats(trace != nullptr ? n : 0);
 
   TopKAccumulator accumulator(m);
+  if (options.shared_threshold != nullptr) {
+    accumulator.AttachShared(options.shared_threshold);
+  }
 
   // Verifies the deepest common ancestor `lcp`: range-scan every keyword's
   // B+-tree for the subtree, fetch the referenced postings from the

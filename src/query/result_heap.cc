@@ -10,12 +10,14 @@ bool TopKAccumulator::Add(const dewey::DeweyId& id, double rank) {
   auto [it, inserted] = ranks_by_id_.emplace(id, rank);
   if (inserted) {
     ranks_desc_.insert(rank);
+    if (shared_ != nullptr) shared_->Raise(LocalKthRank());
     return true;
   }
   if (rank > it->second) {
     ranks_desc_.erase(ranks_desc_.find(it->second));
     ranks_desc_.insert(rank);
     it->second = rank;
+    if (shared_ != nullptr) shared_->Raise(LocalKthRank());
   }
   return false;
 }
@@ -35,13 +37,22 @@ size_t TopKAccumulator::CountAtLeast(double threshold) const {
   return count;
 }
 
-double TopKAccumulator::KthRank() const {
+double TopKAccumulator::LocalKthRank() const {
   if (m_ == 0 || ranks_desc_.size() < m_) {
     return -std::numeric_limits<double>::infinity();
   }
   auto it = ranks_desc_.begin();
   std::advance(it, m_ - 1);
   return *it;
+}
+
+double TopKAccumulator::KthRank() const {
+  double theta = LocalKthRank();
+  if (shared_ != nullptr) {
+    double floor = shared_->Get();
+    if (floor > theta) theta = floor;
+  }
+  return theta;
 }
 
 std::vector<RankedResult> TopKAccumulator::TakeTop() const {

@@ -1,7 +1,10 @@
 #ifndef XRANK_QUERY_RESULT_HEAP_H_
 #define XRANK_QUERY_RESULT_HEAP_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +13,44 @@
 #include "query/scoring.h"
 
 namespace xrank::query {
+
+// A monotonically rising top-k threshold shared by cooperating
+// accumulators running on different threads — the shard router's θ
+// forwarding. Each shard's accumulator publishes its running m-th-best
+// rank here and prunes against the maximum of its local θ and this floor,
+// so a shard that starts (or progresses) later inherits the bound already
+// established elsewhere in the fleet.
+//
+// Soundness: any cooperating accumulator's m-th-best rank is a lower bound
+// on the global m-th-best over the union of their document sets, and every
+// pruning test in the merge algorithms is strictly-below-θ (ties are
+// kept), so no element that belongs in the global top-m is ever pruned.
+class SharedTopKThreshold {
+ public:
+  // Raises the floor to `theta` if it is higher; returns true when the
+  // floor actually rose. Lock-free CAS-max — safe from any thread.
+  bool Raise(double theta) {
+    double current = theta_.load(std::memory_order_relaxed);
+    while (theta > current) {
+      if (theta_.compare_exchange_weak(current, theta,
+                                       std::memory_order_relaxed)) {
+        raises_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  double Get() const { return theta_.load(std::memory_order_relaxed); }
+
+  // Number of successful raises — the θ-forwarding efficacy signal
+  // surfaced by the router's counters.
+  uint64_t raises() const { return raises_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> theta_{-std::numeric_limits<double>::infinity()};
+  std::atomic<uint64_t> raises_{0};
+};
 
 // Accumulates query-result candidates and answers the two questions the
 // algorithms ask: "have we already evaluated this element?" (RDIL line 18)
@@ -20,6 +61,13 @@ namespace xrank::query {
 class TopKAccumulator {
  public:
   explicit TopKAccumulator(size_t m) : m_(m) {}
+
+  // Joins a shared θ floor (see SharedTopKThreshold): KthRank() returns
+  // the maximum of the local m-th-best and the shared floor, and every Add
+  // that changes the local m-th-best publishes it. The accumulator itself
+  // stays single-threaded; only the shared object is touched atomically.
+  // Null (the default) detaches at zero cost.
+  void AttachShared(SharedTopKThreshold* shared) { shared_ = shared; }
 
   // Records a candidate. Returns true if the id was not seen before; a
   // repeated id keeps the higher rank.
@@ -48,7 +96,11 @@ class TopKAccumulator {
   std::vector<RankedResult> TakeTop() const;
 
  private:
+  // Local m-th-best rank, ignoring any shared floor (-inf until m ranked).
+  double LocalKthRank() const;
+
   size_t m_;
+  SharedTopKThreshold* shared_ = nullptr;
   std::unordered_map<dewey::DeweyId, double, dewey::DeweyIdHash> ranks_by_id_;
   std::unordered_map<dewey::DeweyId, bool, dewey::DeweyIdHash> seen_;
   std::multiset<double, std::greater<double>> ranks_desc_;

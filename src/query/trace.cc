@@ -64,6 +64,45 @@ void QueryTrace::AddAnnotation(std::string_view key, std::string_view value) {
   annotations_.emplace_back(std::string(key), std::string(value));
 }
 
+void QueryTrace::MergeChild(std::string_view name, const QueryTrace& child) {
+  // Both origins are steady-clock points, so the child's span offsets
+  // re-anchor onto this trace's clock by the origin difference. A child
+  // constructed before this trace clamps to 0.
+  int64_t offset = std::chrono::duration_cast<std::chrono::microseconds>(
+                       child.origin_ - origin_)
+                       .count();
+  if (offset < 0) offset = 0;
+  const int base_depth = static_cast<int>(open_stack_.size());
+
+  Span parent;
+  parent.name = std::string(name);
+  parent.depth = base_depth;
+  parent.start_us = offset;
+  int64_t end_us = offset;
+  for (const Span& span : child.spans_) {
+    int64_t span_end = offset + span.start_us + span.duration_us;
+    if (span_end > end_us) end_us = span_end;
+  }
+  parent.duration_us = end_us - offset;
+  spans_.push_back(std::move(parent));
+
+  for (const Span& span : child.spans_) {
+    Span copy = span;
+    copy.depth += base_depth + 1;
+    copy.start_us += offset;
+    copy.open = false;
+    spans_.push_back(std::move(copy));
+  }
+  for (const TermStats& term : child.terms_) {
+    TermStats copy = term;
+    copy.term = std::string(name) + ":" + term.term;
+    terms_.push_back(std::move(copy));
+  }
+  for (const auto& [key, value] : child.annotations_) {
+    AddAnnotation(std::string(name) + "." + key, value);
+  }
+}
+
 void QueryTrace::EndSpan(size_t handle) {
   if (handle >= spans_.size() || !spans_[handle].open) return;
   Span& span = spans_[handle];

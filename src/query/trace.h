@@ -58,6 +58,15 @@ class QueryTrace {
   // so a fallback path (HDIL -> DIL) reports its final choice.
   void AddAnnotation(std::string_view key, std::string_view value);
 
+  // Splices another query's finished trace into this one as a synthetic
+  // parent span named `name` holding the child's span tree (depths shifted
+  // below it, times re-anchored to this trace's clock via the two origins)
+  // plus the child's term counters, each term prefixed "name:". The shard
+  // router uses this to merge per-shard traces — each recorded
+  // single-threadedly on its own scatter thread — into the caller's trace
+  // after the gather, keeping QueryTrace itself free of locks.
+  void MergeChild(std::string_view name, const QueryTrace& child);
+
   // Query annotations (shown by the renderers and the slow-query log).
   void set_query_text(std::string text) { query_text_ = std::move(text); }
   void set_index_kind(std::string kind) { index_kind_ = std::move(kind); }

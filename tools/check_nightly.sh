@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Nightly deep gate — the slow checks that would bloat per-PR CI:
+#
+#   1. Extended crash-recovery: check_recovery.sh re-runs with several
+#      distinct randomized-skip seeds, so the kill -9 windows land on
+#      different hits of each failpoint every night instead of the single
+#      fixed-seed pass the PR pipeline runs.
+#   2. Bench baseline diff: the deterministic benchmark reports —
+#      bench_table1_space (index bytes) and bench_topk_sweep (cost-model
+#      I/O units) — are regenerated and compared against the committed
+#      BENCH_*.json baselines within a relative tolerance. Wall-clock
+#      reports (bench_scaling) are host-dependent, so they are checked
+#      for schema only: every baseline metric key must still be produced.
+#      Fresh reports are left in the build directory for artifact upload.
+#
+#   tools/check_nightly.sh [build-dir]
+#
+# Environment:
+#   XRANK_NIGHTLY_RECOVERY_RUNS  randomized-seed recovery passes (default 5)
+#   XRANK_NIGHTLY_TOLERANCE      allowed relative drift for deterministic
+#                                metrics (default 0.25)
+
+set -euo pipefail
+
+DIR="${1:-build-nightly}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+RECOVERY_RUNS="${XRANK_NIGHTLY_RECOVERY_RUNS:-5}"
+TOLERANCE="${XRANK_NIGHTLY_TOLERANCE:-0.25}"
+
+echo "=== extended crash-recovery (${RECOVERY_RUNS} randomized-seed passes) ==="
+for ((i = 1; i <= RECOVERY_RUNS; ++i)); do
+  SEED=$((20260808 + i * 7919))
+  echo "--- recovery pass $i/${RECOVERY_RUNS} (seed $SEED) ---"
+  XRANK_RECOVERY_SEED="$SEED" tools/check_recovery.sh "$DIR-recovery"
+done
+
+echo "=== bench baseline diff ==="
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$DIR" -j "$(nproc)" --target bench_table1_space \
+  --target bench_topk_sweep --target bench_scaling
+
+"$DIR/bench/bench_table1_space" --json "$DIR/BENCH_table1_space.json" \
+  > /dev/null
+"$DIR/bench/bench_topk_sweep" --json "$DIR/BENCH_disjunctive.json" > /dev/null
+"$DIR/bench/bench_scaling" --json "$DIR/BENCH_scaling.json" > /dev/null
+
+python3 - "$TOLERANCE" "$DIR" <<'EOF'
+import json, os, sys
+
+tolerance = float(sys.argv[1])
+build_dir = sys.argv[2]
+
+# (baseline, compare values?) — table1_space and topk_sweep report
+# deterministic quantities (bytes, cost-model units); scaling reports
+# wall-clock, so only its metric schema is compared. Time-based keys
+# inside otherwise-deterministic reports are host noise: schema only.
+REPORTS = [
+    ("BENCH_table1_space.json", True),
+    ("BENCH_disjunctive.json", True),
+    ("BENCH_scaling.json", False),
+]
+HOST_DEPENDENT = ("wall_ms", "seconds", "qps", "speedup", "throughput_x")
+
+failures = 0
+for name, compare_values in REPORTS:
+    with open(name) as f:
+        baseline = json.load(f)["metrics"]
+    with open(os.path.join(build_dir, name)) as f:
+        fresh = json.load(f)["metrics"]
+    missing = sorted(set(baseline) - set(fresh))
+    for key in missing:
+        print(f"check_nightly: FAIL — {name}: baseline metric "
+              f"'{key}' missing from fresh report")
+        failures += 1
+    drifted = 0
+    if compare_values:
+        for key, base in baseline.items():
+            if key not in fresh:
+                continue
+            if any(key.endswith(s) or f"/{s}/" in key
+                   for s in HOST_DEPENDENT):
+                continue
+            new = fresh[key]
+            bound = tolerance * max(abs(base), 1e-9)
+            if abs(new - base) > bound:
+                print(f"check_nightly: FAIL — {name}: '{key}' drifted "
+                      f"{base:.6g} -> {new:.6g} "
+                      f"(tolerance {tolerance:.0%})")
+                failures += 1
+                drifted += 1
+    mode = "values" if compare_values else "schema"
+    print(f"check_nightly: {name}: {len(baseline)} baseline metrics, "
+          f"{mode} checked, {len(missing)} missing, {drifted} drifted")
+
+if failures:
+    print(f"check_nightly: FAIL — {failures} baseline deviation(s)")
+    sys.exit(1)
+print("check_nightly: OK")
+EOF

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Sharded-serving gate: the document-sharded router must answer exactly
+# like the monolithic engine, stay clean under TSan while queries race
+# live ingest, and actually buy throughput from the fan-out.
+#
+#   tools/check_sharding.sh [build-dir]
+#
+# Three stages:
+#   1. Release parity suite — sharding manifest round-trip/corruption,
+#      router-vs-monolith bitwise parity across codecs, shard counts,
+#      semantics, and aggregations, θ-forwarding efficacy, merged-stats
+#      coherence, disk round-trip, live ingest, deadline contract.
+#   2. TSan stress — concurrent scatters and queries racing tail-shard
+#      ingest (reuses run_sanitized_tests.sh's build-tsan directory).
+#   3. Perf gate — bench_scaling --sharding-only on the Zipf-skewed
+#      corpus. On hosts with >= 4 hardware threads, 4 shards must deliver
+#      >= 2x the single-shard throughput. On smaller hosts a parallel
+#      scatter cannot speed anything up, so the gate relaxes to a sanity
+#      bound: 4 shards must keep >= 0.3x single-shard throughput (the
+#      fan-out machinery must not sink serving). Like check_perf.sh, the
+#      thresholds are deliberately lax — they catch regressions, not
+#      host-to-host variance.
+
+set -euo pipefail
+
+DIR="${1:-build-sharding}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+PARITY_FILTER='ShardingManifestTest|ShardingFileTest|ShardRouterParityTest|ShardRouterThetaTest|ShardRouterStatsTest|ShardRouterDiskTest|ShardRouterLiveTest|ShardRouterDeadlineTest'
+
+echo "=== sharding parity suite (Release) ==="
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$DIR" -j "$(nproc)" --target xrank_tests --target bench_scaling
+( cd "$DIR" && ctest -R "$PARITY_FILTER" --output-on-failure )
+
+echo "=== sharded-query stress under TSan ==="
+tools/run_sanitized_tests.sh thread -R 'ShardRouterConcurrencyTest' \
+  --output-on-failure
+
+echo "=== sharded throughput gate ==="
+JSON="$DIR/check_sharding_scaling.json"
+"$DIR/bench/bench_scaling" --sharding-only --json "$JSON"
+
+awk '
+  /"hardware_threads"/                  { gsub(/[",]/, ""); hw = $2 }
+  /"sharded\/shards=1\/qps"/            { gsub(/[",]/, ""); base = $2 }
+  /"sharded\/shards=4\/qps"/            { gsub(/[",]/, ""); qps4 = $2 }
+  /"sharded\/shards=4\/throughput_x"/   { gsub(/[",]/, ""); tx = $2 }
+  /"sharded\/shards=4\/theta_raises"/   { gsub(/[",]/, ""); raises = $2 }
+  END {
+    if (hw == "" || base == "" || tx == "" || raises == "") {
+      print "check_sharding: FAIL — sharded metrics missing from " FILENAME
+      exit 2
+    }
+    printf "check_sharding: 1-shard %.1f QPS, 4-shard %.1f QPS (%.2fx) on %d hardware thread(s), %d theta raises\n", base, qps4, tx, hw, raises
+    if (raises + 0 <= 0) {
+      print "check_sharding: FAIL — forwarded theta never raised across shards"
+      exit 1
+    }
+    if (hw + 0 >= 4) {
+      if (tx + 0 < 2.0) {
+        print "check_sharding: FAIL — 4-shard throughput below 2x single-shard (gate: 2.0x on >=4 hardware threads)"
+        exit 1
+      }
+    } else if (tx + 0 < 0.3) {
+      print "check_sharding: FAIL — 4-shard fan-out overhead sank serving below 0.3x single-shard"
+      exit 1
+    }
+    print "check_sharding: OK"
+  }
+' "$JSON"

@@ -6,6 +6,11 @@
 # Defaults to thread (TSan), which must stay clean over the concurrent
 # query and parallel build/ElemRank tests. Each sanitizer gets its own
 # build directory (build-tsan, build-asan, build-ubsan).
+#
+# The configure below is plain, so CMake picks a compiler launcher up
+# from the CMAKE_C_COMPILER_LAUNCHER / CMAKE_CXX_COMPILER_LAUNCHER
+# environment — CI exports `ccache` there (cache keyed per sanitizer +
+# compiler version, since sanitizer flags change every object file).
 
 set -euo pipefail
 

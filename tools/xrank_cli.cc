@@ -2,6 +2,20 @@
 //
 //   xrank_cli [query] [options] <file.xml ...>
 //     --index=dil|rdil|hdil|naive-id|naive-rank   (default hdil)
+//     --shards=N                                  (partition the corpus
+//                                                  across N engine shards
+//                                                  and serve scatter-gather
+//                                                  top-k through the shard
+//                                                  router; θ forwards
+//                                                  between shards)
+//     --disk-dir=DIR                              (with --shards: commit a
+//                                                  sharded root under DIR —
+//                                                  per-shard MANIFESTs plus
+//                                                  a SHARDING file; when DIR
+//                                                  already holds a SHARDING
+//                                                  file the root is
+//                                                  re-opened and validated
+//                                                  instead of rebuilt)
 //     --codec=varint|bp128|vgb                    (posting codec, default
 //                                                  varint)
 //     --quant-ranks=u8|u16                        (quantized ElemRanks;
@@ -36,7 +50,8 @@
 //     whole-file CRC — base index files and flushed live segments alike —
 //     and finally reads the write-ahead log (a torn tail is reported but is
 //     not damage: recovery truncates it). Reports the first bad page of
-//     each damaged file.
+//     each damaged file. A sharded root (SHARDING file present) is verified
+//     shard by shard after its partition manifest validates.
 //
 //   xrank_cli ingest --disk-dir=DIR [options] [--base=f.xml ...]
 //             [--add=f.xml ...] [--delete=uri ...]
@@ -67,6 +82,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "core/shard_router.h"
 #include "index/codec.h"
 #include "index/manifest.h"
 #include "query/query.h"
@@ -78,6 +94,8 @@ namespace {
 
 using xrank::core::EngineOptions;
 using xrank::core::EngineResponse;
+using xrank::core::ShardRouter;
+using xrank::core::ShardRouterOptions;
 using xrank::core::XRankEngine;
 using xrank::index::IndexKind;
 
@@ -87,6 +105,8 @@ struct CliOptions {
   xrank::query::MergeAlgorithm algorithm =
       xrank::query::MergeAlgorithm::kAuto;
   size_t top = 10;
+  size_t shards = 0;  // 0 = monolithic engine, N >= 1 = shard router
+  std::string disk_dir;
   bool disjunctive = false;
   bool tfidf = false;
   bool trace = false;
@@ -162,6 +182,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options, int first = 1) {
     } else if (xrank::StartsWith(arg, "--top=")) {
       options->top = std::strtoul(arg.c_str() + 6, nullptr, 10);
       if (options->top == 0) options->top = 10;
+    } else if (xrank::StartsWith(arg, "--shards=")) {
+      options->shards = std::strtoul(arg.c_str() + 9, nullptr, 10);
+      if (options->shards == 0) {
+        std::fprintf(stderr, "--shards needs a positive shard count\n");
+        return false;
+      }
+    } else if (xrank::StartsWith(arg, "--disk-dir=")) {
+      options->disk_dir = arg.substr(11);
     } else if (arg == "--disjunctive") {
       options->disjunctive = true;
     } else if (arg == "--tfidf") {
@@ -220,32 +248,14 @@ void PrintResponse(const EngineResponse& response) {
   }
 }
 
-// `xrank_cli verify <dir>`: offline integrity check of a committed index
-// directory. Exit 0 when every file matches the MANIFEST, 1 on any damage
-// (reporting the first bad page per file), 2 on usage errors.
-int RunVerify(int argc, char** argv) {
-  std::string dir;
-  for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (xrank::StartsWith(arg, "--disk-dir=")) {
-      dir = arg.substr(11);
-    } else if (!xrank::StartsWith(arg, "--") && dir.empty()) {
-      dir = arg;
-    } else {
-      dir.clear();
-      break;
-    }
-  }
-  if (dir.empty()) {
-    std::fprintf(stderr, "usage: %s verify [--disk-dir=]<index-dir>\n",
-                 argv[0]);
-    return 2;
-  }
-
+// Verifies one committed engine directory (MANIFEST, data files, flushed
+// segments, WAL), printing a line per file. Returns the number of damaged
+// files; an unreadable MANIFEST counts as one.
+int VerifyIndexDir(const std::string& dir) {
   auto manifest = xrank::index::ReadManifestFile(dir);
   if (!manifest.ok()) {
-    std::fprintf(stderr, "%s: %s\n", dir.c_str(),
-                 manifest.status().ToString().c_str());
+    std::printf("%s: %s\n", dir.c_str(),
+                manifest.status().ToString().c_str());
     return 1;
   }
   std::printf("%s: MANIFEST lists %zu committed file(s)\n", dir.c_str(),
@@ -315,6 +325,55 @@ int RunVerify(int argc, char** argv) {
   } else {
     std::printf("  %-16s %zu record(s)  OK\n", xrank::storage::kWalFileName,
                 wal->records.size());
+  }
+  return damaged;
+}
+
+// `xrank_cli verify <dir>`: offline integrity check of a committed index
+// directory — or, when the directory holds a SHARDING file, of a whole
+// sharded root: the partition manifest first, then every shard directory.
+// Exit 0 when everything matches, 1 on any damage (reporting the first bad
+// page per file), 2 on usage errors.
+int RunVerify(int argc, char** argv) {
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (xrank::StartsWith(arg, "--disk-dir=")) {
+      dir = arg.substr(11);
+    } else if (!xrank::StartsWith(arg, "--") && dir.empty()) {
+      dir = arg;
+    } else {
+      dir.clear();
+      break;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: %s verify [--disk-dir=]<index-dir>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  int damaged = 0;
+  if (xrank::core::IsShardedRoot(dir)) {
+    auto sharding = xrank::core::ReadShardingFile(dir);
+    if (!sharding.ok()) {
+      std::printf("%s/%s: %s\n", dir.c_str(),
+                  xrank::core::kShardingFileName,
+                  sharding.status().ToString().c_str());
+      std::printf("verification FAILED: SHARDING file damaged\n");
+      return 1;
+    }
+    std::printf("%s: sharded root, %zu shard(s)\n", dir.c_str(),
+                sharding->shards.size());
+    for (const auto& shard : sharding->shards) {
+      std::printf("  %s  docs [%u, %u)\n", shard.dir.c_str(), shard.doc_base,
+                  shard.doc_base + shard.doc_count);
+    }
+    for (const auto& shard : sharding->shards) {
+      damaged += VerifyIndexDir(dir + "/" + shard.dir);
+    }
+  } else {
+    damaged = VerifyIndexDir(dir);
   }
   if (damaged > 0) {
     std::printf("verification FAILED: %d file(s) damaged\n", damaged);
@@ -520,13 +579,11 @@ int RunIngest(int argc, char** argv) {
   return 0;
 }
 
-// Shared by the query and stats subcommands: parse the files and build the
-// engine. Progress goes to stderr when `quiet` (stats --json keeps stdout
-// strictly JSON).
-xrank::Result<std::unique_ptr<XRankEngine>> BuildEngineFromCli(
-    CliOptions* cli, bool quiet) {
+// Parses every --file into a document vector (error carries the path).
+xrank::Result<std::vector<xrank::xml::Document>> ParseCliDocuments(
+    const CliOptions& cli) {
   std::vector<xrank::xml::Document> docs;
-  for (const std::string& path : cli->files) {
+  for (const std::string& path : cli.files) {
     auto doc = xrank::xml::ParseFile(path);
     if (!doc.ok()) {
       return xrank::Status(doc.status().code(),
@@ -534,7 +591,12 @@ xrank::Result<std::unique_ptr<XRankEngine>> BuildEngineFromCli(
     }
     docs.push_back(std::move(doc).value());
   }
+  return docs;
+}
 
+// Engine configuration shared by the monolithic and sharded paths (may
+// rewrite cli->kind: --disjunctive forces DIL).
+EngineOptions MakeEngineOptions(CliOptions* cli) {
   EngineOptions options;
   options.indexes = {cli->kind};
   options.answer_node_tags = cli->answer_nodes;
@@ -551,23 +613,81 @@ xrank::Result<std::unique_ptr<XRankEngine>> BuildEngineFromCli(
     options.extraction.rank_source = xrank::index::RankSource::kTfIdf;
   }
   options.build.format = cli->format;
+  return options;
+}
 
-  auto engine = XRankEngine::Build(std::move(docs), options);
-  if (!engine.ok()) return engine.status();
+void PrintIndexedBanner(const CliOptions& cli, const XRankEngine& engine,
+                        bool quiet) {
   const xrank::index::PostingCodec* codec =
-      xrank::index::FindPostingCodec(cli->format.codec_id);
+      xrank::index::FindPostingCodec(cli.format.codec_id);
   std::fprintf(quiet ? stderr : stdout,
                "indexed %zu documents, %zu elements, %zu hyperlinks "
                "(%s, %s ranks, codec %u/%s, %s rank storage)\n",
-               (*engine)->graph().document_count(),
-               (*engine)->graph().element_count(),
-               (*engine)->graph().total_hyperlink_count(),
-               std::string(xrank::index::IndexKindName(cli->kind)).c_str(),
-               cli->tfidf ? "tf-idf" : "ElemRank", cli->format.codec_id,
+               engine.graph().document_count(),
+               engine.graph().element_count(),
+               engine.graph().total_hyperlink_count(),
+               std::string(xrank::index::IndexKindName(cli.kind)).c_str(),
+               cli.tfidf ? "tf-idf" : "ElemRank", cli.format.codec_id,
                codec != nullptr ? std::string(codec->name()).c_str() : "?",
-               std::string(xrank::index::RankEncodingName(cli->format.ranks))
+               std::string(xrank::index::RankEncodingName(cli.format.ranks))
                    .c_str());
+}
+
+// Shared by the query and stats subcommands: parse the files and build the
+// engine. Progress goes to stderr when `quiet` (stats --json keeps stdout
+// strictly JSON).
+xrank::Result<std::unique_ptr<XRankEngine>> BuildEngineFromCli(
+    CliOptions* cli, bool quiet) {
+  auto docs = ParseCliDocuments(*cli);
+  if (!docs.ok()) return docs.status();
+  EngineOptions options = MakeEngineOptions(cli);
+  if (cli->shards == 0) options.disk_dir = cli->disk_dir;
+  auto engine = XRankEngine::Build(std::move(docs).value(), options);
+  if (!engine.ok()) return engine.status();
+  PrintIndexedBanner(*cli, **engine, quiet);
   return engine;
+}
+
+// The --shards=N path: build (or, when --disk-dir already holds a SHARDING
+// file, re-open and validate) a document-sharded fleet behind the router.
+xrank::Result<std::unique_ptr<ShardRouter>> BuildRouterFromCli(
+    CliOptions* cli, bool quiet) {
+  auto docs = ParseCliDocuments(*cli);
+  if (!docs.ok()) return docs.status();
+  ShardRouterOptions router_options;
+  router_options.num_shards = cli->shards;
+  router_options.engine = MakeEngineOptions(cli);
+  router_options.root_dir = cli->disk_dir;
+  bool reopen = !cli->disk_dir.empty() &&
+                xrank::core::IsShardedRoot(cli->disk_dir);
+  auto router =
+      reopen ? ShardRouter::Open(std::move(docs).value(), router_options)
+             : ShardRouter::Build(std::move(docs).value(), router_options);
+  if (!router.ok()) return router.status();
+  std::FILE* out = quiet ? stderr : stdout;
+  std::fprintf(out, "%s sharded root: %zu shard(s)%s%s\n",
+               reopen ? "reopened" : "built", (*router)->shard_count(),
+               cli->disk_dir.empty() ? " (in-memory)" : " under ",
+               cli->disk_dir.c_str());
+  size_t documents = 0;
+  size_t elements = 0;
+  size_t hyperlinks = 0;
+  for (size_t i = 0; i < (*router)->shard_count(); ++i) {
+    const auto& shard = (*router)->shard(i);
+    const auto& graph = (*router)->shard_engine(i).graph();
+    documents += graph.document_count();
+    elements += graph.element_count();
+    hyperlinks += graph.total_hyperlink_count();
+    std::fprintf(out, "  %s  docs [%u, %u)\n", shard.dir.c_str(),
+                 shard.doc_base, shard.doc_base + shard.doc_count);
+  }
+  std::fprintf(out,
+               "indexed %zu documents, %zu elements, %zu hyperlinks "
+               "across the fleet (%s, %s ranks, codec %u)\n",
+               documents, elements, hyperlinks,
+               std::string(xrank::index::IndexKindName(cli->kind)).c_str(),
+               cli->tfidf ? "tf-idf" : "ElemRank", cli->format.codec_id);
+  return router;
 }
 
 void PrintUsage(const char* prog) {
@@ -576,32 +696,51 @@ void PrintUsage(const char* prog) {
                "[--codec=varint|bp128|vgb] [--quant-ranks=u8|u16] "
                "[--vbmw-lambda=MILLI] "
                "[--algorithm=auto|exhaustive|maxscore|wand|bmw] "
-               "[--top=N] [--disjunctive] [--tfidf] [--trace] [--json] "
+               "[--top=N] [--shards=N] [--disk-dir=DIR] "
+               "[--disjunctive] [--tfidf] [--trace] [--json] "
                "[--answer-nodes=a,b] [--query=\"...\"] <file.xml ...>\n"
                "       %s stats [--json] [options] <file.xml ...>\n"
-               "       %s verify [--disk-dir=]<index-dir>\n"
+               "       %s verify [--disk-dir=]<index-dir-or-sharded-root>\n"
                "       %s ingest --disk-dir=DIR [--base=f.xml ...] "
                "[--add=f.xml ...] [--delete=uri ...] [--flush-every=N] "
                "[--compact] [--crash-at=NAME[:K]] [--query=\"...\"]\n",
                prog, prog, prog, prog);
 }
 
-// `xrank_cli stats`: build the index, optionally run --query against it,
-// then dump the process-wide metrics registry.
+// `xrank_cli stats`: build the index (monolithic or, with --shards=N, the
+// sharded fleet), optionally run --query against it, then dump the
+// process-wide metrics registry — router.* series included, so a sharded
+// run's fan-out/θ/partial accounting lands in the same table.
 int RunStats(int argc, char** argv) {
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli, 2)) {
     PrintUsage(argv[0]);
     return 2;
   }
-  auto engine = BuildEngineFromCli(&cli, /*quiet=*/cli.json);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 engine.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<XRankEngine> engine;
+  std::unique_ptr<ShardRouter> router;
+  if (cli.shards > 0) {
+    auto built = BuildRouterFromCli(&cli, /*quiet=*/cli.json);
+    if (!built.ok()) {
+      std::fprintf(stderr, "sharded build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    router = std::move(built).value();
+  } else {
+    auto built = BuildEngineFromCli(&cli, /*quiet=*/cli.json);
+    if (!built.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(built).value();
   }
   if (!cli.one_shot_query.empty()) {
-    auto response = (*engine)->Query(cli.one_shot_query, cli.top, cli.kind);
+    auto response =
+        router != nullptr
+            ? router->Query(cli.one_shot_query, cli.top, cli.kind)
+            : engine->Query(cli.one_shot_query, cli.top, cli.kind);
     if (!response.ok()) {
       std::fprintf(stderr, "query error: %s\n",
                    response.status().ToString().c_str());
@@ -637,11 +776,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto engine = BuildEngineFromCli(&cli, /*quiet=*/false);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 engine.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<XRankEngine> engine;
+  std::unique_ptr<ShardRouter> router;
+  if (cli.shards > 0) {
+    auto built = BuildRouterFromCli(&cli, /*quiet=*/false);
+    if (!built.ok()) {
+      std::fprintf(stderr, "sharded build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    router = std::move(built).value();
+  } else {
+    auto built = BuildEngineFromCli(&cli, /*quiet=*/false);
+    if (!built.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(built).value();
   }
 
   auto run = [&](const std::string& query) {
@@ -650,12 +802,24 @@ int main(int argc, char** argv) {
     query_options.algorithm = cli.algorithm;
     if (cli.trace) query_options.trace = &trace;
     auto response =
-        (*engine)->Query(query, cli.top, cli.kind, query_options);
+        router != nullptr
+            ? router->Query(query, cli.top, cli.kind, query_options)
+            : engine->Query(query, cli.top, cli.kind, query_options);
     if (!response.ok()) {
       std::printf("  error: %s\n", response.status().ToString().c_str());
       return;
     }
     PrintResponse(*response);
+    if (router != nullptr) {
+      auto counters = router->router_counters();
+      std::printf("  [fleet: %zu shards, %llu shard queries, "
+                  "%llu theta raises, %llu partial, %llu skipped]\n",
+                  router->shard_count(),
+                  static_cast<unsigned long long>(counters.shard_queries),
+                  static_cast<unsigned long long>(counters.theta_raises),
+                  static_cast<unsigned long long>(counters.partial_results),
+                  static_cast<unsigned long long>(counters.shards_skipped));
+    }
     if (cli.trace) {
       std::printf("%s", cli.json ? (trace.FormatJson() + "\n").c_str()
                                  : trace.FormatTable().c_str());
