@@ -17,7 +17,9 @@
 // its list, HDIL index tiny, HDIL list slightly larger than DIL's.
 //
 // Flags: `--json <path>` writes the codec-sweep metrics; `--codec <name>`
-// restricts the sweep to one registered codec.
+// restricts the sweep to one registered codec; `--reorder` adds a second
+// sweep per corpus with BP document reordering enabled (slug suffix
+// `-bp`), so the report carries both layouts side by side.
 
 #include "bench_util.h"
 #include "common/string_util.h"
@@ -70,10 +72,13 @@ size_t TotalBytes(const std::vector<xml::Document>& docs) {
 // counts) next to the bytes the list file occupies on disk (whole pages,
 // including per-list trailing-page padding), plus the headline
 // bytes-per-posting figure that check_perf.sh tracks.
-void CodecSweep(const char* dataset, const char* slug, datagen::Corpus* corpus,
+void CodecSweep(const char* dataset, const std::string& slug,
+                datagen::Corpus* corpus,
                 const std::vector<index::IndexKind>& kinds,
-                const std::string& only_codec, JsonReport* json) {
-  std::printf("\n%s — posting-codec space sweep\n", dataset);
+                const std::string& only_codec, bool reorder,
+                JsonReport* json) {
+  std::printf("\n%s — posting-codec space sweep (%s document order)\n",
+              dataset, reorder ? "BP-reordered" : "identity");
   PrintRule(100);
   std::printf("%-8s %-12s %14s %14s %14s %16s\n", "Codec", "Approach",
               "List (used)", "List (disk)", "Entries", "Bytes/posting");
@@ -83,6 +88,9 @@ void CodecSweep(const char* dataset, const char* slug, datagen::Corpus* corpus,
     core::EngineOptions options;
     options.build.format = index::PostingFormatSpec{
         codec->id(), index::RankEncoding::kFloat32};
+    if (reorder) {
+      options.build.reorder.algorithm = index::ReorderAlgorithm::kBp;
+    }
     auto engine = BuildEngine(Reparse(corpus), kinds, options);
     for (index::IndexKind kind : kinds) {
       const index::IndexStats& stats = engine->index_stats(kind);
@@ -99,8 +107,7 @@ void CodecSweep(const char* dataset, const char* slug, datagen::Corpus* corpus,
                   static_cast<unsigned long long>(stats.entry_count),
                   bytes_per_posting);
       if (json != nullptr) {
-        std::string prefix = std::string(slug) + "/" +
-                             std::string(codec->name()) + "/" +
+        std::string prefix = slug + "/" + std::string(codec->name()) + "/" +
                              std::string(index::IndexKindName(kind));
         json->Add(prefix + "/list_used_bytes",
                   static_cast<double>(stats.list_used_bytes));
@@ -123,6 +130,7 @@ int main(int argc, char** argv) {
   JsonReport json("table1_space");
   argc = json.ParseFlag(argc, argv);
   std::string only_codec;
+  bool reorder = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--codec" && i + 1 < argc) {
       only_codec = argv[i + 1];
@@ -132,6 +140,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (std::string(argv[i]) == "--reorder") {
+      reorder = true;
     }
   }
 
@@ -148,7 +158,12 @@ int main(int argc, char** argv) {
     size_t input_bytes = TotalBytes(docs);
     auto engine = BuildEngine(std::move(docs), all_kinds);
     Report("DBLP-like", engine.get(), input_bytes);
-    CodecSweep("DBLP-like", "dblp", &corpus, all_kinds, only_codec, &json);
+    CodecSweep("DBLP-like", "dblp", &corpus, all_kinds, only_codec, false,
+               &json);
+    if (reorder) {
+      CodecSweep("DBLP-like", "dblp-bp", &corpus, all_kinds, only_codec, true,
+                 &json);
+    }
   }
   {
     datagen::Corpus corpus = datagen::GenerateXMark(BenchXMarkOptions());
@@ -156,7 +171,12 @@ int main(int argc, char** argv) {
     size_t input_bytes = TotalBytes(docs);
     auto engine = BuildEngine(std::move(docs), all_kinds);
     Report("XMark-like", engine.get(), input_bytes);
-    CodecSweep("XMark-like", "xmark", &corpus, all_kinds, only_codec, &json);
+    CodecSweep("XMark-like", "xmark", &corpus, all_kinds, only_codec, false,
+               &json);
+    if (reorder) {
+      CodecSweep("XMark-like", "xmark-bp", &corpus, all_kinds, only_codec,
+                 true, &json);
+    }
   }
 
   std::printf(

@@ -44,6 +44,12 @@ struct ShardDescriptor {
 
 struct ShardingManifest {
   std::vector<ShardDescriptor> shards;  // doc_base order, contiguous cover
+  // Build-time document-reorder pass applied to the GLOBAL doc-id space
+  // before the corpus was split into contiguous shard ranges
+  // (index/reorder.h ids; 0 = identity). Serialized as a standalone
+  // "reorder <id>" line only when nonzero, so legacy SHARDING files stay
+  // byte-identical; Open re-derives the identical permutation.
+  uint32_t reorder_id = 0;
 };
 
 // "shard-0000", "shard-0001", ...

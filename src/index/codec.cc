@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/varint.h"
 #include "dewey/codec.h"
+#include "index/reorder.h"
 
 namespace xrank::index {
 
@@ -309,24 +310,17 @@ bool ReadBp128Stream(const uint8_t* base, size_t* off, size_t n,
 
 bool ReadVgbStream(const uint8_t* base, size_t* off, size_t n,
                    std::vector<uint32_t>* out) {
+  // Dispatched shuffle-table decode (common/bitpack.h): SSSE3/NEON when the
+  // host has them, scalar otherwise. The whole page is readable, so the
+  // SIMD kernels' bounded overread past the encoded extent is safe.
+  if (*off > storage::kPageSize) return false;
   out->resize(n);
-  size_t i = 0;
-  while (i < n) {
-    if (*off >= storage::kPageSize) return false;
-    uint8_t ctrl = base[(*off)++];
-    size_t k = std::min<size_t>(4, n - i);
-    for (size_t j = 0; j < k; ++j) {
-      unsigned len = ((ctrl >> (2 * j)) & 3) + 1;
-      if (*off + len > storage::kPageSize) return false;
-      uint32_t v = 0;
-      for (unsigned b = 0; b < len; ++b) {
-        v |= static_cast<uint32_t>(base[*off + b]) << (8 * b);
-      }
-      *off += len;
-      (*out)[i + j] = v;
-    }
-    i += k;
+  size_t consumed = 0;
+  if (!bitpack::UnpackGroupVarint(base + *off, base + storage::kPageSize, n,
+                                  out->data(), &consumed)) {
+    return false;
   }
+  *off += consumed;
   return true;
 }
 
@@ -697,6 +691,11 @@ Result<const PostingCodec*> ResolvePostingCodec(
     return Status::Corruption(
         "index built with unknown rank encoding " +
         std::to_string(static_cast<uint32_t>(spec.ranks)));
+  }
+  if (spec.reorder_id > kMaxReorderId) {
+    return Status::Corruption(
+        "index built with unknown document-reorder pass id " +
+        std::to_string(spec.reorder_id));
   }
   return codec;
 }

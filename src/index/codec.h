@@ -68,6 +68,12 @@ struct PostingFormatSpec {
   // bounds for block-max pruning at the cost of shorter pages.
   uint32_t vbmw_lambda_milli = 0;
 
+  // Build-time document-reorder pass the global doc ids went through
+  // before posting extraction (index/reorder.h: 0 = identity/ingest order,
+  // 1 = recursive graph bisection). Recorded so an Open can re-derive the
+  // same permutation; validated like codec ids — legacy zeros = identity.
+  uint32_t reorder_id = 0;
+
   bool operator==(const PostingFormatSpec& other) const = default;
 };
 

@@ -41,11 +41,12 @@ std::string SerializeManifest(const Manifest& manifest) {
   for (const ManifestEntry& entry : manifest.entries) {
     char line[256];
     std::snprintf(line, sizeof(line),
-                  "file %s kind %u pages %u crc %u codec %u ranks %u vbmw %u\n",
+                  "file %s kind %u pages %u crc %u codec %u ranks %u vbmw %u "
+                  "reorder %u\n",
                   entry.file.c_str(), static_cast<unsigned>(entry.kind),
                   entry.page_count, entry.crc, entry.format.codec_id,
                   static_cast<unsigned>(entry.format.ranks),
-                  entry.format.vbmw_lambda_milli);
+                  entry.format.vbmw_lambda_milli, entry.format.reorder_id);
     out += line;
   }
   for (const SegmentManifestEntry& seg : manifest.segments) {
@@ -181,8 +182,10 @@ Result<Manifest> ParseManifest(std::string_view text) {
     }
     // 8 tokens: legacy (pre-codec) line, posting format defaults to
     // (varint, float32). 12 tokens: explicit codec/ranks suffix.
-    // 14 tokens: adds the VBMW block-sizing lambda.
-    if ((tokens.size() != 8 && tokens.size() != 12 && tokens.size() != 14) ||
+    // 14 tokens: adds the VBMW block-sizing lambda. 16 tokens: adds the
+    // document-reorder pass id (absent = identity order).
+    if ((tokens.size() != 8 && tokens.size() != 12 && tokens.size() != 14 &&
+         tokens.size() != 16) ||
         tokens[0] != "file" || tokens[2] != "kind" || tokens[4] != "pages" ||
         tokens[6] != "crc") {
       return Status::Corruption("malformed MANIFEST line '" +
@@ -212,7 +215,7 @@ Result<Manifest> ParseManifest(std::string_view text) {
                              ParseU64(tokens[11], "rank encoding"));
       entry.format.ranks = static_cast<RankEncoding>(ranks);
     }
-    if (tokens.size() == 14) {
+    if (tokens.size() >= 14) {
       if (tokens[12] != "vbmw") {
         return Status::Corruption("malformed MANIFEST line '" +
                                   std::string(line) + "'");
@@ -220,6 +223,15 @@ Result<Manifest> ParseManifest(std::string_view text) {
       XRANK_ASSIGN_OR_RETURN(uint64_t lambda,
                              ParseU64(tokens[13], "vbmw lambda"));
       entry.format.vbmw_lambda_milli = static_cast<uint32_t>(lambda);
+    }
+    if (tokens.size() == 16) {
+      if (tokens[14] != "reorder") {
+        return Status::Corruption("malformed MANIFEST line '" +
+                                  std::string(line) + "'");
+      }
+      XRANK_ASSIGN_OR_RETURN(uint64_t reorder,
+                             ParseU64(tokens[15], "reorder pass"));
+      entry.format.reorder_id = static_cast<uint32_t>(reorder);
     }
     XRANK_RETURN_NOT_OK(ResolvePostingCodec(entry.format).status());
     manifest.entries.push_back(std::move(entry));

@@ -1,0 +1,348 @@
+#include "index/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "index/index_builder.h"
+
+namespace xrank::index {
+
+std::string_view ReorderAlgorithmName(uint32_t reorder_id) {
+  switch (reorder_id) {
+    case kReorderIdentity:
+      return "identity";
+    case kReorderBp:
+      return "bp";
+    default:
+      return "unknown";
+  }
+}
+
+namespace {
+
+// Document -> distinct-term adjacency in CSR form. Term ids are dense
+// indexes in lexicographic term order (the TermPostingsMap iteration
+// order), so the adjacency — and everything downstream — is independent of
+// construction thread count.
+struct DocTermGraph {
+  uint32_t doc_count = 0;
+  uint32_t term_count = 0;
+  std::vector<size_t> doc_begin;   // doc_count + 1 offsets into terms
+  std::vector<uint32_t> terms;     // concatenated per-doc distinct term ids
+};
+
+DocTermGraph BuildDocTermGraph(
+    const std::map<std::string, std::vector<Posting>>& dewey_postings,
+    uint32_t doc_count) {
+  DocTermGraph graph;
+  graph.doc_count = doc_count;
+  std::vector<uint32_t> degree(doc_count, 0);
+  // Pass 1: per-document distinct-term degrees. Postings are in Dewey
+  // order, so a term's documents appear as non-decreasing runs of the first
+  // component — distinct docs are run starts.
+  uint32_t term_id = 0;
+  for (const auto& [term, postings] : dewey_postings) {
+    (void)term;
+    uint32_t last_doc = UINT32_MAX;
+    for (const Posting& posting : postings) {
+      uint32_t doc = posting.id.component(0);
+      if (doc == last_doc) continue;
+      last_doc = doc;
+      if (doc < doc_count) ++degree[doc];
+    }
+    ++term_id;
+  }
+  graph.term_count = term_id;
+  graph.doc_begin.assign(doc_count + 1, 0);
+  for (uint32_t d = 0; d < doc_count; ++d) {
+    graph.doc_begin[d + 1] = graph.doc_begin[d] + degree[d];
+  }
+  graph.terms.resize(graph.doc_begin[doc_count]);
+  std::vector<size_t> fill(graph.doc_begin.begin(),
+                           graph.doc_begin.end() - 1);
+  term_id = 0;
+  for (const auto& [term, postings] : dewey_postings) {
+    (void)term;
+    uint32_t last_doc = UINT32_MAX;
+    for (const Posting& posting : postings) {
+      uint32_t doc = posting.id.component(0);
+      if (doc == last_doc) continue;
+      last_doc = doc;
+      if (doc < doc_count) graph.terms[fill[doc]++] = term_id;
+    }
+    ++term_id;
+  }
+  return graph;
+}
+
+// Expected per-posting gap cost of a term with `deg` documents in a
+// partition of `n` documents: deg * log2(n / (deg + 1)) — the BP objective.
+inline double MoveCost(double deg, double n) {
+  return deg <= 0.0 ? 0.0 : deg * std::log2(n / (deg + 1.0));
+}
+
+struct Range {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+// Per-worker scratch reused across the ranges a worker processes at one
+// recursion level. Term-degree arrays are cleared through the touched list,
+// so the per-range cost is proportional to the range's postings, not to the
+// vocabulary.
+struct BisectScratch {
+  std::vector<int32_t> deg_left;
+  std::vector<int32_t> deg_right;
+  std::vector<uint32_t> touched;
+  std::vector<std::pair<double, size_t>> gains_left;   // (gain, order pos)
+  std::vector<std::pair<double, size_t>> gains_right;
+};
+
+// One bisection of order[range]: swap-optimize the first-half/second-half
+// split for up to `iterations` rounds. Deterministic: gains are summed in
+// each document's fixed CSR term order and sorted with an ascending-doc-id
+// tie-break.
+void BisectRange(const DocTermGraph& graph, const ReorderOptions& options,
+                 std::vector<uint32_t>* order, const Range& range,
+                 BisectScratch* scratch) {
+  const size_t mid = range.begin + range.size() / 2;
+  const double n1 = static_cast<double>(mid - range.begin);
+  const double n2 = static_cast<double>(range.end - mid);
+  if (n1 < 1.0 || n2 < 1.0) return;
+  if (scratch->deg_left.size() < graph.term_count) {
+    scratch->deg_left.assign(graph.term_count, 0);
+    scratch->deg_right.assign(graph.term_count, 0);
+  }
+  std::vector<uint32_t>& ord = *order;
+  for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    // Per-term degrees in each half, over this range's terms only.
+    scratch->touched.clear();
+    for (size_t p = range.begin; p < range.end; ++p) {
+      uint32_t doc = ord[p];
+      int32_t* deg = p < mid ? scratch->deg_left.data()
+                             : scratch->deg_right.data();
+      for (size_t i = graph.doc_begin[doc]; i < graph.doc_begin[doc + 1];
+           ++i) {
+        uint32_t t = graph.terms[i];
+        if (scratch->deg_left[t] == 0 && scratch->deg_right[t] == 0) {
+          scratch->touched.push_back(t);
+        }
+        ++deg[t];
+      }
+    }
+    // Move gains: how much the objective improves if the document switches
+    // sides (positive = wants to move).
+    scratch->gains_left.clear();
+    scratch->gains_right.clear();
+    for (size_t p = range.begin; p < range.end; ++p) {
+      uint32_t doc = ord[p];
+      double gain = 0.0;
+      for (size_t i = graph.doc_begin[doc]; i < graph.doc_begin[doc + 1];
+           ++i) {
+        uint32_t t = graph.terms[i];
+        double dl = scratch->deg_left[t];
+        double dr = scratch->deg_right[t];
+        double from = MoveCost(dl, n1) + MoveCost(dr, n2);
+        double to = p < mid
+                        ? MoveCost(dl - 1.0, n1) + MoveCost(dr + 1.0, n2)
+                        : MoveCost(dl + 1.0, n1) + MoveCost(dr - 1.0, n2);
+        gain += from - to;
+      }
+      (p < mid ? scratch->gains_left : scratch->gains_right)
+          .emplace_back(gain, p);
+    }
+    auto by_gain = [&ord](const std::pair<double, size_t>& a,
+                          const std::pair<double, size_t>& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return ord[a.second] < ord[b.second];
+    };
+    std::sort(scratch->gains_left.begin(), scratch->gains_left.end(),
+              by_gain);
+    std::sort(scratch->gains_right.begin(), scratch->gains_right.end(),
+              by_gain);
+    size_t swaps = 0;
+    size_t pairs =
+        std::min(scratch->gains_left.size(), scratch->gains_right.size());
+    for (size_t i = 0; i < pairs; ++i) {
+      if (scratch->gains_left[i].first + scratch->gains_right[i].first <=
+          0.0) {
+        break;
+      }
+      std::swap(ord[scratch->gains_left[i].second],
+                ord[scratch->gains_right[i].second]);
+      ++swaps;
+    }
+    // Reset the touched degree slots for the next round / next range.
+    for (uint32_t t : scratch->touched) {
+      scratch->deg_left[t] = 0;
+      scratch->deg_right[t] = 0;
+    }
+    if (swaps == 0) break;
+  }
+}
+
+}  // namespace
+
+DocPermutation ComputeReorderPermutation(
+    const std::map<std::string, std::vector<Posting>>& dewey_postings,
+    uint32_t doc_count, const ReorderOptions& options) {
+  DocPermutation perm;
+  if (!options.enabled() || doc_count < 2) return perm;
+  XRANK_CHECK(options.algorithm == ReorderAlgorithm::kBp,
+              "unknown reorder algorithm");
+  DocTermGraph graph = BuildDocTermGraph(dewey_postings, doc_count);
+  std::vector<uint32_t> order(doc_count);
+  std::iota(order.begin(), order.end(), 0);
+
+  const size_t min_partition =
+      std::max<size_t>(2, options.min_partition);
+  ThreadPool pool(options.num_threads);
+  // Level-by-level recursion: every level's ranges are disjoint slices of
+  // `order`, so they can run in parallel on the (non-reentrant) pool, and
+  // each range's computation is self-contained — the result does not depend
+  // on which worker ran it.
+  std::vector<Range> active = {{0, doc_count}};
+  for (uint32_t depth = 0; depth < options.max_depth && !active.empty();
+       ++depth) {
+    // Chunk grain 1: chunk index == range index, statically assigned to
+    // worker (chunk % thread_count) — each worker reuses its own scratch.
+    const size_t thread_count = pool.thread_count();
+    std::vector<BisectScratch> worker_scratch(thread_count);
+    pool.ParallelFor(0, active.size(), 1,
+                     [&](size_t begin, size_t end, size_t chunk) {
+                       BisectScratch* scratch =
+                           &worker_scratch[chunk % thread_count];
+                       for (size_t r = begin; r < end; ++r) {
+                         BisectRange(graph, options, &order, active[r],
+                                     scratch);
+                       }
+                     });
+    std::vector<Range> next;
+    next.reserve(active.size() * 2);
+    for (const Range& range : active) {
+      if (range.size() <= min_partition) continue;
+      size_t mid = range.begin + range.size() / 2;
+      next.push_back({range.begin, mid});
+      next.push_back({mid, range.end});
+    }
+    active = std::move(next);
+  }
+
+  perm.new_to_old = std::move(order);
+  perm.old_to_new.assign(doc_count, 0);
+  for (uint32_t p = 0; p < doc_count; ++p) {
+    perm.old_to_new[perm.new_to_old[p]] = p;
+  }
+  return perm;
+}
+
+namespace {
+
+// Remaps the first Dewey component of `id` in place.
+void RemapDocComponent(dewey::DeweyId* id, uint32_t new_doc) {
+  std::vector<uint32_t> components = id->components();
+  components[0] = new_doc;
+  id->AssignComponents(components.data(), components.size());
+}
+
+// Reorders one Dewey-ordered posting list: per-document runs move to their
+// physical-id position and every posting's first component is remapped.
+void PermuteDeweyList(const DocPermutation& perm,
+                      std::vector<Posting>* postings) {
+  struct Run {
+    uint32_t new_doc;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < postings->size();) {
+    uint32_t doc = (*postings)[i].id.component(0);
+    size_t j = i;
+    while (j < postings->size() && (*postings)[j].id.component(0) == doc) {
+      ++j;
+    }
+    runs.push_back({perm.ToPhysical(doc), i, j});
+    i = j;
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.new_doc < b.new_doc; });
+  std::vector<Posting> out;
+  out.reserve(postings->size());
+  for (const Run& run : runs) {
+    for (size_t i = run.begin; i < run.end; ++i) {
+      Posting posting = std::move((*postings)[i]);
+      RemapDocComponent(&posting.id, run.new_doc);
+      out.push_back(std::move(posting));
+    }
+  }
+  *postings = std::move(out);
+}
+
+}  // namespace
+
+void ApplyDocPermutation(const DocPermutation& perm,
+                         ExtractionResult* extracted) {
+  if (perm.empty()) return;
+  for (auto& [term, postings] : extracted->dewey_postings) {
+    (void)term;
+    PermuteDeweyList(perm, &postings);
+  }
+  if (extracted->ordinal_to_dewey.empty()) return;
+
+  // Naive postings address elements by global preorder ordinal; renumber so
+  // documents stay contiguous in physical-id order. Documents excluded from
+  // extraction simply have no ordinals.
+  struct DocRun {
+    uint32_t new_doc;
+    size_t begin;
+    size_t end;
+  };
+  const std::vector<dewey::DeweyId>& ordinals = extracted->ordinal_to_dewey;
+  std::vector<DocRun> runs;
+  for (size_t i = 0; i < ordinals.size();) {
+    uint32_t doc = ordinals[i].component(0);
+    size_t j = i;
+    while (j < ordinals.size() && ordinals[j].component(0) == doc) ++j;
+    runs.push_back({perm.ToPhysical(doc), i, j});
+    i = j;
+  }
+  std::vector<DocRun> permuted_runs = runs;
+  std::sort(permuted_runs.begin(), permuted_runs.end(),
+            [](const DocRun& a, const DocRun& b) {
+              return a.new_doc < b.new_doc;
+            });
+  // old ordinal -> new ordinal.
+  std::vector<uint32_t> ordinal_map(ordinals.size(), 0);
+  std::vector<dewey::DeweyId> new_ordinals(ordinals.size());
+  size_t next = 0;
+  for (const DocRun& run : permuted_runs) {
+    for (size_t i = run.begin; i < run.end; ++i, ++next) {
+      ordinal_map[i] = static_cast<uint32_t>(next);
+      dewey::DeweyId id = ordinals[i];
+      RemapDocComponent(&id, run.new_doc);
+      new_ordinals[next] = std::move(id);
+    }
+  }
+  extracted->ordinal_to_dewey = std::move(new_ordinals);
+
+  for (auto& [term, postings] : extracted->naive_postings) {
+    (void)term;
+    for (Posting& posting : postings) {
+      uint32_t old_ordinal = posting.id.component(0);
+      XRANK_CHECK(old_ordinal < ordinal_map.size(),
+                  "naive ordinal out of range during reorder");
+      RemapDocComponent(&posting.id, ordinal_map[old_ordinal]);
+    }
+    std::sort(postings.begin(), postings.end(),
+              [](const Posting& a, const Posting& b) {
+                return a.id.component(0) < b.id.component(0);
+              });
+  }
+}
+
+}  // namespace xrank::index

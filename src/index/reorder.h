@@ -1,0 +1,119 @@
+#ifndef XRANK_INDEX_REORDER_H_
+#define XRANK_INDEX_REORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/posting_types.h"
+
+namespace xrank::index {
+
+struct ExtractionResult;
+
+// --- build-time document reordering -----------------------------------------
+//
+// Every ranked-retrieval structure the engine serves from — prefix-delta
+// Dewey postings, skip blocks, per-page max_rank, VBMW blocks, per-term
+// max_doc_rank — improves when similar documents sit on adjacent global doc
+// ids. The reorder pass computes a permutation of the global document ids
+// by recursive graph bisection (BP; Dhulipala et al., "Compressing Graphs
+// and Indexes with Recursive Graph Bisection") over the document–term
+// bipartite graph, and the permutation is applied to the extracted postings
+// before any physical index is built: the document graph and ElemRank stay
+// in ingest order (the power iteration is float-summation-order sensitive),
+// so the permutation is a pure gather over extraction output.
+//
+// Determinism contract: the pass is RNG-free — the initial split of every
+// range is first-half/second-half of the current order, move gains use a
+// fixed-order summation per document, ties break on ascending doc id, and
+// recursion branches operate on disjoint ranges — so the permutation (and
+// therefore every downstream index byte) is identical for every thread
+// count.
+
+// Reorder pass ids, recorded in the posting format (index header page +
+// MANIFEST `reorder` token) and validated at open like codec ids. Legacy
+// indexes carry zeros, which mean identity order.
+enum class ReorderAlgorithm : uint32_t {
+  kIdentity = 0,
+  kBp = 1,  // recursive graph bisection
+};
+
+constexpr uint32_t kReorderIdentity = 0;
+constexpr uint32_t kReorderBp = 1;
+constexpr uint32_t kMaxReorderId = kReorderBp;
+
+std::string_view ReorderAlgorithmName(uint32_t reorder_id);
+
+struct ReorderOptions {
+  ReorderAlgorithm algorithm = ReorderAlgorithm::kIdentity;
+  // Recursion depth cap; the effective depth is also bounded by
+  // log2(doc_count / min_partition).
+  uint32_t max_depth = 16;
+  // Ranges at or below this many documents are left in their current order.
+  uint32_t min_partition = 16;
+  // Swap rounds per bisection (each round recomputes move gains, sorts both
+  // halves by gain and swaps while the paired gain sum is positive; a round
+  // with no swaps terminates the bisection early).
+  uint32_t iterations = 20;
+  // Worker threads for the disjoint recursion branches (0 = hardware
+  // concurrency). The output is byte-identical for every value.
+  int num_threads = 0;
+
+  bool enabled() const { return algorithm != ReorderAlgorithm::kIdentity; }
+  uint32_t id() const { return static_cast<uint32_t>(algorithm); }
+};
+
+// A permutation of the global doc-id space [0, size). Empty vectors mean
+// identity (the universal default; legacy indexes and live segments never
+// carry a permutation).
+//
+// Terminology: "identity" ids are ingest-order document indexes (the graph
+// and ElemRank spaces); "physical" ids are the permuted ids the reordered
+// indexes store and queries return.
+struct DocPermutation {
+  std::vector<uint32_t> new_to_old;  // physical id -> identity id
+  std::vector<uint32_t> old_to_new;  // identity id -> physical id
+
+  bool empty() const { return new_to_old.empty(); }
+  size_t size() const { return new_to_old.size(); }
+
+  // Maps an identity doc id into the physical space (identity for ids past
+  // the permuted range — live documents keep their ids).
+  uint32_t ToPhysical(uint32_t identity_doc) const {
+    return identity_doc < old_to_new.size() ? old_to_new[identity_doc]
+                                            : identity_doc;
+  }
+  uint32_t ToIdentity(uint32_t physical_doc) const {
+    return physical_doc < new_to_old.size() ? new_to_old[physical_doc]
+                                            : physical_doc;
+  }
+};
+
+// Computes the BP permutation from the extracted Dewey postings (the
+// document of a posting is the first Dewey component; every document in
+// [0, doc_count) is covered, including documents with no postings, which
+// keep their relative order). Returns an empty (identity) permutation when
+// the pass is disabled or doc_count < 2.
+DocPermutation ComputeReorderPermutation(
+    const std::map<std::string, std::vector<Posting>>& dewey_postings,
+    uint32_t doc_count, const ReorderOptions& options);
+
+// Applies the permutation to extraction output in place, before any
+// physical index is built:
+//   - dewey_postings: per-document runs are reordered by physical id and
+//     the first Dewey component of every posting is remapped (word
+//     positions are document-local and ranks are per-element, so both are
+//     permutation-invariant);
+//   - naive_postings / ordinal_to_dewey: element ordinals are renumbered so
+//     documents stay contiguous in physical-id order, lists are reordered
+//     accordingly, and the ordinal map is gathered into the new numbering
+//     with its Dewey ids remapped.
+// No-op for an empty permutation.
+void ApplyDocPermutation(const DocPermutation& perm,
+                         ExtractionResult* extracted);
+
+}  // namespace xrank::index
+
+#endif  // XRANK_INDEX_REORDER_H_

@@ -41,8 +41,8 @@ cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$DIR" -j "$(nproc)" --target bench_table1_space \
   --target bench_topk_sweep --target bench_scaling
 
-"$DIR/bench/bench_table1_space" --json "$DIR/BENCH_table1_space.json" \
-  > /dev/null
+"$DIR/bench/bench_table1_space" --reorder \
+  --json "$DIR/BENCH_table1_space.json" > /dev/null
 "$DIR/bench/bench_topk_sweep" --json "$DIR/BENCH_disjunctive.json" > /dev/null
 "$DIR/bench/bench_scaling" --json "$DIR/BENCH_scaling.json" > /dev/null
 
@@ -74,6 +74,16 @@ for name, compare_values in REPORTS:
         print(f"check_nightly: FAIL — {name}: baseline metric "
               f"'{key}' missing from fresh report")
         failures += 1
+    # Schema drift in the other direction is just as much a failure: a
+    # fresh metric with no committed baseline means the benchmark grew a
+    # key nobody regenerated the BENCH_*.json for — the nightly diff
+    # would silently stop covering it.
+    unbaselined = sorted(set(fresh) - set(baseline))
+    for key in unbaselined:
+        print(f"check_nightly: FAIL — {name}: fresh metric '{key}' has no "
+              f"committed baseline (regenerate {name})")
+        failures += 1
+    missing = missing + unbaselined
     drifted = 0
     if compare_values:
         for key, base in baseline.items():

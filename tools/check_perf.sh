@@ -60,6 +60,8 @@ if varint is None or bp128 is None:
           sys.argv[1])
     sys.exit(2)
 for name, row in sorted(decode.items()):
+    if "bytes_per_posting" not in row:  # raw-stream rows (vgb_simd/_scalar)
+        continue
     print(f"check_perf: {name.split('/')[1]} decode "
           f"{row['items_per_second'] / 1e6:.1f} M postings/s, "
           f"{row['bytes_per_posting']:.2f} bytes/posting")
@@ -96,6 +98,57 @@ for name, key in (("maxscore", "BM_TopkDisjunctiveMaxScore"),
         print(f"check_perf: FAIL — disjunctive {name} below 2x the "
               "exhaustive merge")
         sys.exit(1)
+
+# SIMD group-varint gate: the dispatched kernel must decode the raw vgb
+# gap stream at >= 1.5x the portable scalar reference (reference host:
+# ~5x with SSSE3). Skipped when no SIMD kernel is compiled in (the rows
+# then measure the same scalar code — simd_active=0).
+simd = decode.get("BM_PostingDecode/vgb_simd")
+scalar = decode.get("BM_PostingDecode/vgb_scalar")
+if simd is None or scalar is None:
+    print("check_perf: FAIL — vgb_simd/vgb_scalar rows missing from",
+          sys.argv[1])
+    sys.exit(2)
+if simd.get("simd_active", 0) > 0:
+    ratio = simd["items_per_second"] / scalar["items_per_second"]
+    print(f"check_perf: group-varint SIMD decode {ratio:.2f}x scalar "
+          "(gate: 1.5x)")
+    if ratio < 1.5:
+        print("check_perf: FAIL — SIMD group-varint decode below 1.5x the "
+              "scalar reference")
+        sys.exit(1)
+else:
+    print("check_perf: group-varint SIMD gate skipped (scalar-only host)")
+
+# Document-reordering gates, on the clustered corpus whose doc ids are
+# LCG-shuffled (identity layout) vs. BP-permuted: (a) bp128 must spend no
+# more bytes per posting after reordering (reference host: 0.96x), and
+# (b) block-max WAND disjunctive top-10 must be at least as fast on the
+# reordered layout (reference host: ~2.3x — sharper block maxima skip
+# nearly every block).
+shuffled = next((b for b in report["benchmarks"]
+                 if b["name"] == "BM_TopkDisjunctiveBmwShuffled"), None)
+reordered = next((b for b in report["benchmarks"]
+                  if b["name"] == "BM_TopkDisjunctiveBmwReordered"), None)
+if shuffled is None or reordered is None:
+    print("check_perf: FAIL — BmwShuffled/BmwReordered rows missing from",
+          sys.argv[1])
+    sys.exit(2)
+bytes_ratio = (reordered["bp128_bytes_per_posting"] /
+               shuffled["bp128_bytes_per_posting"])
+print(f"check_perf: reordered bp128 {bytes_ratio:.3f}x identity "
+      "bytes/posting (gate: <= 1.0x)")
+if bytes_ratio > 1.0:
+    print("check_perf: FAIL — BP reordering inflates bp128 bytes/posting "
+          "on the clustered corpus")
+    sys.exit(1)
+bmw_speedup = (shuffled["real_time"] / reordered["real_time"]
+               if reordered["real_time"] > 0 else 0.0)
+print(f"check_perf: reordered BMW top-10 {bmw_speedup:.2f}x vs shuffled "
+      "(gate: 1.0x)")
+if bmw_speedup < 1.0:
+    print("check_perf: FAIL — BMW slower on the reordered layout")
+    sys.exit(1)
 EOF
 
 # Oracle parity in the Release job: bench_topk_sweep re-runs every pruned
